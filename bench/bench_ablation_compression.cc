@@ -1,0 +1,76 @@
+// Ablation — compression vs fusion for the PCIe bottleneck.
+//
+// The paper's related work notes that He et al. attack the same transfer
+// bottleneck with data compression [25] and positions fusion as a compiler
+// alternative. Both are implemented here, so this harness compares them —
+// and shows they compose — on two back-to-back SELECTs over 200M elements
+// drawn from TPC-H-like domains (quantity 1-50: 6-bit packable).
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "relational/compression.h"
+
+int main() {
+  using namespace kf;
+  using namespace kf::bench;
+  using core::Strategy;
+  PrintHeader("Ablation: compression vs kernel fusion for PCIe traffic",
+              "related work [25]; both attack Fig 1's bottleneck");
+
+  // Measure a realistic compression ratio on a TPC-H-like column.
+  Rng rng(5);
+  std::vector<std::int32_t> sample(1'000'000);
+  for (auto& v : sample) v = static_cast<std::int32_t>(rng.UniformInt(1, 50));
+  const relational::CompressedInt32 compressed =
+      relational::CompressedInt32::Compress(sample);
+  const double ratio = compressed.ratio();
+  std::cout << "sample column (quantity 1-50): scheme "
+            << ToString(compressed.scheme()) << ", ratio "
+            << TablePrinter::Num(ratio, 2) << "x\n\n";
+
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  const std::uint64_t n = 200'000'000;
+  core::SelectChain chain = core::MakeSelectChain(n, std::vector<double>{0.5, 0.5});
+
+  // Baselines from the executor.
+  const auto serial = RunChain(executor, chain, Strategy::kSerial);
+  const auto fused = RunChain(executor, chain, Strategy::kFused);
+
+  // Compression model: the input crosses PCIe compressed, a decompression
+  // kernel (memory-bound streaming expand) runs before the query; results
+  // return uncompressed. Decompression kernel: read compressed, write raw.
+  auto with_compression = [&](const core::ExecutionReport& base) {
+    const std::uint64_t raw = chain.input_bytes();
+    const auto packed = static_cast<std::uint64_t>(static_cast<double>(raw) / ratio);
+    const SimTime h2d_raw = device.pcie().TransferTime(
+        raw, sim::HostMemoryKind::kPinned, sim::CopyDirection::kHostToDevice);
+    const SimTime h2d_packed = device.pcie().TransferTime(
+        packed, sim::HostMemoryKind::kPinned, sim::CopyDirection::kHostToDevice);
+    sim::KernelProfile decompress;
+    decompress.label = "decompress";
+    decompress.elements = n;
+    decompress.ops_per_element = 8.0;
+    decompress.global_bytes_read = packed;
+    decompress.global_bytes_written = raw;
+    const SimTime expand = device.cost_model().Cost(decompress).solo_duration;
+    return base.makespan - h2d_raw + h2d_packed + expand;
+  };
+
+  TablePrinter table({"Configuration", "Makespan", "vs serial"});
+  auto add = [&](const char* name, SimTime t) {
+    table.AddRow({name, FormatTime(t),
+                  TablePrinter::Num(serial.makespan / t, 2) + "x"});
+  };
+  add("serial, uncompressed", serial.makespan);
+  add("serial + compression", with_compression(serial));
+  add("fused, uncompressed", fused.makespan);
+  add("fused + compression", with_compression(fused));
+  table.Print();
+
+  PrintSummaryLine("compression and fusion attack different copies of the "
+                   "data: compression shrinks the *input* transfer, fusion "
+                   "removes the *intermediate* traffic — composing them "
+                   "stacks the wins, supporting the paper's claim that its "
+                   "compiler approach is complementary to [25]");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension — TPC-H Q6, the fully-fusable contrast case to Figs 18(a)/(b).
+//
+// Q6 has no JOIN and no SORT: three range SELECTs, one ARITH, one global
+// SUM. The planner fuses the whole query into ONE kernel. Comparing it with
+// Q1 (one SORT fence) and Q21 (several fences) completes the paper's story
+// with a twist the measurement exposes: being fully fusable does not by
+// itself mean the biggest win — fusion pays off in proportion to the
+// intermediate traffic it eliminates, and Q6 barely has any.
+#include "bench/bench_util.h"
+#include "core/plan_dot.h"
+#include "tpch/q1.h"
+#include "tpch/q21.h"
+#include "tpch/q6.h"
+
+int main() {
+  using namespace kf;
+  using namespace kf::bench;
+  using core::Strategy;
+  PrintHeader("Extension: TPC-H Q6 — the fully fusable query",
+              "upper bound of the Fig 18 fusable-fraction trend");
+
+  tpch::TpchConfig config;
+  config.order_count = 20000;
+  config.supplier_count = 500;
+  const tpch::TpchData data = MakeTpchData(config);
+  const double factor = 6'000'000.0 / static_cast<double>(data.lineitem.row_count());
+
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  auto gain = [&](tpch::QueryPlan& plan) {
+    const auto rows = ScaledRowCounts(plan.graph, plan.sources, factor);
+    core::ExecutorOptions serial;
+    serial.strategy = Strategy::kSerial;
+    serial.fusion.register_budget = 63;
+    core::ExecutorOptions fused = serial;
+    fused.strategy = Strategy::kFused;
+    const auto base = executor.EstimateOnly(plan.graph, rows, serial);
+    const auto opt = executor.EstimateOnly(plan.graph, rows, fused);
+    return std::pair{base.makespan / opt.makespan,
+                     base.compute_time / opt.compute_time};
+  };
+
+  tpch::QueryPlan q6 = BuildQ6Plan(data);
+  tpch::QueryPlan q1 = BuildQ1Plan(data);
+  tpch::QueryPlan q21 = BuildQ21Plan(data);
+  const auto [q6_total, q6_compute] = gain(q6);
+  const auto [q1_total, q1_compute] = gain(q1);
+  const auto [q21_total, q21_compute] = gain(q21);
+
+  TablePrinter table({"Query", "Unfusable ops", "Fusion speedup (total)",
+                      "Fusion speedup (kernels)"});
+  table.AddRow({"Q6 (no fences)", "0", TablePrinter::Num(q6_total, 2) + "x",
+                TablePrinter::Num(q6_compute, 2) + "x"});
+  table.AddRow({"Q1 (1 sort, 1 unique)", "2", TablePrinter::Num(q1_total, 2) + "x",
+                TablePrinter::Num(q1_compute, 2) + "x"});
+  table.AddRow({"Q21 (2 sorts + agg fences)", "3+",
+                TablePrinter::Num(q21_total, 2) + "x",
+                TablePrinter::Num(q21_compute, 2) + "x"});
+  table.Print();
+
+  const core::FusionPlan q6_fusion = PlanFusion(q6.graph);
+  PrintSummaryLine("Q6 fuses " + std::to_string(q6_fusion.clusters[0].nodes.size()) +
+                   " operators into 1 kernel — yet its END-TO-END gain is the "
+                   "smallest of the three");
+  PrintSummaryLine("the instructive result: fusion's wins come from the "
+                   "*intermediate* traffic it deletes. Q6's narrow slice is "
+                   "already one transfer-bound pass, so there is little to "
+                   "delete; Q1's wide 7-way table rebuild gives fusion the "
+                   "most redundant bytes to eliminate. Full fusability is "
+                   "necessary but not sufficient for big gains.");
+  std::cout << "\nGraphviz of the fused Q6 plan (dot -Tpdf):\n"
+            << ToDot(q6.graph, q6_fusion);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig 4(a) — staged SELECT throughput, simulated GPU (PCIe excluded) vs the
+// modeled 16-thread CPU comparator, at 10% / 50% / 90% selectivity.
+#include "bench/bench_util.h"
+#include "cpu/cpu_select.h"
+
+int main() {
+  using namespace kf;
+  using namespace kf::bench;
+  PrintHeader("Fig 4(a): SELECT throughput, GPU vs CPU",
+              "GPU ~2.9x/8.8x/8.4x faster at 10/50/90% selectivity; lower "
+              "selectivity -> higher throughput on both");
+
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  cpu::CpuSelectModel cpu_model;
+
+  const std::vector<double> selectivities = {0.10, 0.50, 0.90};
+  TablePrinter table({"Elements", "GPU 10%", "GPU 50%", "GPU 90%", "CPU 10%",
+                      "CPU 50%", "CPU 90%"});
+  std::map<double, double> speedup_sum;
+  int rows = 0;
+  for (std::uint64_t n : PaperSweep()) {
+    std::vector<std::string> row{Millions(n)};
+    std::map<double, double> gpu;
+    for (double s : selectivities) {
+      core::SelectChain chain = core::MakeSelectChain(n, std::vector<double>{s});
+      const auto report = RunChain(executor, chain, core::Strategy::kSerial);
+      // PCIe excluded, as in the paper's figure: kernel time only.
+      gpu[s] = ThroughputGBs(chain.input_bytes(), report.compute_time);
+      row.push_back(TablePrinter::Num(gpu[s], 2));
+    }
+    for (double s : selectivities) {
+      const double cpu_gbs = cpu_model.ThroughputGBs(n, s);
+      row.push_back(TablePrinter::Num(cpu_gbs, 2));
+      speedup_sum[s] += gpu[s] / cpu_gbs;
+    }
+    table.AddRow(std::move(row));
+    ++rows;
+  }
+  table.Print();
+  std::cout << "\n(all columns in GB/s of input data)\n";
+  for (double s : selectivities) {
+    PrintSummaryLine("average GPU/CPU speedup at " +
+                     TablePrinter::Num(s * 100, 0) + "%: " +
+                     TablePrinter::Num(speedup_sum[s] / rows, 2) +
+                     "x (paper: " +
+                     (s == 0.10 ? "2.88x" : s == 0.50 ? "8.80x" : "8.35x") + ")");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig 8 — two back-to-back 50% SELECTs: (a) end-to-end throughput of
+// with-round-trip / without-round-trip / fused; (b) compute-only comparison.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kf;
+  using namespace kf::bench;
+  using core::IntermediatePolicy;
+  using core::Strategy;
+  PrintHeader("Fig 8: kernel fusion on back-to-back SELECTs",
+              "paper: fused +49.9% over with-round-trip, +6.2% over "
+              "without-round-trip; compute-only +79.9%");
+
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+
+  TablePrinter table({"Elements", "w/ round trip", "w/o round trip", "fused",
+                      "fused/wRT", "fused/woRT"});
+  double gain_wrt = 0, gain_wort = 0, compute_gain = 0;
+  int rows = 0;
+  for (std::uint64_t n : PaperSweep()) {
+    core::SelectChain chain = core::MakeSelectChain(n, std::vector<double>{0.5, 0.5});
+    const auto with_rt =
+        RunChain(executor, chain, Strategy::kSerial,
+                 IntermediatePolicy::kRoundTrip, 12, sim::HostMemoryKind::kPageable);
+    const auto without_rt = RunChain(executor, chain, Strategy::kSerial,
+                 core::IntermediatePolicy::kKeepOnDevice, 12,
+                 sim::HostMemoryKind::kPageable);
+    const auto fused = RunChain(executor, chain, Strategy::kFused,
+                 core::IntermediatePolicy::kKeepOnDevice, 12,
+                 sim::HostMemoryKind::kPageable);
+    const double t_wrt = ChainThroughput(with_rt, chain);
+    const double t_wort = ChainThroughput(without_rt, chain);
+    const double t_fused = ChainThroughput(fused, chain);
+    table.AddRow({Millions(n), TablePrinter::Num(t_wrt, 3),
+                  TablePrinter::Num(t_wort, 3), TablePrinter::Num(t_fused, 3),
+                  TablePrinter::Num(t_fused / t_wrt, 2) + "x",
+                  TablePrinter::Num(t_fused / t_wort, 3) + "x"});
+    gain_wrt += t_fused / t_wrt;
+    gain_wort += t_fused / t_wort;
+    compute_gain += without_rt.compute_time / fused.compute_time;
+    ++rows;
+  }
+  table.Print();
+  std::cout << "\n(throughput in GB/s of input; PCIe included)\n";
+  PrintSummaryLine("fused vs with-round-trip: avg +" +
+                   TablePrinter::Num((gain_wrt / rows - 1) * 100, 1) +
+                   "% (paper: +49.9%)");
+  PrintSummaryLine("fused vs without-round-trip: avg +" +
+                   TablePrinter::Num((gain_wort / rows - 1) * 100, 1) +
+                   "% (paper: +6.2%)");
+  PrintSummaryLine("Fig 8(b) compute-only: fused " +
+                   TablePrinter::Num((compute_gain / rows - 1) * 100, 1) +
+                   "% better (paper: +79.9%)");
+  return 0;
+}

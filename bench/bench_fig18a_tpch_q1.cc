@@ -1,0 +1,116 @@
+// Fig 18(a) — TPC-H Q1: not optimized vs fusion vs fusion+fission, plus the
+// fused-block-only speedup the paper quotes (3.18x over SELECT + 6 JOINs).
+#include "bench/bench_util.h"
+#include "tpch/q1.h"
+
+int main() {
+  using namespace kf;
+  using namespace kf::bench;
+  using core::Strategy;
+  PrintHeader("Fig 18(a): TPC-H Q1",
+              "paper: fusion 1.25x, fission another ~1%, 26.5% total; fused "
+              "SELECT+6-JOIN block alone 3.18x; SORT ~71% of baseline time");
+
+  // Functional pilot at a tractable size; production scale modeled by
+  // scaling the realized per-node cardinalities to ~6M lineitems (TPC-H SF1).
+  tpch::TpchConfig config;
+  config.order_count = 20000;
+  config.supplier_count = 500;
+  const tpch::TpchData data = MakeTpchData(config);
+  tpch::QueryPlan plan = BuildQ1Plan(data);
+  const double factor = 6'000'000.0 / static_cast<double>(data.lineitem.row_count());
+  const auto rows = ScaledRowCounts(plan.graph, plan.sources, factor);
+
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  auto run = [&](Strategy strategy) {
+    core::ExecutorOptions options;
+    options.strategy = strategy;
+    options.fusion.register_budget = 63;
+    return executor.EstimateOnly(plan.graph, rows, options);
+  };
+  const auto serial = run(Strategy::kSerial);
+  const auto fused = run(Strategy::kFused);
+  const auto both = run(Strategy::kFusedFission);
+
+  TablePrinter table({"Variant", "Normalized time", "Compute", "PCIe", "Launches"});
+  auto add = [&](const char* name, const core::ExecutionReport& r) {
+    table.AddRow({name, TablePrinter::Num(r.makespan / serial.makespan, 3),
+                  FormatTime(r.compute_time),
+                  FormatTime(r.input_output_time + r.round_trip_time),
+                  std::to_string(r.kernel_launches)});
+  };
+  add("Not optimized", serial);
+  add("Fusion", fused);
+  add("Fusion + Fission", both);
+  table.Print();
+
+  PrintSummaryLine("fusion speedup: " +
+                   TablePrinter::Num(serial.makespan / fused.makespan, 2) +
+                   "x (paper: 1.25x)");
+  PrintSummaryLine("fusion+fission total improvement: " +
+                   TablePrinter::Num((1 - both.makespan / serial.makespan) * 100, 1) +
+                   "% (paper: 26.5%)");
+
+  // The fusable block alone: SELECT + 6 JOINs (cluster 0), serial vs fused
+  // kernel times.
+  core::FusionOptions fusion_options;
+  fusion_options.register_budget = 63;
+  const core::FusionPlan fusion_plan = PlanFusion(plan.graph, fusion_options);
+  core::OperatorCostModel cost_model;
+  const sim::KernelCostModel& kernel_model = device.cost_model();
+  const core::FusionCluster& block = fusion_plan.clusters[0];
+  std::vector<core::RealizedSizes> member_sizes;
+  double unfused_block = 0;
+  for (core::NodeId id : block.nodes) {
+    const core::OpNode& node = plan.graph.node(id);
+    core::RealizedSizes sizes;
+    sizes.input_rows = rows.at(node.inputs[0]);
+    sizes.input_row_bytes = plan.graph.node(node.inputs[0]).schema.row_width_bytes();
+    sizes.output_rows = rows.at(id);
+    sizes.output_row_bytes = node.schema.row_width_bytes();
+    if (node.inputs.size() > 1) {
+      sizes.build_bytes = rows.at(node.inputs[1]) *
+                          plan.graph.node(node.inputs[1]).schema.row_width_bytes();
+    }
+    member_sizes.push_back(sizes);
+    for (const auto& p : cost_model.UnfusedProfiles(node, sizes)) {
+      unfused_block += kernel_model.Cost(p).solo_duration;
+    }
+  }
+  double fused_block = 0;
+  for (const auto& p :
+       cost_model.FusedProfiles(plan.graph, block, member_sizes)) {
+    fused_block += kernel_model.Cost(p).solo_duration;
+  }
+  PrintSummaryLine("fused SELECT+6-JOIN block alone: " +
+                   TablePrinter::Num(unfused_block / fused_block, 2) +
+                   "x (paper: 3.18x)");
+
+  // How much of the baseline is the unfusable SORT?
+  double sort_time = 0;
+  for (core::NodeId id : plan.graph.TopologicalOrder()) {
+    const core::OpNode& node = plan.graph.node(id);
+    if (node.is_source || node.desc.kind != relational::OpKind::kSort) continue;
+    core::RealizedSizes sizes;
+    sizes.input_rows = rows.at(node.inputs[0]);
+    sizes.input_row_bytes = plan.graph.node(node.inputs[0]).schema.row_width_bytes();
+    sizes.output_rows = rows.at(id);
+    sizes.output_row_bytes = node.schema.row_width_bytes();
+    for (const auto& p : cost_model.UnfusedProfiles(node, sizes)) {
+      sort_time += kernel_model.Cost(p).solo_duration;
+    }
+  }
+  PrintSummaryLine("SORT share of baseline compute: " +
+                   TablePrinter::Num(100 * sort_time / serial.compute_time, 1) +
+                   "% (paper: ~71% of total execution)");
+
+  std::cout << "\nper-block compute breakdown (fused plan):\n";
+  TablePrinter blocks({"Block", "Fused", "Compute", "Launches"});
+  for (const auto& timing : fused.cluster_timings) {
+    blocks.AddRow({timing.label, timing.fused ? "yes" : "no",
+                   FormatTime(timing.compute), std::to_string(timing.launches)});
+  }
+  blocks.Print();
+  return 0;
+}

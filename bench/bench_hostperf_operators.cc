@@ -1,0 +1,163 @@
+// Wall-clock microbenchmarks (google-benchmark) of the host-side functional
+// substrate on THIS machine: the staged SELECT kernels, fused vs unfused
+// chains, the CPU comparator, and the fused row pipeline. These are sanity
+// checks that the functional layer is itself reasonable code — the paper's
+// figures come from the simulated device, not from these timings.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/fused_pipeline.h"
+#include "core/select_chain.h"
+#include "cpu/cpu_select.h"
+#include "relational/compression.h"
+#include "relational/staged_aggregate.h"
+#include "relational/staged_join.h"
+#include "relational/staged_kernel.h"
+#include "relational/staged_sort.h"
+
+namespace {
+
+using namespace kf;
+
+std::vector<std::int32_t> MakeData(std::size_t n) {
+  Rng rng(7);
+  std::vector<std::int32_t> data(n);
+  for (auto& v : data) v = static_cast<std::int32_t>(rng.UniformInt(0, 1 << 30));
+  return data;
+}
+
+void BM_StagedSelect(benchmark::State& state) {
+  const auto data = MakeData(static_cast<std::size_t>(state.range(0)));
+  const auto pred = [](std::int32_t v) { return v < (1 << 29); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::StagedSelect(data, pred, 64));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_StagedSelect)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_StagedSelectChainUnfused(benchmark::State& state) {
+  const auto data = MakeData(1 << 20);
+  const std::vector<relational::Int32Predicate> predicates = {
+      [](std::int32_t v) { return v < (1 << 29); },
+      [](std::int32_t v) { return v < (1 << 28); },
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        relational::StagedSelectChainUnfused(data, predicates, 64));
+  }
+}
+BENCHMARK(BM_StagedSelectChainUnfused);
+
+void BM_StagedSelectChainFused(benchmark::State& state) {
+  const auto data = MakeData(1 << 20);
+  const std::vector<relational::Int32Predicate> predicates = {
+      [](std::int32_t v) { return v < (1 << 29); },
+      [](std::int32_t v) { return v < (1 << 28); },
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::StagedSelectChainFused(data, predicates, 64));
+  }
+}
+BENCHMARK(BM_StagedSelectChainFused);
+
+void BM_CpuSelect(benchmark::State& state) {
+  const auto data = MakeData(1 << 20);
+  ThreadPool pool(4);
+  const auto pred = [](std::int32_t v) { return v < (1 << 29); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu::CpuSelect(data, pred, &pool));
+  }
+}
+BENCHMARK(BM_CpuSelect);
+
+void BM_FusedPipelineSelectChain(benchmark::State& state) {
+  core::SelectChain chain =
+      core::MakeSelectChain(1 << 18, std::vector<double>{0.5, 0.5});
+  const relational::Table data = core::MakeUniformInt32Table(1 << 18);
+  const core::FusionPlan plan = PlanFusion(chain.graph);
+  auto lookup = [&](core::NodeId) -> const relational::Table& { return data; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ExecuteCluster(chain.graph, plan.clusters[0], lookup, 64));
+  }
+}
+BENCHMARK(BM_FusedPipelineSelectChain);
+
+void BM_StagedRadixSort(benchmark::State& state) {
+  const auto data = MakeData(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::StagedRadixSort(data, 64));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_StagedRadixSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StagedRadixArgsort(benchmark::State& state) {
+  const auto data = MakeData(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::StagedRadixArgsort(data, 64));
+  }
+}
+BENCHMARK(BM_StagedRadixArgsort);
+
+void BM_StagedHashJoin(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<relational::JoinPair> left(1 << 18), right(1 << 14);
+  for (auto& p : left) {
+    p.key = rng.UniformInt(0, 1 << 14);
+    p.value = rng.UniformInt(0, 100);
+  }
+  for (auto& p : right) {
+    p.key = rng.UniformInt(0, 1 << 14);
+    p.value = rng.UniformInt(0, 100);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::StagedHashJoin(left, right, 64));
+  }
+}
+BENCHMARK(BM_StagedHashJoin);
+
+void BM_StagedGroupedAggregate(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<relational::AggregateInput> input(1 << 20);
+  for (auto& in : input) {
+    in.group = rng.UniformInt(0, 63);
+    in.value = rng.UniformDouble(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::StagedGroupedAggregate(input, 64));
+  }
+}
+BENCHMARK(BM_StagedGroupedAggregate);
+
+void BM_CompressBitPack(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::int32_t> values(1 << 20);
+  for (auto& v : values) v = static_cast<std::int32_t>(rng.UniformInt(1, 50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::CompressedInt32::Compress(values));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()) * 4);
+}
+BENCHMARK(BM_CompressBitPack);
+
+void BM_DecompressBitPack(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::int32_t> values(1 << 20);
+  for (auto& v : values) v = static_cast<std::int32_t>(rng.UniformInt(1, 50));
+  const auto compressed = relational::CompressedInt32::Compress(values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compressed.Decompress());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()) * 4);
+}
+BENCHMARK(BM_DecompressBitPack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

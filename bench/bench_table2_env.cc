@@ -1,0 +1,36 @@
+// Table II — the experiment environment. Prints the simulated machine's
+// configuration so every other harness's numbers can be interpreted.
+#include "bench/bench_util.h"
+#include "sim/device_simulator.h"
+
+int main() {
+  using namespace kf;
+  using namespace kf::bench;
+  sim::DeviceSimulator device;
+  const sim::DeviceSpec& spec = device.spec();
+  PrintHeader("Table II: Experiment Environment", "paper Table II");
+
+  TablePrinter table({"Component", "Paper testbed", "This simulation"});
+  table.AddRow({"CPU", "2x quad-core Xeon E5520 @ 2.27GHz",
+                std::to_string(spec.host_cores) + " cores / " +
+                    std::to_string(spec.host_threads) + " threads (modeled)"});
+  table.AddRow({"Host memory", "48 GB", FormatBytes(spec.host_mem_capacity_bytes)});
+  table.AddRow({"GPU", "1x Tesla C2070 (6GB GDDR5)", spec.name});
+  table.AddRow({"GPU SMs x cores",
+                "14 x 32 @ 1.15 GHz",
+                std::to_string(spec.sm_count) + " x " + std::to_string(spec.cores_per_sm) +
+                    " @ " + TablePrinter::Num(spec.clock_ghz, 2) + " GHz"});
+  table.AddRow({"GPU memory", "6 GB", FormatBytes(spec.mem_capacity_bytes)});
+  table.AddRow({"GPU mem bandwidth", "144 GB/s peak",
+                TablePrinter::Num(spec.mem_bandwidth_gbs, 0) + " GB/s peak, " +
+                    TablePrinter::Num(spec.sustained_mem_bytes_per_second() / kGB, 1) +
+                    " GB/s sustained"});
+  table.AddRow({"Copy engines", "2 (H2D + D2H overlap compute)",
+                std::to_string(spec.copy_engine_count)});
+  table.AddRow({"PCIe", "2.0 x16 (8 GB/s theoretical)",
+                "modeled, see bench_fig04b_pcie_bandwidth"});
+  table.AddRow({"OS / toolchain", "Ubuntu 10.04, GCC 4.4.3, NVCC 4.0",
+                "simulated device, C++20 host build"});
+  table.Print();
+  return 0;
+}

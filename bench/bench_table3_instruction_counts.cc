@@ -1,0 +1,60 @@
+// Table III — PTX-style instruction counts of the two-threshold filter,
+// separate vs fused, unoptimized (-O0) vs optimized (-O3), measured over the
+// mini IR with the real optimizer pipeline.
+#include "bench/bench_util.h"
+#include "core/expr_lower.h"
+#include "ir/kernel_gen.h"
+#include "ir/passes.h"
+
+int main() {
+  using namespace kf;
+  using namespace kf::bench;
+  using relational::Expr;
+  PrintHeader("Table III: impact of kernel fusion on compiler optimization",
+              "paper: unfused 5x2 -> 3x2 (-40%), fused 10 -> 3 (-70%)");
+
+  // Direct kernel generation (the paper's illustrative example).
+  ir::Function k1 = ir::BuildSelectKernel("k1", {ir::CompareKind::kLt, 1000});
+  ir::Function k2 = ir::BuildSelectKernel("k2", {ir::CompareKind::kLt, 500});
+  ir::Function fused = ir::BuildFusedSelectKernel(
+      "fused", {{ir::CompareKind::kLt, 1000}, {ir::CompareKind::kLt, 500}});
+  const std::size_t unfused_o0 = k1.InstructionCount() + k2.InstructionCount();
+  const std::size_t fused_o0 = fused.InstructionCount();
+  ir::OptimizeO3(k1);
+  ir::OptimizeO3(k2);
+  ir::OptimizeO3(fused);
+  const std::size_t unfused_o3 = k1.InstructionCount() + k2.InstructionCount();
+  const std::size_t fused_o3 = fused.InstructionCount();
+
+  TablePrinter table({"Statement", "Inst# (O0)", "Inst# (O3)", "Reduction"});
+  auto reduction = [](std::size_t before, std::size_t after) {
+    return TablePrinter::Num(
+               100.0 * (1.0 - static_cast<double>(after) / static_cast<double>(before)),
+               0) + "%";
+  };
+  table.AddRow({"if(d<T1); if(d<T2)   [2 kernels]", std::to_string(unfused_o0),
+                std::to_string(unfused_o3), reduction(unfused_o0, unfused_o3)});
+  table.AddRow({"if(d<T1 && d<T2)     [fused]", std::to_string(fused_o0),
+                std::to_string(fused_o3), reduction(fused_o0, fused_o3)});
+  table.Print();
+
+  std::cout << "\nOptimized fused kernel body:\n" << fused.ToString();
+
+  // The same experiment through the relational-expression lowering path
+  // (what the compiler described in Section III-C would emit).
+  const std::vector<Expr> predicates = {
+      Expr::Lt(Expr::FieldRef(0), Expr::Lit(1000)),
+      Expr::Lt(Expr::FieldRef(0), Expr::Lit(500)),
+  };
+  ir::Function lowered =
+      core::LowerFusedSelectFilters("fused_from_expr", predicates);
+  const std::size_t lowered_o0 = lowered.InstructionCount();
+  ir::OptimizeO3(lowered);
+  PrintSummaryLine("Expr-lowered fused filter: " + std::to_string(lowered_o0) +
+                   " -> " + std::to_string(lowered.InstructionCount()) +
+                   " instructions under O3");
+  PrintSummaryLine("fusion enlarges the optimizer's payoff (" +
+                   reduction(fused_o0, fused_o3) + " vs " +
+                   reduction(unfused_o0, unfused_o3) + "), as in the paper");
+  return 0;
+}

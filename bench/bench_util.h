@@ -1,0 +1,110 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Every harness prints the same rows/series the corresponding paper table or
+// figure reports, computed from the simulated device (see DESIGN.md §6 for
+// the timing methodology). Headline comparisons against the paper's numbers
+// are summarized at the end of each binary and collected in EXPERIMENTS.md.
+#ifndef KF_BENCH_BENCH_UTIL_H_
+#define KF_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/query_executor.h"
+#include "core/select_chain.h"
+
+namespace kf::bench {
+
+// The element-count sweep the paper uses for the in-memory experiments
+// (Figs 4, 8, 11, 12): tens to hundreds of millions of 32-bit integers.
+inline std::vector<std::uint64_t> PaperSweep() {
+  return {4'194'304, 33'554'432, 104'857'600, 205'520'896, 415'236'096};
+}
+
+// The large-data sweep for the fission experiments (Figs 14, 16): 0.5-4
+// billion elements, beyond the 6 GB device memory.
+inline std::vector<std::uint64_t> LargeSweep() {
+  return {500'000'000, 1'000'000'000, 2'000'000'000, 3'000'000'000, 4'000'000'000};
+}
+
+inline std::string Millions(std::uint64_t elements) {
+  return TablePrinter::Num(static_cast<double>(elements) / 1e6, 1) + "M";
+}
+
+// Runs a select chain in timing-only mode and returns the report.
+inline core::ExecutionReport RunChain(
+    const core::QueryExecutor& executor, const core::SelectChain& chain,
+    core::Strategy strategy,
+    core::IntermediatePolicy policy = core::IntermediatePolicy::kKeepOnDevice,
+    int fission_segments = 12,
+    sim::HostMemoryKind host_memory = sim::HostMemoryKind::kPinned) {
+  core::ExecutorOptions options;
+  options.strategy = strategy;
+  options.intermediates = policy;
+  options.fission_segments = fission_segments;
+  options.host_memory = host_memory;
+  return executor.EstimateOnly(chain.graph, chain.expected_rows, options);
+}
+
+inline double ChainThroughput(const core::ExecutionReport& report,
+                              const core::SelectChain& chain) {
+  return report.ThroughputGBs(chain.input_bytes());
+}
+
+// Realized per-node row counts from a small functional run, scaled by
+// `factor` to model a production-sized data set. Aggregations whose group
+// count is bounded (e.g. Q1's 6 flag/status groups) keep their realized
+// cardinality; aggregations keyed by scaling attributes (e.g. per-order
+// counts) scale with the input.
+inline std::map<core::NodeId, std::uint64_t> ScaledRowCounts(
+    const core::OpGraph& graph,
+    const std::map<core::NodeId, relational::Table>& sources, double factor) {
+  std::map<core::NodeId, relational::Table> computed;
+  std::map<core::NodeId, std::uint64_t> rows;
+  auto table_of = [&](core::NodeId id) -> const relational::Table& {
+    auto it = sources.find(id);
+    return it != sources.end() ? it->second : computed.at(id);
+  };
+  for (core::NodeId id : graph.TopologicalOrder()) {
+    const core::OpNode& node = graph.node(id);
+    std::uint64_t realized = 0;
+    if (node.is_source) {
+      realized = sources.at(id).row_count();
+    } else {
+      const relational::Table& left = table_of(node.inputs[0]);
+      const relational::Table* right =
+          node.inputs.size() > 1 ? &table_of(node.inputs[1]) : nullptr;
+      relational::Table out = relational::ApplyOperator(node.desc, left, right);
+      realized = out.row_count();
+      computed.emplace(id, std::move(out));
+    }
+    const bool bounded_groups =
+        node.desc.kind == relational::OpKind::kAggregate && realized <= 64;
+    const bool downstream_of_bounded =
+        !node.is_source && !node.inputs.empty() &&
+        rows.count(node.inputs[0]) != 0 &&
+        rows.at(node.inputs[0]) <= 64 && realized <= 64;
+    rows[id] = (bounded_groups || downstream_of_bounded)
+                   ? realized
+                   : static_cast<std::uint64_t>(static_cast<double>(realized) * factor);
+  }
+  return rows;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "Reproduces: " << paper_ref << "\n\n";
+}
+
+inline void PrintSummaryLine(const std::string& line) {
+  std::cout << "  -> " << line << "\n";
+}
+
+}  // namespace kf::bench
+
+#endif  // KF_BENCH_BENCH_UTIL_H_

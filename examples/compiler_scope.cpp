@@ -1,0 +1,67 @@
+// The compiler's view of kernel fusion (paper Table III / Fig 7(f)):
+// lowering SELECT filters to the mini PTX-like IR, printing the bodies
+// before and after the -O3 pipeline, separately and fused — and running
+// both through the IR interpreter to show they compute the same thing.
+//
+// Build & run:  ./build/examples/compiler_scope
+#include <iostream>
+
+#include "core/expr_lower.h"
+#include "ir/interpreter.h"
+#include "ir/kernel_gen.h"
+#include "ir/liveness.h"
+#include "ir/passes.h"
+
+int main() {
+  using namespace kf;
+  using ir::CompareKind;
+  using ir::FilterStep;
+
+  std::cout << "Two SELECT kernels: keep d < 1000, then keep d < 500.\n\n";
+
+  ir::Function k1 = ir::BuildSelectKernel("select_k1", FilterStep{CompareKind::kLt, 1000});
+  ir::Function k2 = ir::BuildSelectKernel("select_k2", FilterStep{CompareKind::kLt, 500});
+  ir::Function fused = ir::BuildFusedSelectKernel(
+      "fused", {{CompareKind::kLt, 1000}, {CompareKind::kLt, 500}});
+
+  std::cout << "--- unoptimized fused kernel (what source-level fusion emits) ---\n"
+            << fused.ToString() << "\n"
+            << "instructions: " << fused.InstructionCount()
+            << ", peak register pressure: " << ir::MaxRegisterPressure(fused)
+            << "\n\n";
+
+  const std::size_t unfused_o0 = k1.InstructionCount() + k2.InstructionCount();
+  ir::OptimizeO3(k1);
+  ir::OptimizeO3(k2);
+  const std::size_t unfused_o3 = k1.InstructionCount() + k2.InstructionCount();
+  const std::size_t fused_o0 = fused.InstructionCount();
+  ir::OptimizeO3(fused);
+
+  std::cout << "--- optimized fused kernel ---\n" << fused.ToString() << "\n";
+  std::cout << "Table III:\n"
+            << "  separate kernels: " << unfused_o0 << " -> " << unfused_o3
+            << " instructions under O3\n"
+            << "  fused kernel:     " << fused_o0 << " -> "
+            << fused.InstructionCount() << " instructions under O3\n"
+            << "  (the two comparisons collapsed into one: d < 500)\n\n";
+
+  // Prove semantics held, via the interpreter.
+  int agree = 0;
+  for (std::int64_t d = 0; d < 1500; d += 25) {
+    ir::SlotState in;
+    in.ints["in"] = d;
+    ir::SlotState chained = in;
+    // Unfused: k1 writes its survivors to "out"; feed those to k2.
+    const ir::SlotState after_k1 = Interpret(k1, chained).slots;
+    ir::SlotState k2_in;
+    bool passed_k1 = after_k1.ints.count("out") != 0;
+    if (passed_k1) k2_in.ints["in"] = after_k1.ints.at("out");
+    const bool unfused_keeps =
+        passed_k1 && Interpret(k2, k2_in).slots.ints.count("out") != 0;
+    const bool fused_keeps = Interpret(fused, in).slots.ints.count("out") != 0;
+    if (unfused_keeps == fused_keeps) ++agree;
+  }
+  std::cout << "interpreter agreement over 60 probe values: " << agree
+            << "/60\n";
+  return 0;
+}

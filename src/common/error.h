@@ -1,0 +1,52 @@
+// Error handling primitives for the kernel-fusion library.
+//
+// The library follows the C++ Core Guidelines: exceptions for errors that the
+// immediate caller cannot handle, assert-style macros for programming errors.
+// `kf::Error` is the single exception type thrown by the library; `KF_REQUIRE`
+// validates user-facing preconditions and internal invariants (always on).
+#ifndef KF_COMMON_ERROR_H_
+#define KF_COMMON_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kf {
+
+// The exception type thrown for all recoverable library errors (bad arguments,
+// capacity exhaustion, malformed plans). Carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+// Helper that throws when it goes out of scope at the end of the full
+// expression, after the failure message has been streamed in.
+class ThrowOnExit {
+ public:
+  ThrowOnExit(const char* file, int line, const char* cond) {
+    stream_ << file << ":" << line << ": check failed: " << cond << " ";
+  }
+  ThrowOnExit(const ThrowOnExit&) = delete;
+  ThrowOnExit& operator=(const ThrowOnExit&) = delete;
+  ~ThrowOnExit() noexcept(false) { throw Error(stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace kf
+
+// Precondition/invariant check that stays on in release builds. Usage:
+//   KF_REQUIRE(n > 0) << "element count must be positive, got " << n;
+#define KF_REQUIRE(cond)  \
+  if (cond) {             \
+  } else                  \
+    ::kf::detail::ThrowOnExit(__FILE__, __LINE__, #cond).stream()
+
+#endif  // KF_COMMON_ERROR_H_

@@ -1,0 +1,35 @@
+// Prefix-sum (scan) helpers.
+//
+// The gather stage of every staged RA kernel positions each CTA's buffered
+// results with an exclusive scan over per-CTA match counts — the same global
+// synchronization structure the paper's SELECT uses between its filter and
+// gather CUDA kernels.
+#ifndef KF_COMMON_PREFIX_SUM_H_
+#define KF_COMMON_PREFIX_SUM_H_
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace kf {
+
+// Returns the exclusive prefix sum of `counts` plus one trailing element
+// holding the grand total, i.e. result[i] is the output offset of chunk i and
+// result.back() is the total output size.
+template <typename T>
+std::vector<T> ExclusiveScanWithTotal(std::span<const T> counts) {
+  std::vector<T> offsets(counts.size() + 1);
+  offsets[0] = T{};
+  std::inclusive_scan(counts.begin(), counts.end(), offsets.begin() + 1);
+  return offsets;
+}
+
+template <typename T>
+std::vector<T> ExclusiveScanWithTotal(const std::vector<T>& counts) {
+  return ExclusiveScanWithTotal(std::span<const T>(counts));
+}
+
+}  // namespace kf
+
+#endif  // KF_COMMON_PREFIX_SUM_H_

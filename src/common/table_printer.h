@@ -1,0 +1,61 @@
+// Aligned plain-text table output for the benchmark harnesses.
+//
+// Every per-figure bench prints the same rows/series the paper reports; this
+// helper keeps that output readable and uniform across binaries.
+#ifndef KF_COMMON_TABLE_PRINTER_H_
+#define KF_COMMON_TABLE_PRINTER_H_
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  // Append a row; each cell is already formatted.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Convenience: format a double with fixed precision.
+  static std::string Num(double value, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(os, header_, widths);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) PrintRow(os, row, widths);
+  }
+
+ private:
+  static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << row[c] << "  ";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kf
+
+#endif  // KF_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace kf {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  // Help drain the queue so that a ParallelFor issued from inside a worker
+  // (nested parallelism) cannot deadlock waiting for itself.
+  std::unique_lock lock(mutex_);
+  while (in_flight_ != 0) {
+    if (!queue_.empty()) {
+      auto task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      if (--in_flight_ == 0) all_done_.notify_all();
+    } else {
+      all_done_.wait(lock, [this] { return in_flight_ == 0 || !queue_.empty(); });
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t threads = thread_count();
+  if (threads <= 1 || n < 2048) {
+    body(0, n);
+    return;
+  }
+  const std::size_t blocks = std::min(n, threads * 4);
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+  for (std::size_t begin = 0; begin < n; begin += block_size) {
+    const std::size_t end = std::min(n, begin + block_size);
+    Submit([&body, begin, end] { body(begin, end); });
+  }
+  Wait();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace kf

@@ -1,0 +1,59 @@
+// A small work-stealing-free thread pool with a blocking ParallelFor.
+//
+// The pool backs the *functional* execution of staged kernels: each simulated
+// CTA becomes one task. Simulated time never depends on the pool — timing
+// comes from the cost model — so the pool only needs to be correct, not
+// cleverly scheduled.
+#ifndef KF_COMMON_THREAD_POOL_H_
+#define KF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kf {
+
+class ThreadPool {
+ public:
+  // `thread_count == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Enqueue a task; tasks must not throw (exceptions terminate).
+  void Submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void Wait();
+
+  // Run body(i) for i in [0, n), partitioned into roughly 4x-oversubscribed
+  // blocks, and block until done. Executes inline when n is small or the pool
+  // has a single thread.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t begin, std::size_t end)>& body);
+
+  // Process-wide pool for library internals (sized to the machine).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace kf
+
+#endif  // KF_COMMON_THREAD_POOL_H_

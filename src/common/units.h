@@ -1,0 +1,73 @@
+// Unit helpers: byte quantities, simulated time, and human-readable formatting.
+//
+// Simulated time throughout the library is `kf::SimTime`, a double holding
+// seconds. A double keeps the discrete-event arithmetic simple and is precise
+// to well under a nanosecond over the second-scale horizons we simulate.
+#ifndef KF_COMMON_UNITS_H_
+#define KF_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace kf {
+
+// Simulated time in seconds.
+using SimTime = double;
+
+inline constexpr SimTime kMicrosecond = 1e-6;
+inline constexpr SimTime kMillisecond = 1e-3;
+
+inline constexpr std::uint64_t KiB(std::uint64_t n) { return n << 10; }
+inline constexpr std::uint64_t MiB(std::uint64_t n) { return n << 20; }
+inline constexpr std::uint64_t GiB(std::uint64_t n) { return n << 30; }
+
+// The paper reports bandwidth in decimal GB/s; keep both spellings explicit.
+inline constexpr double kGB = 1e9;
+
+// Throughput in GB/s given bytes moved over a simulated duration.
+inline double ThroughputGBs(std::uint64_t bytes, SimTime seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / kGB / seconds : 0.0;
+}
+
+// "1.234 GB/s" style formatting used by the benchmark harnesses.
+inline std::string FormatGBs(double gbs, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << gbs << " GB/s";
+  return os.str();
+}
+
+// "12.34 ms" style formatting with automatic unit choice.
+inline std::string FormatTime(SimTime seconds, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  if (seconds >= 1.0) {
+    os << seconds << " s";
+  } else if (seconds >= 1e-3) {
+    os << seconds * 1e3 << " ms";
+  } else {
+    os << seconds * 1e6 << " us";
+  }
+  return os.str();
+}
+
+// "1.50 GB" style byte-count formatting.
+inline std::string FormatBytes(std::uint64_t bytes, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  if (bytes >= GiB(1)) {
+    os << static_cast<double>(bytes) / static_cast<double>(GiB(1)) << " GiB";
+  } else if (bytes >= MiB(1)) {
+    os << static_cast<double>(bytes) / static_cast<double>(MiB(1)) << " MiB";
+  } else if (bytes >= KiB(1)) {
+    os << static_cast<double>(bytes) / static_cast<double>(KiB(1)) << " KiB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace kf
+
+#endif  // KF_COMMON_UNITS_H_

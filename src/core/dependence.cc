@@ -1,0 +1,82 @@
+#include "core/dependence.h"
+
+#include <algorithm>
+
+namespace kf::core {
+
+using relational::OpKind;
+
+const char* ToString(FusionClass c) {
+  switch (c) {
+    case FusionClass::kElementwise: return "elementwise";
+    case FusionClass::kBroadcastProbe: return "broadcast-probe";
+    case FusionClass::kReduction: return "reduction";
+    case FusionClass::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+FusionClass Classify(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSelect:
+    case OpKind::kProject:
+    case OpKind::kArith:
+      return FusionClass::kElementwise;
+    case OpKind::kJoin:
+    case OpKind::kProduct:
+      return FusionClass::kBroadcastProbe;
+    case OpKind::kAggregate:
+      return FusionClass::kReduction;
+    case OpKind::kSort:
+    case OpKind::kUnique:
+    case OpKind::kUnion:
+    case OpKind::kIntersect:
+    case OpKind::kDifference:
+      return FusionClass::kBarrier;
+  }
+  return FusionClass::kBarrier;
+}
+
+bool CanFuseEdge(const relational::OperatorDesc& consumer, int input_index) {
+  switch (Classify(consumer.kind)) {
+    case FusionClass::kElementwise:
+    case FusionClass::kReduction:
+      return input_index == 0;
+    case FusionClass::kBroadcastProbe:
+      // Only the probe (left) input streams; the build side must be
+      // materialized before the fused kernel launches.
+      return input_index == 0;
+    case FusionClass::kBarrier:
+      return false;
+  }
+  return false;
+}
+
+int RegisterDemand(const OpGraph& graph, const OpNode& node) {
+  using relational::ExprRegisters;
+  if (node.is_source) return 0;
+  const relational::OperatorDesc& desc = node.desc;
+  switch (desc.kind) {
+    case OpKind::kSelect:
+      return ExprRegisters(desc.predicate) + 1;
+    case OpKind::kArith:
+      return ExprRegisters(desc.arith) + 1;
+    case OpKind::kProject:
+      return static_cast<int>(desc.fields.size());
+    case OpKind::kJoin:
+    case OpKind::kProduct: {
+      // Probe cursor + the fields the right side appends to the live row.
+      const auto in_fields =
+          static_cast<int>(graph.node(node.inputs[0]).schema.field_count());
+      const auto out_fields = static_cast<int>(node.schema.field_count());
+      return 2 + std::max(1, out_fields - in_fields);
+    }
+    case OpKind::kAggregate:
+      // One accumulator per aggregate plus the group key.
+      return static_cast<int>(desc.aggregates.size() + desc.group_by.size()) + 1;
+    default:
+      return 4;
+  }
+}
+
+}  // namespace kf::core

@@ -1,0 +1,52 @@
+// Dependence classification for kernel fusion (paper Section III-C).
+//
+// The paper distinguishes two kinds of inter-kernel dependence:
+//   (i)  each output element of the consumer depends on one element of the
+//        producer's output — the dependence decomposes to scalars and the
+//        kernels fuse directly (SELECT chains, ARITH, PROJECT);
+//   (ii) the consumer needs the *entire* producer output first. Domain
+//        knowledge splits this class: JOIN-after-JOIN fuses (the probe side
+//        streams while the build side is materialized), while SORT and
+//        UNIQUE are true barriers ("SORT and UNIQUE cannot be fused with any
+//        other operators").
+#ifndef KF_CORE_DEPENDENCE_H_
+#define KF_CORE_DEPENDENCE_H_
+
+#include "core/op_graph.h"
+#include "relational/operators.h"
+
+namespace kf::core {
+
+enum class FusionClass : std::uint8_t {
+  // One output element per input element (possibly dropped): SELECT,
+  // PROJECT, ARITH. Fuses on its single input.
+  kElementwise,
+  // Streams its probe (left) input elementwise once the build (right) input
+  // is materialized: JOIN, PRODUCT. Fuses along the left edge only.
+  kBroadcastProbe,
+  // Consumes its input elementwise into per-chunk partial results combined
+  // at the gather: AGGREGATION. Fuses as the *last* stage of a chain.
+  kReduction,
+  // Requires the complete input and global data movement: SORT, UNIQUE, and
+  // the set operators. Never fuses.
+  kBarrier,
+};
+
+const char* ToString(FusionClass c);
+
+FusionClass Classify(relational::OpKind kind);
+
+// True when `consumer` may be fused with the producer of its `input_index`-th
+// input (0 = left/probe). Sources always allow fusion of their consumers
+// (the fused kernel reads the source directly).
+bool CanFuseEdge(const relational::OperatorDesc& consumer, int input_index);
+
+// Rough per-thread register demand an operator adds to a fused kernel; the
+// planner sums these against the device's register budget (the paper's
+// register-pressure cost function). JOIN/PRODUCT charge only the fields they
+// *append* to the streamed row (the probe row is already live).
+int RegisterDemand(const OpGraph& graph, const OpNode& node);
+
+}  // namespace kf::core
+
+#endif  // KF_CORE_DEPENDENCE_H_

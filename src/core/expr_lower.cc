@@ -1,0 +1,195 @@
+#include "core/expr_lower.h"
+
+#include <map>
+
+#include "common/error.h"
+#include "ir/builder.h"
+
+namespace kf::core {
+
+using relational::Expr;
+using relational::ExprOp;
+
+namespace {
+
+// Lowering context: one load per referenced field, cached.
+struct LowerContext {
+  ir::Function* function = nullptr;
+  ir::IrBuilder* builder = nullptr;
+  std::map<int, ir::ValueId> field_slots;   // field index -> kPtr param
+  std::map<int, ir::ValueId> field_loads;   // field index -> loaded register
+};
+
+ir::ValueId FieldSlot(LowerContext& ctx, int field) {
+  auto it = ctx.field_slots.find(field);
+  if (it != ctx.field_slots.end()) return it->second;
+  const ir::ValueId slot =
+      ctx.function->AddParam(ir::Type::kPtr, "f" + std::to_string(field));
+  ctx.field_slots.emplace(field, slot);
+  return slot;
+}
+
+ir::ValueId FieldLoad(LowerContext& ctx, int field) {
+  auto it = ctx.field_loads.find(field);
+  if (it != ctx.field_loads.end()) return it->second;
+  const ir::ValueId reg = ctx.builder->Load(ir::Type::kI32, FieldSlot(ctx, field));
+  ctx.field_loads.emplace(field, reg);
+  return reg;
+}
+
+ir::Opcode ToIrOpcode(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd: return ir::Opcode::kAdd;
+    case ExprOp::kSub: return ir::Opcode::kSub;
+    case ExprOp::kMul: return ir::Opcode::kMul;
+    case ExprOp::kDiv: return ir::Opcode::kDiv;
+    case ExprOp::kLt: return ir::Opcode::kSetLt;
+    case ExprOp::kLe: return ir::Opcode::kSetLe;
+    case ExprOp::kGt: return ir::Opcode::kSetGt;
+    case ExprOp::kGe: return ir::Opcode::kSetGe;
+    case ExprOp::kEq: return ir::Opcode::kSetEq;
+    case ExprOp::kNe: return ir::Opcode::kSetNe;
+    case ExprOp::kAnd: return ir::Opcode::kAnd;
+    case ExprOp::kOr: return ir::Opcode::kOr;
+    case ExprOp::kNot: return ir::Opcode::kNot;
+    default:
+      KF_REQUIRE(false) << "expression op has no IR opcode";
+      return ir::Opcode::kMov;
+  }
+}
+
+ir::ValueId LowerExpr(LowerContext& ctx, const Expr& expr) {
+  switch (expr.op) {
+    case ExprOp::kConst:
+      if (expr.constant.is_float()) {
+        return ctx.function->AddConstFloat(ir::Type::kF64, expr.constant.as_double());
+      }
+      return ctx.function->AddConstInt(ir::Type::kI32, expr.constant.as_int());
+    case ExprOp::kField:
+      return FieldLoad(ctx, expr.field);
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv: {
+      const ir::ValueId lhs = LowerExpr(ctx, expr.children[0]);
+      const ir::ValueId rhs = LowerExpr(ctx, expr.children[1]);
+      return ctx.builder->Binary(ToIrOpcode(expr.op), ir::Type::kI32, lhs, rhs);
+    }
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+    case ExprOp::kEq:
+    case ExprOp::kNe: {
+      const ir::ValueId lhs = LowerExpr(ctx, expr.children[0]);
+      const ir::ValueId rhs = LowerExpr(ctx, expr.children[1]);
+      return ctx.builder->Compare(ToIrOpcode(expr.op), lhs, rhs);
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      const ir::ValueId lhs = LowerExpr(ctx, expr.children[0]);
+      const ir::ValueId rhs = LowerExpr(ctx, expr.children[1]);
+      return ctx.builder->Binary(ToIrOpcode(expr.op), ir::Type::kPred, lhs, rhs);
+    }
+    case ExprOp::kNot:
+      return ctx.builder->NotOf(LowerExpr(ctx, expr.children[0]));
+  }
+  KF_REQUIRE(false) << "unhandled expression op";
+  return ir::kNoValue;
+}
+
+}  // namespace
+
+ir::Function LowerSelectFilter(const std::string& name, const Expr& predicate,
+                               bool materialize_constants) {
+  ir::Function function(name);
+  ir::IrBuilder builder(function, materialize_constants);
+  LowerContext ctx{&function, &builder, {}, {}};
+
+  const ir::BlockId entry = builder.CreateBlock("entry");
+  const ir::BlockId matched = builder.CreateBlock("matched");
+  const ir::BlockId exit = builder.CreateBlock("exit");
+  const ir::ValueId out = function.AddParam(ir::Type::kPtr, "out");
+
+  builder.SetInsertBlock(entry);
+  const ir::ValueId pred = LowerExpr(ctx, predicate);
+  builder.Branch(pred, matched, exit);
+
+  builder.SetInsertBlock(matched);
+  // Store the referenced fields of the matching element (field 0 when the
+  // predicate is constant-only).
+  if (ctx.field_loads.empty()) FieldLoad(ctx, 0);
+  // Loads belong to the entry block; the builder emitted them there already.
+  for (const auto& [field, reg] : ctx.field_loads) {
+    (void)field;
+    builder.Store(out, reg);
+  }
+  builder.Jump(exit);
+
+  builder.SetInsertBlock(exit);
+  builder.Ret();
+  function.Verify();
+  return function;
+}
+
+ir::Function LowerFusedSelectFilters(const std::string& name,
+                                     std::span<const Expr> predicates,
+                                     bool materialize_constants) {
+  KF_REQUIRE(!predicates.empty()) << "no predicates to lower";
+  ir::Function function(name);
+  ir::IrBuilder builder(function, materialize_constants);
+  LowerContext ctx{&function, &builder, {}, {}};
+  const ir::ValueId out = function.AddParam(ir::Type::kPtr, "out");
+
+  const ir::BlockId entry = builder.CreateBlock("entry");
+  std::vector<ir::BlockId> levels;
+  for (std::size_t i = 1; i < predicates.size(); ++i) {
+    levels.push_back(builder.CreateBlock("pass" + std::to_string(i)));
+  }
+  const ir::BlockId matched = builder.CreateBlock("matched");
+  const ir::BlockId exit = builder.CreateBlock("exit");
+
+  builder.SetInsertBlock(entry);
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    const ir::ValueId pred = LowerExpr(ctx, predicates[i]);
+    const ir::BlockId next = i + 1 < predicates.size() ? levels[i] : matched;
+    builder.Branch(pred, next, exit);
+    builder.SetInsertBlock(next);
+  }
+  if (ctx.field_loads.empty()) {
+    // Degenerate constant predicates: still store field 0. The load must
+    // live in the entry block to dominate its use; lower it there.
+    // (Never happens for real chains; kept for robustness.)
+    builder.SetInsertBlock(entry);
+    FieldLoad(ctx, 0);
+    builder.SetInsertBlock(matched);
+  }
+  for (const auto& [field, reg] : ctx.field_loads) {
+    (void)field;
+    builder.Store(out, reg);
+  }
+  builder.Jump(exit);
+
+  builder.SetInsertBlock(exit);
+  builder.Ret();
+  function.Verify();
+  return function;
+}
+
+ir::Function LowerArithMap(const std::string& name, const Expr& expr,
+                           bool materialize_constants) {
+  ir::Function function(name);
+  ir::IrBuilder builder(function, materialize_constants);
+  LowerContext ctx{&function, &builder, {}, {}};
+  const ir::ValueId out = function.AddParam(ir::Type::kPtr, "out");
+
+  const ir::BlockId entry = builder.CreateBlock("entry");
+  builder.SetInsertBlock(entry);
+  const ir::ValueId result = LowerExpr(ctx, expr);
+  builder.Store(out, result);
+  builder.Ret();
+  function.Verify();
+  return function;
+}
+
+}  // namespace kf::core

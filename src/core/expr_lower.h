@@ -1,0 +1,41 @@
+// Lowering relational expressions to the mini kernel IR.
+//
+// This is the compiler path the paper sketches in Section III-C: the fused
+// kernel's compute stage is generated from the operator dependence graph,
+// and classic optimizations then run over the enlarged body. Lowering a
+// SELECT predicate produces the filter stage of Fig 3; lowering a chain
+// produces the fused filter of Fig 6. The Table III benchmark counts
+// instructions over these functions at -O0 and -O3.
+#ifndef KF_CORE_EXPR_LOWER_H_
+#define KF_CORE_EXPR_LOWER_H_
+
+#include <span>
+#include <string>
+
+#include "ir/function.h"
+#include "relational/expr.h"
+
+namespace kf::core {
+
+// Lowers one SELECT filter body: load the referenced fields, evaluate
+// `predicate`, and store the element's fields to the output on success.
+// `materialize_constants` mimics -O0 constant handling.
+ir::Function LowerSelectFilter(const std::string& name,
+                               const relational::Expr& predicate,
+                               bool materialize_constants = true);
+
+// Lowers the *unoptimized fusion* of a chain of SELECT filters: nested
+// guard triangles, one per predicate, with intermediates carried in
+// registers (what source-level fusion produces before the optimizer runs).
+ir::Function LowerFusedSelectFilters(const std::string& name,
+                                     std::span<const relational::Expr> predicates,
+                                     bool materialize_constants = true);
+
+// Lowers an ARITH map body: evaluate `expr` over the fields and store the
+// result (the compute stage of pattern (h)).
+ir::Function LowerArithMap(const std::string& name, const relational::Expr& expr,
+                           bool materialize_constants = true);
+
+}  // namespace kf::core
+
+#endif  // KF_CORE_EXPR_LOWER_H_

@@ -1,0 +1,350 @@
+#include "core/fused_pipeline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "relational/operators.h"
+#include "relational/staged_kernel.h"
+
+namespace kf::core {
+
+using relational::AggregateSpec;
+using relational::ChunkRange;
+using relational::OperatorDesc;
+using relational::OpKind;
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+namespace {
+
+// Mergeable grouped aggregation state — the per-chunk partial results the
+// fused kernel keeps in shared memory, combined at the gather stage.
+class GroupedAggregator {
+ public:
+  explicit GroupedAggregator(const OperatorDesc* desc) : desc_(desc) {}
+
+  void Accumulate(const Row& row) {
+    Row key;
+    key.reserve(desc_->group_by.size());
+    for (int g : desc_->group_by) key.push_back(row.at(static_cast<std::size_t>(g)));
+    State& state = StateFor(key);
+    for (std::size_t a = 0; a < desc_->aggregates.size(); ++a) {
+      const AggregateSpec& spec = desc_->aggregates[a];
+      Slot& slot = state.slots[a];
+      ++slot.count;
+      if (spec.func == AggregateSpec::Func::kCount) continue;
+      const Value v = row.at(static_cast<std::size_t>(spec.field));
+      slot.sum += v.as_double();
+      if (slot.count == 1) {
+        slot.min_value = v;
+        slot.max_value = v;
+      } else {
+        if (v < slot.min_value) slot.min_value = v;
+        if (slot.max_value < v) slot.max_value = v;
+      }
+    }
+  }
+
+  void MergeFrom(const GroupedAggregator& other) {
+    for (const State& theirs : other.states_) {
+      State& ours = StateFor(theirs.key);
+      for (std::size_t a = 0; a < ours.slots.size(); ++a) {
+        Slot& mine = ours.slots[a];
+        const Slot& extra = theirs.slots[a];
+        if (extra.count == 0) continue;
+        if (mine.count == 0) {
+          mine = extra;
+          continue;
+        }
+        mine.sum += extra.sum;
+        mine.count += extra.count;
+        if (extra.min_value < mine.min_value) mine.min_value = extra.min_value;
+        if (mine.max_value < extra.max_value) mine.max_value = extra.max_value;
+      }
+    }
+  }
+
+  Table Finalize(const Schema& out_schema) const {
+    Table out(out_schema);
+    for (const State& state : states_) {
+      Row row = state.key;
+      for (std::size_t a = 0; a < desc_->aggregates.size(); ++a) {
+        const Slot& slot = state.slots[a];
+        switch (desc_->aggregates[a].func) {
+          case AggregateSpec::Func::kSum:
+            row.push_back(Value::Float64(slot.sum));
+            break;
+          case AggregateSpec::Func::kAvg:
+            row.push_back(Value::Float64(
+                slot.count == 0 ? 0.0 : slot.sum / static_cast<double>(slot.count)));
+            break;
+          case AggregateSpec::Func::kMin:
+            row.push_back(slot.min_value);
+            break;
+          case AggregateSpec::Func::kMax:
+            row.push_back(slot.max_value);
+            break;
+          case AggregateSpec::Func::kCount:
+            row.push_back(Value::Int64(slot.count));
+            break;
+        }
+      }
+      out.AppendRow(row);
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    double sum = 0.0;
+    std::int64_t count = 0;
+    Value min_value;
+    Value max_value;
+  };
+  struct State {
+    Row key;
+    std::vector<Slot> slots;
+  };
+
+  static std::string KeyString(const Row& key) {
+    std::string s;
+    char buffer[40];
+    for (const Value& v : key) {
+      if (v.is_float()) {
+        std::snprintf(buffer, sizeof(buffer), "f%.17g|", v.as_double());
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "i%lld|",
+                      static_cast<long long>(v.as_int()));
+      }
+      s += buffer;
+    }
+    return s;
+  }
+
+  State& StateFor(const Row& key) {
+    const std::string key_str = KeyString(key);
+    auto [it, inserted] = index_.emplace(key_str, states_.size());
+    if (inserted) {
+      State state;
+      state.key = key;
+      state.slots.resize(desc_->aggregates.size());
+      states_.push_back(std::move(state));
+    }
+    return states_[it->second];
+  }
+
+  const OperatorDesc* desc_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<State> states_;
+};
+
+using BuildIndex =
+    std::unordered_map<Value, std::vector<Row>, relational::ValueHash, relational::ValueEq>;
+
+// Per-chunk working state: the fused compute stage.
+struct ChunkState {
+  // Output row buffers for non-aggregate cluster outputs, by node id.
+  std::map<NodeId, std::vector<Row>> buffers;
+  // Per-chunk aggregation partials, by node id.
+  std::map<NodeId, GroupedAggregator> aggregators;
+  // Rows produced per member in this chunk (for cost attribution).
+  std::map<NodeId, std::size_t> member_rows;
+};
+
+}  // namespace
+
+ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& cluster,
+                                const TableLookup& table_of, int chunk_count,
+                                ThreadPool* pool) {
+  KF_REQUIRE(!cluster.nodes.empty()) << "empty fusion cluster";
+  KF_REQUIRE(chunk_count > 0) << "chunk count must be positive";
+
+  // --- Validate that the planner gave us a streamable cluster. -------------
+  for (NodeId id : cluster.nodes) {
+    const FusionClass c = Classify(graph.node(id).desc.kind);
+    KF_REQUIRE(c != FusionClass::kBarrier)
+        << "barrier operator '" << graph.node(id).name << "' inside a fused kernel";
+    if (c == FusionClass::kReduction) {
+      for (NodeId member : cluster.nodes) {
+        for (NodeId input : graph.node(member).inputs) {
+          KF_REQUIRE(input != id)
+              << "reduction '" << graph.node(id).name << "' has in-cluster consumers";
+        }
+      }
+    }
+  }
+
+  const Table& primary = table_of(cluster.primary_input);
+
+  // --- Pre-build JOIN/PRODUCT side inputs (they are materialized). ---------
+  std::map<NodeId, BuildIndex> join_builds;
+  std::map<NodeId, std::vector<Row>> product_builds;
+  for (NodeId id : cluster.nodes) {
+    const OpNode& node = graph.node(id);
+    if (node.desc.kind == OpKind::kJoin) {
+      const Table& build = table_of(node.inputs[1]);
+      BuildIndex index;
+      const auto key_col = static_cast<std::size_t>(node.desc.right_key);
+      for (std::size_t r = 0; r < build.row_count(); ++r) {
+        Row right_row;
+        right_row.reserve(build.column_count() - 1);
+        for (std::size_t c = 0; c < build.column_count(); ++c) {
+          if (c != key_col) right_row.push_back(build.column(c).Get(r));
+        }
+        index[build.column(key_col).Get(r)].push_back(std::move(right_row));
+      }
+      join_builds.emplace(id, std::move(index));
+    } else if (node.desc.kind == OpKind::kProduct) {
+      product_builds.emplace(id, table_of(node.inputs[1]).Rows());
+    }
+  }
+
+  // --- Compute stage over one chunk. ----------------------------------------
+  const std::vector<ChunkRange> chunks =
+      relational::PartitionInput(primary.row_count(), chunk_count);
+  std::vector<ChunkState> chunk_states(chunks.size());
+
+  auto process_chunk = [&](std::size_t c) {
+    ChunkState& state = chunk_states[c];
+    for (NodeId out : cluster.outputs) {
+      if (Classify(graph.node(out).desc.kind) == FusionClass::kReduction) {
+        state.aggregators.emplace(out, GroupedAggregator(&graph.node(out).desc));
+      } else {
+        state.buffers.emplace(out, std::vector<Row>{});
+      }
+    }
+    // Rows each member produced for the CURRENT element (registers).
+    std::map<NodeId, std::vector<Row>> live;
+    for (std::size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+      const Row base = primary.GetRow(i);
+      live.clear();
+      for (NodeId id : cluster.nodes) {
+        const OpNode& node = graph.node(id);
+        // Input rows: the streamed element, or the in-cluster producer's rows.
+        const std::vector<Row>* inputs = nullptr;
+        std::vector<Row> base_holder;
+        if (node.inputs[0] == cluster.primary_input) {
+          base_holder.push_back(base);
+          inputs = &base_holder;
+        } else {
+          auto it = live.find(node.inputs[0]);
+          KF_REQUIRE(it != live.end())
+              << "fused member '" << node.name << "' input not produced in cluster";
+          inputs = &it->second;
+        }
+        std::vector<Row> produced;
+        for (const Row& row : *inputs) {
+          switch (node.desc.kind) {
+            case OpKind::kSelect:
+              if (relational::EvalExpr(node.desc.predicate, row).as_bool()) {
+                produced.push_back(row);
+              }
+              break;
+            case OpKind::kProject: {
+              Row projected;
+              projected.reserve(node.desc.fields.size());
+              for (int f : node.desc.fields) {
+                projected.push_back(row.at(static_cast<std::size_t>(f)));
+              }
+              produced.push_back(std::move(projected));
+              break;
+            }
+            case OpKind::kArith: {
+              Row extended = row;
+              Value v = relational::EvalExpr(node.desc.arith, row);
+              switch (node.desc.arith_type) {
+                case relational::DataType::kInt32:
+                  v = Value::Int32(static_cast<std::int32_t>(v.as_int()));
+                  break;
+                case relational::DataType::kInt64:
+                  v = Value::Int64(v.as_int());
+                  break;
+                case relational::DataType::kFloat64:
+                  v = Value::Float64(v.as_double());
+                  break;
+              }
+              extended.push_back(v);
+              produced.push_back(std::move(extended));
+              break;
+            }
+            case OpKind::kJoin: {
+              const BuildIndex& index = join_builds.at(id);
+              auto it = index.find(row.at(static_cast<std::size_t>(node.desc.left_key)));
+              if (it == index.end()) break;
+              for (const Row& right_row : it->second) {
+                Row combined = row;
+                combined.insert(combined.end(), right_row.begin(), right_row.end());
+                produced.push_back(std::move(combined));
+              }
+              break;
+            }
+            case OpKind::kProduct:
+              for (const Row& right_row : product_builds.at(id)) {
+                Row combined = row;
+                combined.insert(combined.end(), right_row.begin(), right_row.end());
+                produced.push_back(std::move(combined));
+              }
+              break;
+            case OpKind::kAggregate:
+              state.aggregators.at(id).Accumulate(row);
+              break;
+            default:
+              KF_REQUIRE(false) << "operator " << relational::ToString(node.desc.kind)
+                                << " cannot stream in a fused kernel";
+          }
+        }
+        state.member_rows[id] += produced.size();
+        // Buffer rows leaving the cluster from this member.
+        auto buffer = state.buffers.find(id);
+        if (buffer != state.buffers.end()) {
+          for (const Row& row : produced) buffer->second.push_back(row);
+        }
+        live.emplace(id, std::move(produced));
+      }
+    }
+  };
+
+  if (pool != nullptr && chunks.size() > 1) {
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      pool->Submit([&process_chunk, c] { process_chunk(c); });
+    }
+    pool->Wait();
+  } else {
+    for (std::size_t c = 0; c < chunks.size(); ++c) process_chunk(c);
+  }
+
+  // --- Gather stage: one pass concatenating per-chunk buffers / merging
+  // per-chunk aggregation partials. -----------------------------------------
+  ClusterExecution result;
+  result.primary_rows = primary.row_count();
+  result.chunk_count = chunk_count;
+  for (const ChunkState& state : chunk_states) {
+    for (const auto& [member, rows] : state.member_rows) result.member_rows[member] += rows;
+  }
+  for (NodeId out : cluster.outputs) {
+    const OpNode& node = graph.node(out);
+    if (Classify(node.desc.kind) == FusionClass::kReduction) {
+      GroupedAggregator merged(&node.desc);
+      for (const ChunkState& state : chunk_states) {
+        merged.MergeFrom(state.aggregators.at(out));
+      }
+      result.outputs.emplace(out, merged.Finalize(node.schema));
+    } else {
+      Table table(node.schema);
+      std::size_t total = 0;
+      for (const ChunkState& state : chunk_states) total += state.buffers.at(out).size();
+      table.Reserve(total);
+      for (const ChunkState& state : chunk_states) {
+        for (const Row& row : state.buffers.at(out)) table.AppendRow(row);
+      }
+      result.outputs.emplace(out, std::move(table));
+    }
+    result.output_rows[out] = result.outputs.at(out).row_count();
+  }
+  return result;
+}
+
+}  // namespace kf::core

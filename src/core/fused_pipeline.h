@@ -1,0 +1,53 @@
+// Functional execution of a fusion cluster as ONE staged kernel.
+//
+// This is the composed kernel the paper's fusion transformation produces
+// (Fig 6 / Section III-C): a single partition stage chunks the streamed
+// primary input; the compute stage pushes each element through every member
+// operator back-to-back while it lives in registers (here: a Row on the
+// stack), expanding through JOIN probes against pre-built hash tables and
+// folding into per-chunk partial aggregates; per-chunk buffers are finally
+// gathered once. No intermediate relation is materialized — that is the
+// entire point of kernel fusion.
+//
+// The result is bit-identical to applying the member operators one after
+// another with ApplyOperator (tests assert this), while touching the
+// primary input exactly once.
+#ifndef KF_CORE_FUSED_PIPELINE_H_
+#define KF_CORE_FUSED_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/thread_pool.h"
+#include "core/fusion_planner.h"
+#include "relational/table.h"
+
+namespace kf::core {
+
+struct ClusterExecution {
+  // One materialized relation per cluster output node.
+  std::map<NodeId, relational::Table> outputs;
+  // Realized sizes, for the cost model.
+  std::size_t primary_rows = 0;
+  std::map<NodeId, std::size_t> output_rows;
+  // Rows each member produced (cluster-internal intermediates included) —
+  // these never touch memory, but the cost model charges their compute.
+  std::map<NodeId, std::size_t> member_rows;
+  int chunk_count = 0;
+};
+
+// Looks up the materialized table standing for a node's output: sources'
+// bound tables and previous clusters' outputs.
+using TableLookup = std::function<const relational::Table&(NodeId)>;
+
+// Executes `cluster` over `graph`. `table_of` must resolve the cluster's
+// primary input and every build input. Throws kf::Error when the cluster
+// contains an operator the fused pipeline cannot stream (a planner bug).
+ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& cluster,
+                                const TableLookup& table_of, int chunk_count = 448,
+                                ThreadPool* pool = nullptr);
+
+}  // namespace kf::core
+
+#endif  // KF_CORE_FUSED_PIPELINE_H_

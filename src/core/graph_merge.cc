@@ -1,0 +1,50 @@
+#include "core/graph_merge.h"
+
+#include "common/error.h"
+
+namespace kf::core {
+
+namespace {
+
+// Copies `graph` into `out`, unifying sources by name via `known_sources`.
+std::map<NodeId, NodeId> CopyInto(const OpGraph& graph, OpGraph& out,
+                                  std::map<std::string, NodeId>& known_sources) {
+  std::map<NodeId, NodeId> mapping;
+  for (NodeId id : graph.TopologicalOrder()) {
+    const OpNode& node = graph.node(id);
+    if (node.is_source) {
+      auto it = known_sources.find(node.name);
+      if (it != known_sources.end()) {
+        const OpNode& existing = out.node(it->second);
+        KF_REQUIRE(existing.schema.ToString() == node.schema.ToString())
+            << "shared source '" << node.name << "' has conflicting schemas: "
+            << existing.schema.ToString() << " vs " << node.schema.ToString();
+        mapping[id] = it->second;
+      } else {
+        const NodeId merged = out.AddSource(node.name, node.schema, node.row_hint);
+        known_sources.emplace(node.name, merged);
+        mapping[id] = merged;
+      }
+      continue;
+    }
+    if (node.inputs.size() == 1) {
+      mapping[id] = out.AddOperator(node.desc, mapping.at(node.inputs[0]));
+    } else {
+      mapping[id] = out.AddOperator(node.desc, mapping.at(node.inputs[0]),
+                                    mapping.at(node.inputs[1]));
+    }
+  }
+  return mapping;
+}
+
+}  // namespace
+
+MergeResult MergeGraphs(const OpGraph& first, const OpGraph& second) {
+  MergeResult result;
+  std::map<std::string, NodeId> known_sources;
+  result.first_mapping = CopyInto(first, result.graph, known_sources);
+  result.second_mapping = CopyInto(second, result.graph, known_sources);
+  return result;
+}
+
+}  // namespace kf::core

@@ -1,0 +1,33 @@
+// Cross-query kernel fusion (paper Section III-A): "there are opportunities
+// to apply kernel fusion across queries since RA operators from different
+// queries can be fused."
+//
+// `MergeGraphs` splices a second query's operator graph into a first,
+// unifying source nodes by name. Operators from both queries that stream the
+// same relation then land in one fusion cluster (the planner's pattern-(c)
+// rule), so one scan of the shared table feeds every query — a shared-scan /
+// multi-query optimization expressed purely as kernel fusion.
+#ifndef KF_CORE_GRAPH_MERGE_H_
+#define KF_CORE_GRAPH_MERGE_H_
+
+#include <map>
+
+#include "core/op_graph.h"
+
+namespace kf::core {
+
+struct MergeResult {
+  OpGraph graph;
+  // Node ids of the first / second input graph mapped into the merged graph.
+  std::map<NodeId, NodeId> first_mapping;
+  std::map<NodeId, NodeId> second_mapping;
+};
+
+// Merges `second` into `first`. Sources with the same name are unified
+// (their schemas must match); everything else is copied. Throws kf::Error
+// on same-name sources with different schemas.
+MergeResult MergeGraphs(const OpGraph& first, const OpGraph& second);
+
+}  // namespace kf::core
+
+#endif  // KF_CORE_GRAPH_MERGE_H_

@@ -1,0 +1,102 @@
+#include "core/op_graph.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace kf::core {
+
+NodeId OpGraph::Add(OpNode node) {
+  node.id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+NodeId OpGraph::AddSource(std::string name, relational::Schema schema,
+                          std::uint64_t row_hint) {
+  OpNode node;
+  node.is_source = true;
+  node.name = std::move(name);
+  node.schema = std::move(schema);
+  node.row_hint = row_hint;
+  return Add(std::move(node));
+}
+
+NodeId OpGraph::AddOperator(relational::OperatorDesc desc, NodeId input) {
+  KF_REQUIRE(input < nodes_.size()) << "unknown input node " << input;
+  KF_REQUIRE(!desc.is_binary())
+      << relational::ToString(desc.kind) << " needs two inputs";
+  OpNode node;
+  node.name = desc.label.empty() ? relational::ToString(desc.kind) : desc.label;
+  node.schema = relational::OutputSchema(desc, nodes_[input].schema, nullptr);
+  node.desc = std::move(desc);
+  node.inputs = {input};
+  return Add(std::move(node));
+}
+
+NodeId OpGraph::AddOperator(relational::OperatorDesc desc, NodeId left, NodeId right) {
+  KF_REQUIRE(left < nodes_.size()) << "unknown left input node " << left;
+  KF_REQUIRE(right < nodes_.size()) << "unknown right input node " << right;
+  KF_REQUIRE(desc.is_binary())
+      << relational::ToString(desc.kind) << " takes one input";
+  OpNode node;
+  node.name = desc.label.empty() ? relational::ToString(desc.kind) : desc.label;
+  node.schema =
+      relational::OutputSchema(desc, nodes_[left].schema, &nodes_[right].schema);
+  node.desc = std::move(desc);
+  node.inputs = {left, right};
+  return Add(std::move(node));
+}
+
+std::vector<NodeId> OpGraph::TopologicalOrder() const {
+  // Inputs always precede uses by construction.
+  std::vector<NodeId> order(nodes_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  return order;
+}
+
+std::vector<NodeId> OpGraph::Consumers(NodeId id) const {
+  KF_REQUIRE(id < nodes_.size()) << "unknown node " << id;
+  std::vector<NodeId> consumers;
+  for (const OpNode& node : nodes_) {
+    for (NodeId input : node.inputs) {
+      if (input == id) {
+        consumers.push_back(node.id);
+        break;
+      }
+    }
+  }
+  return consumers;
+}
+
+std::vector<NodeId> OpGraph::Sinks() const {
+  std::vector<NodeId> sinks;
+  for (const OpNode& node : nodes_) {
+    if (Consumers(node.id).empty()) sinks.push_back(node.id);
+  }
+  return sinks;
+}
+
+std::vector<NodeId> OpGraph::Sources() const {
+  std::vector<NodeId> sources;
+  for (const OpNode& node : nodes_) {
+    if (node.is_source) sources.push_back(node.id);
+  }
+  return sources;
+}
+
+std::string OpGraph::ToString() const {
+  std::ostringstream os;
+  for (const OpNode& node : nodes_) {
+    os << "#" << node.id << " " << (node.is_source ? "SOURCE " : "") << node.name;
+    if (!node.inputs.empty()) {
+      os << " <-";
+      for (NodeId input : node.inputs) os << " #" << input;
+    }
+    os << " : " << node.schema.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace kf::core

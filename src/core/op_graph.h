@@ -1,0 +1,74 @@
+// Query plans as operator DAGs.
+//
+// An `OpGraph` is the unit the fusion/fission compiler works on: source
+// nodes stand for input relations (bound to concrete tables at execution
+// time), operator nodes reference their input nodes, and schemas are
+// propagated and checked at construction. The graphs for the paper's Fig 2
+// patterns and the TPC-H Q1/Q21 plans (Fig 17) are built with this API.
+#ifndef KF_CORE_OP_GRAPH_H_
+#define KF_CORE_OP_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/operators.h"
+
+namespace kf::core {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+struct OpNode {
+  NodeId id = kNoNode;
+  bool is_source = false;
+  std::string name;
+  relational::OperatorDesc desc;   // operators only
+  std::vector<NodeId> inputs;      // empty for sources; 1 or 2 otherwise
+  relational::Schema schema;       // output schema (sources: bound schema)
+  // Expected input row count for sources (used by cost estimation before
+  // functional execution realizes actual sizes).
+  std::uint64_t row_hint = 0;
+};
+
+class OpGraph {
+ public:
+  // Adds an input relation with its schema and an expected row count.
+  NodeId AddSource(std::string name, relational::Schema schema,
+                   std::uint64_t row_hint = 0);
+
+  // Adds a unary operator over `input`.
+  NodeId AddOperator(relational::OperatorDesc desc, NodeId input);
+
+  // Adds a binary operator. For JOIN/PRODUCT, `left` is the probe side and
+  // `right` the build side.
+  NodeId AddOperator(relational::OperatorDesc desc, NodeId left, NodeId right);
+
+  const OpNode& node(NodeId id) const { return nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Node ids in a valid topological order (insertion order is one, since
+  // inputs must exist before use; returned explicitly for clarity).
+  std::vector<NodeId> TopologicalOrder() const;
+
+  // Ids of nodes that consume `id`'s output.
+  std::vector<NodeId> Consumers(NodeId id) const;
+
+  // Nodes with no consumers (query results).
+  std::vector<NodeId> Sinks() const;
+
+  // All source nodes, in insertion order.
+  std::vector<NodeId> Sources() const;
+
+  std::string ToString() const;
+
+ private:
+  NodeId Add(OpNode node);
+
+  std::vector<OpNode> nodes_;
+};
+
+}  // namespace kf::core
+
+#endif  // KF_CORE_OP_GRAPH_H_

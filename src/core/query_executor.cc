@@ -1,0 +1,597 @@
+#include "core/query_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.h"
+#include "relational/operators.h"
+#include "stream/stream_pool.h"
+
+namespace kf::core {
+
+using relational::OpKind;
+using relational::Table;
+using sim::CommandId;
+using sim::CommandSpec;
+
+const char* ToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSerial: return "serial";
+    case Strategy::kFused: return "fusion";
+    case Strategy::kFission: return "fission";
+    case Strategy::kFusedFission: return "fusion+fission";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class Category : std::uint8_t { kInputOutput, kRoundTrip, kCompute, kHostGather };
+
+// Where a node's data currently lives during timeline construction.
+struct Residency {
+  bool on_device = false;
+  bool on_host = true;
+  std::uint64_t bytes = 0;
+  std::optional<sim::AllocationId> alloc;
+  std::optional<CommandId> ready;  // command that made the data available
+  int pending_uses = 0;            // cluster reads + final sink download
+};
+
+std::uint64_t DivCeil(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+// Default row-count propagation for timing-only mode (overrides win).
+std::uint64_t EstimateRows(const OpGraph& graph, NodeId id,
+                           const std::map<NodeId, std::uint64_t>& rows) {
+  const OpNode& node = graph.node(id);
+  auto input_rows = [&](std::size_t i) { return rows.at(node.inputs[i]); };
+  switch (node.desc.kind) {
+    case OpKind::kProduct:
+      return input_rows(0) * input_rows(1);
+    case OpKind::kAggregate:
+      return std::min<std::uint64_t>(input_rows(0), 64);
+    case OpKind::kJoin:
+    case OpKind::kSelect:
+    case OpKind::kIntersect:
+    case OpKind::kDifference:
+      return input_rows(0);  // upper bound; callers should override
+    case OpKind::kUnion:
+      return input_rows(0) + input_rows(1);
+    default:
+      return input_rows(0);
+  }
+}
+
+}  // namespace
+
+ExecutionReport QueryExecutor::Execute(const OpGraph& graph,
+                                       const std::map<NodeId, Table>& sources,
+                                       const ExecutorOptions& options) const {
+  return Run(graph, &sources, {}, options);
+}
+
+ExecutionReport QueryExecutor::EstimateOnly(
+    const OpGraph& graph, const std::map<NodeId, std::uint64_t>& row_counts,
+    const ExecutorOptions& options) const {
+  return Run(graph, nullptr, row_counts, options);
+}
+
+ExecutionReport QueryExecutor::Run(const OpGraph& graph,
+                                   const std::map<NodeId, Table>* sources,
+                                   std::map<NodeId, std::uint64_t> rows,
+                                   const ExecutorOptions& options) const {
+  const bool fuse = options.strategy == Strategy::kFused ||
+                    options.strategy == Strategy::kFusedFission;
+  const bool fission = options.strategy == Strategy::kFission ||
+                       options.strategy == Strategy::kFusedFission;
+
+  // --- Plan clusters. Grouping decides *scheduling* granularity: members of
+  // one cluster execute back-to-back with intermediates in device memory
+  // (kernels still separate unless the strategy fuses them), and data larger
+  // than the device streams through the whole chain segment-wise. Only the
+  // round-trip regime — intermediates evicted to host after every operator —
+  // needs ungrouped clusters. ---------------------------------------------------
+  FusionOptions fusion_options = options.fusion;
+  fusion_options.enabled =
+      fuse || fission || options.intermediates == IntermediatePolicy::kKeepOnDevice;
+  const FusionPlan plan = PlanFusion(graph, fusion_options);
+
+  ExecutionReport report;
+
+  // --- Functional pass: materialize source/cluster-output tables and record
+  // realized row counts. -------------------------------------------------------
+  std::map<NodeId, Table> computed;  // cluster outputs / per-node outputs
+  auto lookup = [&](NodeId id) -> const Table& {
+    if (sources != nullptr) {
+      auto it = sources->find(id);
+      if (it != sources->end()) return it->second;
+    }
+    auto it = computed.find(id);
+    KF_REQUIRE(it != computed.end()) << "node #" << id << " not materialized";
+    return it->second;
+  };
+
+  if (sources != nullptr) {
+    for (NodeId src : graph.Sources()) {
+      KF_REQUIRE(sources->count(src) != 0)
+          << "source '" << graph.node(src).name << "' not bound";
+      rows[src] = sources->at(src).row_count();
+    }
+    for (const FusionCluster& cluster : plan.clusters) {
+      const bool barrier_cluster =
+          cluster.nodes.size() == 1 &&
+          Classify(graph.node(cluster.nodes[0]).desc.kind) == FusionClass::kBarrier;
+      if (fuse && !barrier_cluster) {
+        ClusterExecution exec =
+            ExecuteCluster(graph, cluster, lookup, options.chunk_count, pool_);
+        for (auto& [id, table] : exec.outputs) {
+          rows[id] = table.row_count();
+          computed.emplace(id, std::move(table));
+        }
+        for (const auto& [id, count] : exec.member_rows) {
+          if (rows.count(id) == 0) rows[id] = count;
+        }
+      } else {
+        for (NodeId id : cluster.nodes) {
+          const OpNode& node = graph.node(id);
+          const Table& left = lookup(node.inputs[0]);
+          const Table* right =
+              node.inputs.size() > 1 ? &lookup(node.inputs[1]) : nullptr;
+          Table out = relational::ApplyOperator(node.desc, left, right);
+          rows[id] = out.row_count();
+          computed.emplace(id, std::move(out));
+        }
+      }
+    }
+  } else {
+    // Timing-only: source rows from hints; operators from overrides, with
+    // structural estimates as fallback.
+    std::map<NodeId, std::uint64_t> overrides = rows;
+    for (NodeId id : graph.TopologicalOrder()) {
+      const OpNode& node = graph.node(id);
+      if (node.is_source) {
+        rows[id] = overrides.count(id) != 0 ? overrides[id] : node.row_hint;
+      } else if (overrides.count(id) != 0) {
+        rows[id] = overrides[id];
+      } else {
+        rows[id] = EstimateRows(graph, id, rows);
+      }
+    }
+  }
+
+  auto row_bytes = [&](NodeId id) -> std::uint64_t {
+    return graph.node(id).schema.row_width_bytes();
+  };
+  auto node_bytes = [&](NodeId id) -> std::uint64_t { return rows.at(id) * row_bytes(id); };
+
+  // --- Timeline construction over the Stream Pool. ---------------------------
+  stream::StreamPool streams(device_, std::max(1, options.stream_count));
+  std::vector<stream::StreamHandle> handles;
+  for (int s = 0; s < options.stream_count; ++s) {
+    handles.push_back(streams.GetAvailableStream());
+  }
+  const stream::StreamHandle main_stream = handles[0];
+
+  struct TaggedCommand {
+    CommandId id;
+    Category category;
+    sim::CommandKind kind;
+    SimTime duration;
+    std::uint64_t bytes;
+    int launches;
+  };
+  std::vector<TaggedCommand> tagged;
+
+  auto issue = [&](stream::StreamHandle stream, CommandSpec spec, Category category,
+                   std::uint64_t bytes, int launches = 0) {
+    const SimTime duration =
+        spec.kind == sim::CommandKind::kKernel ? spec.solo_duration : spec.duration;
+    const sim::CommandKind kind = spec.kind;
+    const CommandId id = streams.SetStreamCommand(stream, stream::PoolCommand{spec, {}});
+    tagged.push_back(TaggedCommand{id, category, kind, duration, bytes, launches});
+    return id;
+  };
+
+  sim::DeviceMemoryModel memory(device_.spec().mem_capacity_bytes);
+  std::map<NodeId, Residency> residency;
+
+  // Pending uses: how many clusters read this node, plus one if it is a sink.
+  const std::vector<NodeId> sinks = graph.Sinks();
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    Residency r;
+    r.bytes = node_bytes(id);
+    r.on_host = graph.node(id).is_source;
+    r.on_device = false;
+    residency[id] = r;
+  }
+  for (const FusionCluster& cluster : plan.clusters) {
+    ++residency[cluster.primary_input].pending_uses;
+    for (NodeId build : cluster.build_inputs) ++residency[build].pending_uses;
+  }
+  for (NodeId sink : sinks) ++residency[sink].pending_uses;
+
+  auto release_use = [&](NodeId id) {
+    Residency& r = residency[id];
+    if (--r.pending_uses <= 0 && r.alloc.has_value()) {
+      memory.Free(*r.alloc);
+      r.alloc.reset();
+      r.on_device = false;
+    }
+  };
+
+  // Sends a device-resident intermediate back to the host and frees it
+  // (declared below; needed by the spilling allocator).
+  std::function<void(NodeId, Category)> spill_to_host;
+
+  // Allocates device space for `id`, spilling resident intermediates (not in
+  // `pinned_nodes`) back to host memory on capacity pressure — the forced
+  // round trip the paper describes when intermediates exceed GPU memory.
+  auto allocate_with_spill = [&](std::uint64_t bytes, const std::string& label,
+                                 const std::vector<NodeId>& pinned_nodes) {
+    while (!memory.CanAllocate(bytes)) {
+      NodeId victim = kNoNode;
+      std::uint64_t victim_bytes = 0;
+      for (auto& [id, r] : residency) {
+        if (!r.on_device || !r.alloc.has_value()) continue;
+        if (std::find(pinned_nodes.begin(), pinned_nodes.end(), id) !=
+            pinned_nodes.end()) {
+          continue;
+        }
+        if (r.bytes > victim_bytes) {
+          victim = id;
+          victim_bytes = r.bytes;
+        }
+      }
+      KF_REQUIRE(victim != kNoNode)
+          << "device OOM allocating " << bytes << " bytes for '" << label
+          << "' with nothing spillable (" << memory.used() << "/" << memory.capacity()
+          << " in use)";
+      spill_to_host(victim, Category::kRoundTrip);
+    }
+    return memory.Allocate(bytes, label);
+  };
+
+  // Uploads a host-resident node wholesale (allocating device space).
+  auto ensure_resident = [&](NodeId id, const std::vector<NodeId>& pinned_nodes) {
+    Residency& r = residency[id];
+    if (r.on_device) return;
+    KF_REQUIRE(r.on_host) << "node #" << id << " lost";
+    r.alloc = allocate_with_spill(r.bytes, graph.node(id).name, pinned_nodes);
+    CommandSpec copy = device_.MakeCopy(r.bytes, sim::CopyDirection::kHostToDevice,
+                                        options.host_memory, graph.node(id).name + "/h2d");
+    if (r.ready.has_value()) copy.dependencies.push_back(*r.ready);
+    const Category category =
+        graph.node(id).is_source ? Category::kInputOutput : Category::kRoundTrip;
+    r.ready = issue(main_stream, std::move(copy), category, r.bytes);
+    r.on_device = true;
+  };
+
+  spill_to_host = [&](NodeId id, Category category) {
+    Residency& r = residency[id];
+    KF_REQUIRE(r.on_device) << "spill of non-resident node #" << id;
+    CommandSpec copy = device_.MakeCopy(r.bytes, sim::CopyDirection::kDeviceToHost,
+                                        options.host_memory, graph.node(id).name + "/d2h");
+    if (r.ready.has_value()) copy.dependencies.push_back(*r.ready);
+    r.ready = issue(main_stream, std::move(copy), category, r.bytes);
+    r.on_host = true;
+    r.on_device = false;
+    if (r.alloc.has_value()) {
+      memory.Free(*r.alloc);
+      r.alloc.reset();
+    }
+  };
+
+  const std::uint64_t device_budget = static_cast<std::uint64_t>(
+      static_cast<double>(device_.spec().mem_capacity_bytes) *
+      options.device_memory_budget);
+
+  for (const FusionCluster& cluster : plan.clusters) {
+    const std::size_t tagged_before = tagged.size();
+    const NodeId primary = cluster.primary_input;
+    const OpNode& head = graph.node(cluster.nodes.front());
+    const bool barrier_cluster =
+        cluster.nodes.size() == 1 && Classify(head.desc.kind) == FusionClass::kBarrier;
+
+    // Realized sizes for every member.
+    std::vector<RealizedSizes> member_sizes;
+    member_sizes.reserve(cluster.nodes.size());
+    for (NodeId id : cluster.nodes) {
+      const OpNode& node = graph.node(id);
+      RealizedSizes sizes;
+      sizes.input_rows = rows.at(node.inputs[0]);
+      sizes.input_row_bytes = row_bytes(node.inputs[0]);
+      sizes.output_rows = rows.at(id);
+      sizes.output_row_bytes = row_bytes(id);
+      if (node.inputs.size() > 1) sizes.build_bytes = node_bytes(node.inputs[1]);
+      member_sizes.push_back(sizes);
+    }
+
+    // Output routing: a cluster output goes to host when it is a sink or the
+    // round-trip policy is active; otherwise it stays resident.
+    std::uint64_t outputs_bytes = 0;
+    for (NodeId out : cluster.outputs) outputs_bytes += node_bytes(out);
+    const std::uint64_t input_bytes = node_bytes(primary);
+
+    // Build inputs must be fully resident before the cluster streams.
+    std::vector<NodeId> pinned_nodes = cluster.build_inputs;
+    pinned_nodes.push_back(primary);
+    for (NodeId out : cluster.outputs) pinned_nodes.push_back(out);
+    for (NodeId build : cluster.build_inputs) ensure_resident(build, pinned_nodes);
+
+    const bool primary_on_host = !residency[primary].on_device;
+    const bool streamable = !barrier_cluster && primary_on_host;
+
+    int segments = 1;
+    if (streamable) {
+      const std::uint64_t working = input_bytes + outputs_bytes;
+      if (working > device_budget) {
+        segments = static_cast<int>(DivCeil(working, device_budget));
+      }
+      if (fission) segments = std::max(segments, options.fission_segments);
+    }
+
+    // Decide per-output destination.
+    std::map<NodeId, bool> output_to_host;
+    for (NodeId out : cluster.outputs) {
+      const bool is_sink =
+          std::find(sinks.begin(), sinks.end(), out) != sinks.end();
+      const bool has_consumers = residency[out].pending_uses > (is_sink ? 1 : 0);
+      bool to_host = is_sink && !has_consumers;
+      if (options.intermediates == IntermediatePolicy::kRoundTrip && has_consumers) {
+        to_host = true;
+      }
+      // Outputs too large to keep resident must stream out.
+      if (!to_host && segments > 1 && outputs_bytes > device_budget / 2) to_host = true;
+      output_to_host[out] = to_host;
+    }
+
+    // Kernel profiles for one segment (scale sizes by 1/segments).
+    auto segment_profiles = [&](int seg_count) {
+      std::vector<sim::KernelProfile> profiles;
+      auto scale = [&](RealizedSizes s) {
+        s.input_rows /= static_cast<std::uint64_t>(seg_count);
+        s.output_rows /= static_cast<std::uint64_t>(seg_count);
+        // Build sides stay resident across segments; each segment probes its
+        // share of them rather than re-reading the whole table.
+        s.build_bytes /= static_cast<std::uint64_t>(seg_count);
+        return s;
+      };
+      if (fuse && !barrier_cluster) {
+        std::vector<RealizedSizes> scaled;
+        scaled.reserve(member_sizes.size());
+        for (const RealizedSizes& s : member_sizes) scaled.push_back(scale(s));
+        profiles = cost_model_.FusedProfiles(graph, cluster, scaled);
+      } else {
+        for (std::size_t m = 0; m < cluster.nodes.size(); ++m) {
+          auto member_profiles =
+              cost_model_.UnfusedProfiles(graph.node(cluster.nodes[m]),
+                                          scale(member_sizes[m]));
+          for (auto& p : member_profiles) profiles.push_back(std::move(p));
+        }
+      }
+      return profiles;
+    };
+
+    if (segments <= 1) {
+      // --- Resident execution: whole input on device, kernels in stream 0. --
+      ensure_resident(primary, pinned_nodes);
+      for (NodeId out : cluster.outputs) {
+        Residency& r = residency[out];
+        r.alloc = allocate_with_spill(r.bytes, graph.node(out).name, pinned_nodes);
+        r.on_device = true;
+        r.on_host = false;
+      }
+      // Unfused members materialize their intermediates in device memory for
+      // the duration of the cluster (fused kernels keep them in registers).
+      std::optional<sim::AllocationId> transient;
+      if (!fuse || barrier_cluster) {
+        std::uint64_t transient_bytes = 0;
+        for (NodeId member : cluster.nodes) {
+          if (std::find(cluster.outputs.begin(), cluster.outputs.end(), member) ==
+              cluster.outputs.end()) {
+            transient_bytes += node_bytes(member);
+          }
+        }
+        if (transient_bytes > 0) {
+          transient = allocate_with_spill(transient_bytes, "intermediates",
+                                          pinned_nodes);
+        }
+      }
+      std::optional<CommandId> last;
+      for (const sim::KernelProfile& profile : segment_profiles(1)) {
+        CommandSpec kernel = device_.MakeKernel(profile);
+        if (residency[primary].ready.has_value()) {
+          kernel.dependencies.push_back(*residency[primary].ready);
+        }
+        for (NodeId build : cluster.build_inputs) {
+          if (residency[build].ready.has_value()) {
+            kernel.dependencies.push_back(*residency[build].ready);
+          }
+        }
+        last = issue(main_stream, std::move(kernel), Category::kCompute, 0,
+                     profile.launches);
+      }
+      if (transient.has_value()) memory.Free(*transient);
+      for (NodeId out : cluster.outputs) {
+        residency[out].ready = last;
+        if (output_to_host[out]) {
+          const bool is_sink =
+              std::find(sinks.begin(), sinks.end(), out) != sinks.end();
+          spill_to_host(out, is_sink ? Category::kInputOutput : Category::kRoundTrip);
+        }
+      }
+    } else {
+      // --- Segmented execution (Fig 13/15): H2D, kernels, D2H per segment;
+      // fission spreads segments over the stream pool, serial keeps one
+      // stream so everything serializes (Fig 14's baseline). ------------------
+      const std::vector<sim::KernelProfile> profiles = segment_profiles(segments);
+      // Segment staging buffers (double-buffered per active stream).
+      const int active = fission ? options.stream_count : 1;
+      const std::uint64_t staging =
+          (input_bytes + outputs_bytes) / static_cast<std::uint64_t>(segments) *
+          static_cast<std::uint64_t>(std::min(segments, active * 2));
+      const sim::AllocationId staging_alloc =
+          allocate_with_spill(std::min(staging, memory.free_bytes()),
+                              "segment staging", pinned_nodes);
+
+      // Device-resident outputs accumulate across segments.
+      for (NodeId out : cluster.outputs) {
+        if (!output_to_host[out]) {
+          Residency& r = residency[out];
+          r.alloc = allocate_with_spill(r.bytes, graph.node(out).name, pinned_nodes);
+          r.on_device = true;
+          r.on_host = false;
+        }
+      }
+
+      std::vector<CommandId> segment_outputs;
+      std::vector<CommandId> last_kernels;
+      for (int s = 0; s < segments; ++s) {
+        const stream::StreamHandle stream =
+            fission ? handles[static_cast<std::size_t>(s) % handles.size()]
+                    : main_stream;
+        CommandSpec copy_in = device_.MakeCopy(
+            input_bytes / static_cast<std::uint64_t>(segments),
+            sim::CopyDirection::kHostToDevice, options.host_memory,
+            graph.node(primary).name + "/h2d[" + std::to_string(s) + "]");
+        const Category in_category = graph.node(primary).is_source
+                                         ? Category::kInputOutput
+                                         : Category::kRoundTrip;
+        issue(stream, std::move(copy_in), in_category,
+              input_bytes / static_cast<std::uint64_t>(segments));
+
+        std::optional<CommandId> last;
+        for (const sim::KernelProfile& profile : profiles) {
+          CommandSpec kernel = device_.MakeKernel(profile);
+          for (NodeId build : cluster.build_inputs) {
+            if (residency[build].ready.has_value()) {
+              kernel.dependencies.push_back(*residency[build].ready);
+            }
+          }
+          last = issue(stream, std::move(kernel), Category::kCompute, 0,
+                       profile.launches);
+        }
+        if (last.has_value()) last_kernels.push_back(*last);
+
+        std::uint64_t host_bound_bytes = 0;
+        for (NodeId out : cluster.outputs) {
+          if (output_to_host[out]) host_bound_bytes += node_bytes(out);
+        }
+        if (host_bound_bytes > 0) {
+          const std::uint64_t segment_bytes =
+              host_bound_bytes / static_cast<std::uint64_t>(segments);
+          CommandSpec copy_out = device_.MakeCopy(
+              segment_bytes, sim::CopyDirection::kDeviceToHost, options.host_memory,
+              "result/d2h[" + std::to_string(s) + "]");
+          bool sink_bound = false;
+          for (NodeId out : cluster.outputs) {
+            if (output_to_host[out] &&
+                std::find(sinks.begin(), sinks.end(), out) != sinks.end()) {
+              sink_bound = true;
+            }
+          }
+          const CommandId d2h_id =
+              issue(stream, std::move(copy_out),
+                    sink_bound ? Category::kInputOutput : Category::kRoundTrip,
+                    segment_bytes);
+          segment_outputs.push_back(d2h_id);
+
+          // Out-of-order host arrival needs a CPU-side gather (Fig 15): each
+          // segment is repositioned as it lands, overlapping the pipeline
+          // (the host engine is idle while the device streams).
+          if (fission) {
+            CommandSpec gather = device_.MakeHostWork(
+                2 * segment_bytes, "cpu-gather[" + std::to_string(s) + "]");
+            gather.dependencies = {d2h_id};
+            issue(main_stream, std::move(gather), Category::kHostGather,
+                  segment_bytes);
+          }
+        }
+      }
+
+      for (NodeId out : cluster.outputs) {
+        Residency& r = residency[out];
+        if (output_to_host[out]) {
+          r.on_host = true;
+          r.on_device = false;
+          r.ready = segment_outputs.empty() ? std::nullopt
+                                            : std::optional(segment_outputs.back());
+        } else {
+          r.ready = last_kernels.empty() ? std::nullopt
+                                         : std::optional(last_kernels.back());
+        }
+      }
+      memory.Free(staging_alloc);
+    }
+
+    // Per-cluster compute accounting for the report.
+    ExecutionReport::ClusterTiming timing;
+    timing.fused = fuse && cluster.fused();
+    for (std::size_t m = 0; m < cluster.nodes.size(); ++m) {
+      if (m) timing.label += "+";
+      timing.label += graph.node(cluster.nodes[m]).name;
+    }
+    for (std::size_t i = tagged_before; i < tagged.size(); ++i) {
+      if (tagged[i].category == Category::kCompute) {
+        timing.compute += tagged[i].duration;
+        timing.launches += static_cast<std::size_t>(std::max(1, tagged[i].launches));
+      }
+    }
+    report.cluster_timings.push_back(std::move(timing));
+
+    // Inputs consumed.
+    release_use(primary);
+    for (NodeId build : cluster.build_inputs) release_use(build);
+  }
+
+  // Final downloads for sinks still on the device.
+  for (NodeId sink : sinks) {
+    if (residency[sink].on_device) {
+      spill_to_host(sink, Category::kInputOutput);
+    }
+    release_use(sink);
+  }
+
+  // --- Simulate. --------------------------------------------------------------
+  streams.StartStreams();
+  report.timeline = streams.WaitAll();
+  report.makespan = report.timeline.makespan;
+  report.peak_device_bytes = memory.high_water_mark();
+
+  for (const TaggedCommand& cmd : tagged) {
+    switch (cmd.category) {
+      case Category::kInputOutput:
+        report.input_output_time += cmd.duration;
+        break;
+      case Category::kRoundTrip:
+        report.round_trip_time += cmd.duration;
+        break;
+      case Category::kCompute:
+        report.compute_time += cmd.duration;
+        report.kernel_launches += static_cast<std::size_t>(std::max(1, cmd.launches));
+        break;
+      case Category::kHostGather:
+        report.host_gather_time += cmd.duration;
+        break;
+    }
+  }
+  for (const TaggedCommand& cmd : tagged) {
+    if (cmd.kind == sim::CommandKind::kCopyH2D) report.h2d_bytes += cmd.bytes;
+    if (cmd.kind == sim::CommandKind::kCopyD2H) report.d2h_bytes += cmd.bytes;
+  }
+
+  if (sources != nullptr) {
+    for (NodeId sink : sinks) {
+      auto it = computed.find(sink);
+      if (it != computed.end()) {
+        report.sink_results.emplace(sink, it->second);
+      } else if (sources->count(sink) != 0) {
+        report.sink_results.emplace(sink, sources->at(sink));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace kf::core

@@ -1,0 +1,146 @@
+// Query execution strategies: serial, fused, fission, fused+fission.
+//
+// The executor runs an operator graph against the simulated device and
+// produces (a) functionally correct results and (b) a simulated timeline.
+//
+//   kSerial       — the paper's baseline: every operator is its own staged
+//                   kernel pair, executed in one stream; intermediates are
+//                   materialized in device memory (and, depending on the
+//                   intermediate policy or capacity pressure, round-trip
+//                   through host memory over PCIe).
+//   kFused        — kernel fusion (Section III): the fusion planner clusters
+//                   the graph; each cluster runs as one fused staged kernel
+//                   with intermediates in registers.
+//   kFission      — kernel fission (Section IV): streamable operator chains
+//                   are segmented, and segments pipeline over three streams
+//                   so H2D copy, compute, and D2H copy overlap (Fig 13);
+//                   kernels stay unfused. Results reaching the host out of
+//                   order require a final CPU gather (Fig 15). Fission uses
+//                   pinned host memory.
+//   kFusedFission — both (Section IV-C): fission applied to fused clusters.
+//
+// Inputs larger than device memory are automatically processed in segments
+// in every strategy (serially in kSerial/kFused — the "no fission" baseline
+// of Fig 14 — and pipelined in the fission strategies).
+#ifndef KF_CORE_QUERY_EXECUTOR_H_
+#define KF_CORE_QUERY_EXECUTOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/fused_pipeline.h"
+#include "core/fusion_planner.h"
+#include "core/op_graph.h"
+#include "core/operator_cost.h"
+#include "sim/device_simulator.h"
+
+namespace kf::core {
+
+enum class Strategy : std::uint8_t { kSerial, kFused, kFission, kFusedFission };
+const char* ToString(Strategy strategy);
+
+enum class IntermediatePolicy : std::uint8_t {
+  // Intermediates stay in device memory; spill to host only on capacity
+  // pressure ("without round trip").
+  kKeepOnDevice,
+  // Every intermediate crossing a cluster boundary returns to host memory
+  // and is re-uploaded before its consumer ("with round trip" — what a
+  // system must do when device memory cannot hold the working set).
+  kRoundTrip,
+};
+
+struct ExecutorOptions {
+  Strategy strategy = Strategy::kSerial;
+  IntermediatePolicy intermediates = IntermediatePolicy::kKeepOnDevice;
+  FusionOptions fusion;
+
+  // Host staging memory. Fission requires pinned buffers (the paper notes
+  // this is its main drawback); the serial strategies default to pinned too
+  // so strategy comparisons isolate scheduling effects.
+  sim::HostMemoryKind host_memory = sim::HostMemoryKind::kPinned;
+
+  // Segments per fissioned cluster (at least stream_count to fill the
+  // pipeline; raised automatically when the data exceeds device memory).
+  int fission_segments = 12;
+  int stream_count = 3;
+
+  // Simulated-CTA chunking of the functional staged kernels.
+  int chunk_count = 64;
+
+  // Fraction of device memory a single resident working set may use before
+  // segmentation kicks in.
+  double device_memory_budget = 0.45;
+};
+
+struct ExecutionReport {
+  sim::TimelineStats timeline;
+  SimTime makespan = 0.0;
+
+  // Serialized duration sums by category (Fig 9's decomposition).
+  SimTime input_output_time = 0.0;  // source H2D + sink D2H
+  SimTime round_trip_time = 0.0;    // intermediate spills/round trips
+  SimTime compute_time = 0.0;       // kernel solo durations
+  SimTime host_gather_time = 0.0;   // CPU gather after fission
+
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t peak_device_bytes = 0;
+  std::size_t kernel_launches = 0;
+
+  // Per-cluster kernel-time breakdown (execution order): where the compute
+  // time goes — e.g. Q1's SORT share, or the fused block's contribution.
+  struct ClusterTiming {
+    std::string label;
+    SimTime compute = 0.0;
+    std::size_t launches = 0;
+    bool fused = false;
+  };
+  std::vector<ClusterTiming> cluster_timings;
+
+  // Functional results, one per sink node (functional mode only).
+  std::map<NodeId, relational::Table> sink_results;
+
+  // Input-side throughput: source bytes / makespan.
+  double ThroughputGBs(std::uint64_t source_bytes) const {
+    return makespan > 0 ? static_cast<double>(source_bytes) / kGB / makespan : 0.0;
+  }
+};
+
+class QueryExecutor {
+ public:
+  QueryExecutor(const sim::DeviceSimulator& device,
+                OperatorCostModel cost_model = OperatorCostModel{},
+                ThreadPool* pool = nullptr)
+      : device_(device), cost_model_(std::move(cost_model)), pool_(pool) {}
+
+  // Functional + timed execution. `sources` binds every source node.
+  ExecutionReport Execute(const OpGraph& graph,
+                          const std::map<NodeId, relational::Table>& sources,
+                          const ExecutorOptions& options) const;
+
+  // Timing-only execution for data volumes that cannot be materialized
+  // (Figs 14/16 run billions of elements). `row_counts` gives the realized
+  // output row count of every non-source node; source rows come from their
+  // row hints.
+  ExecutionReport EstimateOnly(const OpGraph& graph,
+                               const std::map<NodeId, std::uint64_t>& row_counts,
+                               const ExecutorOptions& options) const;
+
+ private:
+  struct NodeSizes;  // realized row counts and widths per node
+
+  ExecutionReport Run(const OpGraph& graph,
+                      const std::map<NodeId, relational::Table>* sources,
+                      std::map<NodeId, std::uint64_t> row_counts,
+                      const ExecutorOptions& options) const;
+
+  const sim::DeviceSimulator& device_;
+  OperatorCostModel cost_model_;
+  ThreadPool* pool_;
+};
+
+}  // namespace kf::core
+
+#endif  // KF_CORE_QUERY_EXECUTOR_H_

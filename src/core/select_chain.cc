@@ -1,0 +1,68 @@
+#include "core/select_chain.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "relational/operators.h"
+
+namespace kf::core {
+
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+using relational::Table;
+
+namespace {
+constexpr std::int64_t kDomain = std::int64_t{1} << 31;  // values in [0, 2^31)
+}  // namespace
+
+SelectChain MakeSelectChain(std::uint64_t elements,
+                            std::span<const double> selectivities) {
+  KF_REQUIRE(!selectivities.empty()) << "select chain needs at least one step";
+  SelectChain chain;
+  chain.elements = elements;
+  chain.selectivities.assign(selectivities.begin(), selectivities.end());
+
+  chain.source = chain.graph.AddSource(
+      "input", Schema{{"v", DataType::kInt32}}, elements);
+  chain.expected_rows[chain.source] = elements;
+
+  NodeId upstream = chain.source;
+  double cumulative = 1.0;
+  for (std::size_t i = 0; i < selectivities.size(); ++i) {
+    const double s = selectivities[i];
+    KF_REQUIRE(s > 0.0 && s <= 1.0) << "selectivity " << s << " out of (0,1]";
+    // Nested thresholds: step i keeps fraction s of its input, which is the
+    // prefix of the domain that survived steps 0..i-1.
+    cumulative *= s;
+    const auto threshold = static_cast<std::int32_t>(
+        std::llround(cumulative * static_cast<double>(kDomain)));
+    chain.thresholds.push_back(threshold);
+    const NodeId select = chain.graph.AddOperator(
+        OperatorDesc::Select(
+            Expr::Lt(Expr::FieldRef(0), Expr::Lit(relational::Value::Int32(threshold))),
+            "select" + std::to_string(i + 1)),
+        upstream);
+    chain.selects.push_back(select);
+    chain.expected_rows[select] =
+        static_cast<std::uint64_t>(cumulative * static_cast<double>(elements));
+    upstream = select;
+  }
+  return chain;
+}
+
+Table MakeUniformInt32Table(std::uint64_t elements, std::uint64_t seed) {
+  Table table(Schema{{"v", DataType::kInt32}});
+  auto& data = table.column(0).AsInt32();
+  data.reserve(elements);
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < elements; ++i) {
+    data.push_back(static_cast<std::int32_t>(rng.UniformInt(0, kDomain - 1)));
+  }
+  table.SyncRowCountFromColumns();
+  return table;
+}
+
+}  // namespace kf::core

@@ -1,0 +1,53 @@
+// Back-to-back SELECT chains — the paper's primary microbenchmark workload.
+//
+// Sections III-B and IV evaluate fusion/fission on chains of SELECT
+// operators over random 32-bit integers (Fig 2a). This helper builds the
+// operator graph, the matching uniform-integer input data, and the exact
+// expected row counts so the benchmark harnesses can run either functionally
+// (real data through the staged kernels) or in timing-only mode (Figs 14/16
+// sweep up to 4 billion elements — 16 GB — which cannot be materialized).
+//
+// Selectivities are realized with thresholds over the uniform domain
+// [0, 2^31): a chain with per-step selectivity s keeps s of the *surviving*
+// elements at each step when thresholds are nested (s, s^2, ... overall),
+// exactly like the paper's 50%-per-SELECT chains that keep 25% after two.
+#ifndef KF_CORE_SELECT_CHAIN_H_
+#define KF_CORE_SELECT_CHAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/op_graph.h"
+#include "relational/table.h"
+
+namespace kf::core {
+
+struct SelectChain {
+  OpGraph graph;
+  NodeId source = kNoNode;
+  std::vector<NodeId> selects;
+  std::uint64_t elements = 0;
+  std::vector<double> selectivities;
+  // Exact expected output rows per node (uniform-domain arithmetic).
+  std::map<NodeId, std::uint64_t> expected_rows;
+  // Thresholds used by the predicates (field0 < threshold[i]).
+  std::vector<std::int32_t> thresholds;
+
+  std::uint64_t input_bytes() const { return elements * 4; }
+};
+
+// Builds a chain of `selectivities.size()` SELECTs over `elements` random
+// int32s. Each step keeps `selectivities[i]` of what reaches it.
+SelectChain MakeSelectChain(std::uint64_t elements,
+                            std::span<const double> selectivities);
+
+// Uniform random input data matching the chain's domain; expected
+// selectivities are then exact up to sampling noise.
+relational::Table MakeUniformInt32Table(std::uint64_t elements,
+                                        std::uint64_t seed = 42);
+
+}  // namespace kf::core
+
+#endif  // KF_CORE_SELECT_CHAIN_H_

@@ -1,0 +1,141 @@
+#include "ir/builder.h"
+
+#include "common/error.h"
+
+namespace kf::ir {
+
+Instruction& IrBuilder::Emit(Instruction inst) {
+  KF_REQUIRE(block_ != kNoBlock) << "no insertion block set";
+  auto& instructions = function_.block(block_).instructions;
+  instructions.push_back(std::move(inst));
+  return instructions.back();
+}
+
+ValueId IrBuilder::Use(ValueId v, Type type) {
+  if (materialize_constants_ && function_.value(v).is_constant()) {
+    const ValueId reg = function_.AddRegister(type);
+    Instruction mov;
+    mov.op = Opcode::kMov;
+    mov.type = type;
+    mov.dest = reg;
+    mov.operands = {v};
+    Emit(std::move(mov));
+    return reg;
+  }
+  return v;
+}
+
+ValueId IrBuilder::Load(Type type, ValueId slot) {
+  const ValueId dest = function_.AddRegister(type);
+  Instruction inst;
+  inst.op = Opcode::kLd;
+  inst.type = type;
+  inst.dest = dest;
+  inst.operands = {slot};
+  Emit(std::move(inst));
+  return dest;
+}
+
+void IrBuilder::Store(ValueId slot, ValueId value, ValueId guard) {
+  Instruction inst;
+  inst.op = Opcode::kSt;
+  inst.type = function_.value(value).type;
+  inst.operands = {slot, value};
+  inst.guard = guard;
+  Emit(std::move(inst));
+}
+
+ValueId IrBuilder::Mov(Type type, ValueId src) {
+  const ValueId dest = function_.AddRegister(type);
+  Instruction inst;
+  inst.op = Opcode::kMov;
+  inst.type = type;
+  inst.dest = dest;
+  inst.operands = {src};
+  Emit(std::move(inst));
+  return dest;
+}
+
+ValueId IrBuilder::Binary(Opcode op, Type type, ValueId lhs, ValueId rhs) {
+  const ValueId dest = function_.AddRegister(type);
+  Instruction inst;
+  inst.op = op;
+  inst.type = type;
+  inst.dest = dest;
+  inst.operands = {Use(lhs, type), Use(rhs, type)};
+  Emit(std::move(inst));
+  return dest;
+}
+
+ValueId IrBuilder::Mad(Type type, ValueId a, ValueId b, ValueId c) {
+  const ValueId dest = function_.AddRegister(type);
+  Instruction inst;
+  inst.op = Opcode::kMad;
+  inst.type = type;
+  inst.dest = dest;
+  inst.operands = {Use(a, type), Use(b, type), Use(c, type)};
+  Emit(std::move(inst));
+  return dest;
+}
+
+ValueId IrBuilder::Compare(Opcode op, ValueId lhs, ValueId rhs) {
+  KF_REQUIRE(IsCompare(op)) << "Compare() called with non-compare opcode";
+  const Type operand_type = function_.value(lhs).type;
+  const ValueId dest = function_.AddRegister(Type::kPred);
+  Instruction inst;
+  inst.op = op;
+  inst.type = operand_type;
+  inst.dest = dest;
+  inst.operands = {Use(lhs, operand_type), Use(rhs, operand_type)};
+  Emit(std::move(inst));
+  return dest;
+}
+
+ValueId IrBuilder::Select(Type type, ValueId pred, ValueId if_true, ValueId if_false) {
+  const ValueId dest = function_.AddRegister(type);
+  Instruction inst;
+  inst.op = Opcode::kSelp;
+  inst.type = type;
+  inst.dest = dest;
+  inst.operands = {pred, Use(if_true, type), Use(if_false, type)};
+  Emit(std::move(inst));
+  return dest;
+}
+
+ValueId IrBuilder::NotOf(ValueId pred) {
+  const ValueId dest = function_.AddRegister(Type::kPred);
+  Instruction inst;
+  inst.op = Opcode::kNot;
+  inst.type = Type::kPred;
+  inst.dest = dest;
+  inst.operands = {pred};
+  Emit(std::move(inst));
+  return dest;
+}
+
+void IrBuilder::Jump(BlockId target) {
+  KF_REQUIRE(block_ != kNoBlock) << "no insertion block set";
+  Terminator term;
+  term.kind = TerminatorKind::kJump;
+  term.true_target = target;
+  function_.block(block_).terminator = term;
+}
+
+void IrBuilder::Branch(ValueId condition, BlockId if_true, BlockId if_false) {
+  KF_REQUIRE(block_ != kNoBlock) << "no insertion block set";
+  Terminator term;
+  term.kind = TerminatorKind::kBranch;
+  term.condition = condition;
+  term.true_target = if_true;
+  term.false_target = if_false;
+  function_.block(block_).terminator = term;
+}
+
+void IrBuilder::Ret() {
+  KF_REQUIRE(block_ != kNoBlock) << "no insertion block set";
+  Terminator term;
+  term.kind = TerminatorKind::kRet;
+  function_.block(block_).terminator = term;
+}
+
+}  // namespace kf::ir

@@ -1,0 +1,52 @@
+// Convenience builder for the mini kernel IR.
+//
+// Tracks a current insertion block and provides typed emit helpers. The
+// `materialize_constants` knob mimics an -O0 code generator that loads every
+// immediate into a register with `mov` before use (as unoptimized compilers
+// do); with it off, constants are used as immediates directly.
+#ifndef KF_IR_BUILDER_H_
+#define KF_IR_BUILDER_H_
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace kf::ir {
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(Function& function, bool materialize_constants = false)
+      : function_(function), materialize_constants_(materialize_constants) {}
+
+  Function& function() { return function_; }
+
+  BlockId CreateBlock(std::string label) { return function_.AddBlock(std::move(label)); }
+  void SetInsertBlock(BlockId block) { block_ = block; }
+  BlockId insert_block() const { return block_; }
+
+  ValueId Load(Type type, ValueId slot);
+  void Store(ValueId slot, ValueId value, ValueId guard = kNoValue);
+  ValueId Mov(Type type, ValueId src);
+  ValueId Binary(Opcode op, Type type, ValueId lhs, ValueId rhs);
+  ValueId Mad(Type type, ValueId a, ValueId b, ValueId c);
+  ValueId Compare(Opcode op, ValueId lhs, ValueId rhs);
+  ValueId Select(Type type, ValueId pred, ValueId if_true, ValueId if_false);
+  ValueId NotOf(ValueId pred);
+
+  void Jump(BlockId target);
+  void Branch(ValueId condition, BlockId if_true, BlockId if_false);
+  void Ret();
+
+ private:
+  // Applies the -O0 constant-materialization behaviour.
+  ValueId Use(ValueId v, Type type);
+  Instruction& Emit(Instruction inst);
+
+  Function& function_;
+  bool materialize_constants_;
+  BlockId block_ = kNoBlock;
+};
+
+}  // namespace kf::ir
+
+#endif  // KF_IR_BUILDER_H_

@@ -1,0 +1,252 @@
+#include "ir/function.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace kf::ir {
+
+const char* ToString(Type type) {
+  switch (type) {
+    case Type::kPred: return "pred";
+    case Type::kI32: return "s32";
+    case Type::kI64: return "s64";
+    case Type::kF32: return "f32";
+    case Type::kF64: return "f64";
+    case Type::kPtr: return "ptr";
+  }
+  return "?";
+}
+
+const char* ToString(Opcode op) {
+  switch (op) {
+    case Opcode::kMov: return "mov";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kCvt: return "cvt";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kMad: return "mad";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kSetLt: return "setp.lt";
+    case Opcode::kSetLe: return "setp.le";
+    case Opcode::kSetGt: return "setp.gt";
+    case Opcode::kSetGe: return "setp.ge";
+    case Opcode::kSetEq: return "setp.eq";
+    case Opcode::kSetNe: return "setp.ne";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNot: return "not";
+    case Opcode::kSelp: return "selp";
+  }
+  return "?";
+}
+
+bool IsSpeculatable(Opcode op) {
+  switch (op) {
+    case Opcode::kSt:
+      return false;
+    case Opcode::kDiv:
+      // Integer division faults on zero in real machines; keep it
+      // non-speculatable so if-conversion stays honest.
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool IsCompare(Opcode op) {
+  switch (op) {
+    case Opcode::kSetLt:
+    case Opcode::kSetLe:
+    case Opcode::kSetGt:
+    case Opcode::kSetGe:
+    case Opcode::kSetEq:
+    case Opcode::kSetNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ValueId Function::AddParam(Type type, std::string param_name) {
+  ValueInfo info;
+  info.type = type;
+  info.kind = ValueKind::kParam;
+  info.name = std::move(param_name);
+  values_.push_back(std::move(info));
+  return static_cast<ValueId>(values_.size() - 1);
+}
+
+ValueId Function::AddConstInt(Type type, std::int64_t v) {
+  ValueInfo info;
+  info.type = type;
+  info.kind = ValueKind::kConstant;
+  info.ival = v;
+  values_.push_back(info);
+  return static_cast<ValueId>(values_.size() - 1);
+}
+
+ValueId Function::AddConstFloat(Type type, double v) {
+  ValueInfo info;
+  info.type = type;
+  info.kind = ValueKind::kConstant;
+  info.fval = v;
+  values_.push_back(info);
+  return static_cast<ValueId>(values_.size() - 1);
+}
+
+ValueId Function::AddRegister(Type type) {
+  ValueInfo info;
+  info.type = type;
+  info.kind = ValueKind::kRegister;
+  values_.push_back(info);
+  return static_cast<ValueId>(values_.size() - 1);
+}
+
+BlockId Function::AddBlock(std::string label) {
+  BasicBlock bb;
+  bb.label = std::move(label);
+  blocks_.push_back(std::move(bb));
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+std::size_t Function::InstructionCount() const {
+  std::size_t count = 0;
+  for (BlockId b = 0; b < blocks_.size(); ++b) {
+    const BasicBlock& bb = blocks_[b];
+    count += bb.instructions.size();
+    switch (bb.terminator.kind) {
+      case TerminatorKind::kRet:
+        count += 1;
+        break;
+      case TerminatorKind::kBranch:
+        count += 1;
+        break;
+      case TerminatorKind::kJump:
+        // Fallthrough to the next block is free; a real jump costs one.
+        if (bb.terminator.true_target != b + 1) count += 1;
+        break;
+    }
+  }
+  return count;
+}
+
+void Function::Verify() const {
+  std::unordered_set<ValueId> defined;
+  for (ValueId v = 0; v < values_.size(); ++v) {
+    if (values_[v].kind != ValueKind::kRegister) defined.insert(v);
+  }
+  // First pass: record all register definitions, checking single assignment.
+  for (const BasicBlock& bb : blocks_) {
+    for (const Instruction& inst : bb.instructions) {
+      if (inst.has_dest()) {
+        KF_REQUIRE(inst.dest < values_.size())
+            << name_ << ": destination id out of range";
+        KF_REQUIRE(values_[inst.dest].kind == ValueKind::kRegister)
+            << name_ << ": instruction writes a non-register value";
+        KF_REQUIRE(defined.insert(inst.dest).second)
+            << name_ << ": value %" << inst.dest << " defined twice";
+      }
+    }
+  }
+  auto check_use = [&](ValueId v, const char* what) {
+    KF_REQUIRE(v < values_.size()) << name_ << ": " << what << " id out of range";
+    KF_REQUIRE(defined.count(v) != 0)
+        << name_ << ": use of undefined value %" << v << " as " << what;
+  };
+  for (const BasicBlock& bb : blocks_) {
+    for (const Instruction& inst : bb.instructions) {
+      for (ValueId v : inst.operands) check_use(v, "operand");
+      if (inst.is_guarded()) {
+        check_use(inst.guard, "guard");
+        KF_REQUIRE(values_[inst.guard].type == Type::kPred)
+            << name_ << ": guard is not a predicate";
+      }
+      if (inst.op == Opcode::kSt) {
+        KF_REQUIRE(inst.operands.size() == 2) << name_ << ": st needs slot+value";
+        KF_REQUIRE(!inst.has_dest()) << name_ << ": st has a destination";
+      }
+    }
+    const Terminator& term = bb.terminator;
+    if (term.kind == TerminatorKind::kBranch) {
+      check_use(term.condition, "branch condition");
+      KF_REQUIRE(term.true_target < blocks_.size() && term.false_target < blocks_.size())
+          << name_ << ": branch target out of range";
+    } else if (term.kind == TerminatorKind::kJump) {
+      KF_REQUIRE(term.true_target < blocks_.size())
+          << name_ << ": jump target out of range";
+    }
+  }
+}
+
+void Function::ReplaceAllUses(ValueId from, ValueId to) {
+  for (BasicBlock& bb : blocks_) {
+    for (Instruction& inst : bb.instructions) {
+      for (ValueId& v : inst.operands) {
+        if (v == from) v = to;
+      }
+      if (inst.guard == from) inst.guard = to;
+    }
+    if (bb.terminator.condition == from) bb.terminator.condition = to;
+  }
+}
+
+std::string Function::ToString() const {
+  std::ostringstream os;
+  os << ".func " << name_ << " {\n";
+  auto value_name = [&](ValueId v) {
+    const ValueInfo& info = values_[v];
+    std::ostringstream vs;
+    if (info.kind == ValueKind::kConstant) {
+      if (info.is_float()) {
+        vs << info.fval;
+      } else {
+        vs << info.ival;
+      }
+    } else if (!info.name.empty()) {
+      vs << "%" << info.name;
+    } else {
+      vs << "%r" << v;
+    }
+    return vs.str();
+  };
+  for (BlockId b = 0; b < blocks_.size(); ++b) {
+    const BasicBlock& bb = blocks_[b];
+    os << bb.label << ":\n";
+    for (const Instruction& inst : bb.instructions) {
+      os << "  ";
+      if (inst.is_guarded()) os << "@" << value_name(inst.guard) << " ";
+      os << kf::ir::ToString(inst.op) << "." << kf::ir::ToString(inst.type);
+      if (inst.has_dest()) os << " " << value_name(inst.dest) << ",";
+      for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+        os << " " << value_name(inst.operands[i]);
+        if (i + 1 < inst.operands.size()) os << ",";
+      }
+      os << ";\n";
+    }
+    const Terminator& term = bb.terminator;
+    switch (term.kind) {
+      case TerminatorKind::kRet:
+        os << "  ret;\n";
+        break;
+      case TerminatorKind::kJump:
+        os << "  bra " << blocks_[term.true_target].label << ";\n";
+        break;
+      case TerminatorKind::kBranch:
+        os << "  @" << value_name(term.condition) << " bra "
+           << blocks_[term.true_target].label << "; else bra "
+           << blocks_[term.false_target].label << ";\n";
+        break;
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace kf::ir

@@ -1,0 +1,84 @@
+// Functions and basic blocks of the mini kernel IR.
+//
+// Control flow is structured: codegen only emits nested if-then (triangle)
+// regions, so blocks are kept in a topological order and terminators are
+// either a conditional branch, an unconditional jump, or a return. A jump to
+// the lexically next block is a *fallthrough* and is not counted as an
+// instruction (matching how one reads straight-line PTX).
+#ifndef KF_IR_FUNCTION_H_
+#define KF_IR_FUNCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "ir/value.h"
+
+namespace kf::ir {
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlock = 0xffffffffu;
+
+enum class TerminatorKind : std::uint8_t { kJump, kBranch, kRet };
+
+struct Terminator {
+  TerminatorKind kind = TerminatorKind::kRet;
+  ValueId condition = kNoValue;   // kBranch only
+  BlockId true_target = kNoBlock;
+  BlockId false_target = kNoBlock;  // kBranch only
+};
+
+struct BasicBlock {
+  std::string label;
+  std::vector<Instruction> instructions;
+  Terminator terminator;
+};
+
+class Function {
+ public:
+  explicit Function(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- Values ---------------------------------------------------------------
+  ValueId AddParam(Type type, std::string param_name);
+  ValueId AddConstInt(Type type, std::int64_t value);
+  ValueId AddConstFloat(Type type, double value);
+  ValueId AddRegister(Type type);
+
+  const ValueInfo& value(ValueId id) const { return values_.at(id); }
+  ValueInfo& value(ValueId id) { return values_.at(id); }
+  std::size_t value_count() const { return values_.size(); }
+
+  // --- Blocks ---------------------------------------------------------------
+  BlockId AddBlock(std::string label);
+  BasicBlock& block(BlockId id) { return blocks_.at(id); }
+  const BasicBlock& block(BlockId id) const { return blocks_.at(id); }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  // --- Analysis / reporting --------------------------------------------------
+  // Counts executable instructions: block bodies, conditional branches, and
+  // returns. Jumps to the next block (fallthroughs) are free; other jumps
+  // count as one instruction.
+  std::size_t InstructionCount() const;
+
+  // Structural well-formedness: operand ids valid, branch targets valid,
+  // destinations defined once, uses reachable. Throws kf::Error on failure.
+  void Verify() const;
+
+  // PTX-flavored textual dump.
+  std::string ToString() const;
+
+  // Replace every use of `from` (operands and guards) with `to`.
+  void ReplaceAllUses(ValueId from, ValueId to);
+
+ private:
+  std::string name_;
+  std::vector<ValueInfo> values_;
+  std::vector<BasicBlock> blocks_;
+};
+
+}  // namespace kf::ir
+
+#endif  // KF_IR_FUNCTION_H_

@@ -1,0 +1,53 @@
+// Instructions of the mini kernel IR.
+#ifndef KF_IR_INSTRUCTION_H_
+#define KF_IR_INSTRUCTION_H_
+
+#include <vector>
+
+#include "ir/value.h"
+
+namespace kf::ir {
+
+enum class Opcode : std::uint8_t {
+  // Data movement.
+  kMov,   // dest = op0
+  kLd,    // dest = load(slot op0)            — slot is a kPtr param
+  kSt,    // store(slot op0, value op1)       — side effect
+  kCvt,   // dest = convert(op0)
+  // Arithmetic.
+  kAdd, kSub, kMul, kDiv, kMad,  // mad: dest = op0 * op1 + op2
+  kMin, kMax,
+  // Comparison (dest is kPred).
+  kSetLt, kSetLe, kSetGt, kSetGe, kSetEq, kSetNe,
+  // Predicate logic.
+  kAnd, kOr, kXor, kNot,
+  // Select: dest = op0(pred) ? op1 : op2.
+  kSelp,
+};
+
+const char* ToString(Opcode op);
+
+// True if executing the instruction speculatively is safe (no side effects,
+// no faults in our abstract machine — loads read from private slots).
+bool IsSpeculatable(Opcode op);
+
+// True for comparison opcodes producing predicates.
+bool IsCompare(Opcode op);
+
+struct Instruction {
+  Opcode op = Opcode::kMov;
+  Type type = Type::kI32;          // result / operation type
+  ValueId dest = kNoValue;         // kNoValue for stores
+  std::vector<ValueId> operands;
+  // Optional guard predicate (PTX "@p"). Guarded instructions execute only
+  // when the predicate is true; only stores are ever guarded after
+  // if-conversion, but the field is general.
+  ValueId guard = kNoValue;
+
+  bool has_dest() const { return dest != kNoValue; }
+  bool is_guarded() const { return guard != kNoValue; }
+};
+
+}  // namespace kf::ir
+
+#endif  // KF_IR_INSTRUCTION_H_

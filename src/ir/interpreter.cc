@@ -1,0 +1,234 @@
+#include "ir/interpreter.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace kf::ir {
+
+namespace {
+
+// Runtime value: integers (incl. predicates) in `i`, floats in `f`.
+struct RuntimeValue {
+  std::int64_t i = 0;
+  double f = 0.0;
+  bool is_float = false;
+
+  double as_double() const { return is_float ? f : static_cast<double>(i); }
+  std::int64_t as_int() const { return is_float ? static_cast<std::int64_t>(f) : i; }
+  bool truthy() const { return is_float ? f != 0.0 : i != 0; }
+};
+
+RuntimeValue FromInt(std::int64_t v) { return RuntimeValue{v, 0.0, false}; }
+RuntimeValue FromFloat(double v) { return RuntimeValue{0, v, true}; }
+
+// Two's-complement wrapping arithmetic (defined behaviour on overflow, like
+// the hardware the IR models).
+std::int64_t WrapAdd(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t WrapSub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t WrapMul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+bool IsFloatType(Type t) { return t == Type::kF32 || t == Type::kF64; }
+
+}  // namespace
+
+InterpreterResult Interpret(const Function& function, const SlotState& initial,
+                            std::size_t max_steps) {
+  InterpreterResult result;
+  result.slots = initial;
+
+  std::vector<RuntimeValue> values(function.value_count());
+  std::vector<bool> defined(function.value_count(), false);
+  for (ValueId v = 0; v < function.value_count(); ++v) {
+    const ValueInfo& info = function.value(v);
+    if (info.kind == ValueKind::kConstant) {
+      values[v] = info.is_float() ? FromFloat(info.fval) : FromInt(info.ival);
+      defined[v] = true;
+    } else if (info.kind == ValueKind::kParam && info.type != Type::kPtr) {
+      values[v] = FromInt(info.ival);
+      defined[v] = true;
+    } else if (info.kind == ValueKind::kParam) {
+      defined[v] = true;  // slot handle; value unused
+    }
+  }
+
+  auto slot_name = [&](ValueId v) -> const std::string& {
+    const ValueInfo& info = function.value(v);
+    KF_REQUIRE(info.kind == ValueKind::kParam && info.type == Type::kPtr)
+        << function.name() << ": memory operand is not a slot parameter";
+    return info.name;
+  };
+  auto use = [&](ValueId v) -> const RuntimeValue& {
+    KF_REQUIRE(defined[v]) << function.name() << ": use of undefined %" << v;
+    return values[v];
+  };
+
+  KF_REQUIRE(function.block_count() > 0) << function.name() << ": no blocks";
+  BlockId block = 0;
+  std::size_t steps = 0;
+  for (;;) {
+    const BasicBlock& bb = function.block(block);
+    for (const Instruction& inst : bb.instructions) {
+      KF_REQUIRE(++steps <= max_steps)
+          << function.name() << ": exceeded " << max_steps << " steps";
+      ++result.dynamic_instructions;
+      if (inst.is_guarded() && !use(inst.guard).truthy()) continue;
+
+      const bool float_op = IsFloatType(inst.type);
+      auto binary = [&](auto int_fn, auto float_fn) {
+        const RuntimeValue& a = use(inst.operands[0]);
+        const RuntimeValue& b = use(inst.operands[1]);
+        if (float_op || a.is_float || b.is_float) {
+          return FromFloat(float_fn(a.as_double(), b.as_double()));
+        }
+        return FromInt(int_fn(a.i, b.i));
+      };
+      auto compare = [&](auto predicate) {
+        const RuntimeValue& a = use(inst.operands[0]);
+        const RuntimeValue& b = use(inst.operands[1]);
+        const bool truth = (a.is_float || b.is_float)
+                               ? predicate(a.as_double(), b.as_double())
+                               : predicate(a.i, b.i);
+        return FromInt(truth ? 1 : 0);
+      };
+
+      RuntimeValue out;
+      bool writes = true;
+      switch (inst.op) {
+        case Opcode::kMov:
+        case Opcode::kCvt:
+          out = use(inst.operands[0]);
+          break;
+        case Opcode::kLd: {
+          const std::string& name = slot_name(inst.operands[0]);
+          if (float_op) {
+            auto it = result.slots.floats.find(name);
+            out = FromFloat(it == result.slots.floats.end() ? 0.0 : it->second);
+          } else {
+            auto it = result.slots.ints.find(name);
+            out = FromInt(it == result.slots.ints.end() ? 0 : it->second);
+          }
+          break;
+        }
+        case Opcode::kSt: {
+          const std::string& name = slot_name(inst.operands[0]);
+          const RuntimeValue& v = use(inst.operands[1]);
+          if (v.is_float || float_op) {
+            result.slots.floats[name] = v.as_double();
+          } else {
+            result.slots.ints[name] = v.i;
+          }
+          writes = false;
+          break;
+        }
+        case Opcode::kAdd:
+          out = binary([](auto a, auto b) { return WrapAdd(a, b); },
+                       [](double a, double b) { return a + b; });
+          break;
+        case Opcode::kSub:
+          out = binary([](auto a, auto b) { return WrapSub(a, b); },
+                       [](double a, double b) { return a - b; });
+          break;
+        case Opcode::kMul:
+          out = binary([](auto a, auto b) { return WrapMul(a, b); },
+                       [](double a, double b) { return a * b; });
+          break;
+        case Opcode::kDiv: {
+          const RuntimeValue& b = use(inst.operands[1]);
+          KF_REQUIRE(b.is_float || b.i != 0)
+              << function.name() << ": integer division by zero";
+          out = binary([](auto lhs, auto rhs) { return lhs / rhs; },
+                       [](double lhs, double rhs) { return lhs / rhs; });
+          break;
+        }
+        case Opcode::kMad: {
+          const RuntimeValue& a = use(inst.operands[0]);
+          const RuntimeValue& b = use(inst.operands[1]);
+          const RuntimeValue& c = use(inst.operands[2]);
+          if (float_op || a.is_float || b.is_float || c.is_float) {
+            out = FromFloat(a.as_double() * b.as_double() + c.as_double());
+          } else {
+            out = FromInt(WrapAdd(WrapMul(a.i, b.i), c.i));
+          }
+          break;
+        }
+        case Opcode::kMin:
+          out = binary([](auto a, auto b) { return std::min(a, b); },
+                       [](double a, double b) { return std::min(a, b); });
+          break;
+        case Opcode::kMax:
+          out = binary([](auto a, auto b) { return std::max(a, b); },
+                       [](double a, double b) { return std::max(a, b); });
+          break;
+        case Opcode::kSetLt:
+          out = compare([](auto a, auto b) { return a < b; });
+          break;
+        case Opcode::kSetLe:
+          out = compare([](auto a, auto b) { return a <= b; });
+          break;
+        case Opcode::kSetGt:
+          out = compare([](auto a, auto b) { return a > b; });
+          break;
+        case Opcode::kSetGe:
+          out = compare([](auto a, auto b) { return a >= b; });
+          break;
+        case Opcode::kSetEq:
+          out = compare([](auto a, auto b) { return a == b; });
+          break;
+        case Opcode::kSetNe:
+          out = compare([](auto a, auto b) { return a != b; });
+          break;
+        case Opcode::kAnd:
+          out = FromInt(use(inst.operands[0]).truthy() && use(inst.operands[1]).truthy()
+                            ? 1 : 0);
+          break;
+        case Opcode::kOr:
+          out = FromInt(use(inst.operands[0]).truthy() || use(inst.operands[1]).truthy()
+                            ? 1 : 0);
+          break;
+        case Opcode::kXor:
+          out = FromInt(use(inst.operands[0]).truthy() != use(inst.operands[1]).truthy()
+                            ? 1 : 0);
+          break;
+        case Opcode::kNot:
+          out = FromInt(use(inst.operands[0]).truthy() ? 0 : 1);
+          break;
+        case Opcode::kSelp:
+          out = use(inst.operands[0]).truthy() ? use(inst.operands[1])
+                                               : use(inst.operands[2]);
+          break;
+      }
+      if (writes && inst.has_dest()) {
+        values[inst.dest] = out;
+        defined[inst.dest] = true;
+      }
+    }
+
+    const Terminator& term = bb.terminator;
+    if (term.kind == TerminatorKind::kRet) {
+      ++result.dynamic_instructions;
+      return result;
+    }
+    KF_REQUIRE(++steps <= max_steps)
+        << function.name() << ": exceeded " << max_steps << " steps";
+    if (term.kind == TerminatorKind::kJump) {
+      if (term.true_target != block + 1) ++result.dynamic_instructions;
+      block = term.true_target;
+    } else {
+      ++result.dynamic_instructions;
+      block = use(term.condition).truthy() ? term.true_target : term.false_target;
+    }
+  }
+}
+
+}  // namespace kf::ir

@@ -1,0 +1,44 @@
+// Reference interpreter for the mini kernel IR.
+//
+// Executes one kernel body over one element's worth of slot state, exactly
+// like a single GPU thread would. Its purpose is verification: the optimizer
+// pipeline must be semantics-preserving, so tests run every kernel at -O0
+// and -O3 over randomized inputs and require identical final slot states.
+#ifndef KF_IR_INTERPRETER_H_
+#define KF_IR_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ir/function.h"
+
+namespace kf::ir {
+
+// Memory visible to one kernel invocation: one scalar cell per kPtr
+// parameter, addressed by parameter name.
+struct SlotState {
+  std::map<std::string, std::int64_t> ints;
+  std::map<std::string, double> floats;
+
+  friend bool operator==(const SlotState&, const SlotState&) = default;
+};
+
+struct InterpreterResult {
+  SlotState slots;
+  // Dynamic instruction count (executed instructions incl. taken branches) —
+  // lets tests assert that optimization reduces *executed* work too.
+  std::size_t dynamic_instructions = 0;
+};
+
+// Runs `function` against the initial slot state. Unwritten slots keep
+// their initial values; loads from slots absent in `initial` read 0.
+// Throws kf::Error on malformed IR (bad block order, infinite loops beyond
+// `max_steps`, type confusion).
+InterpreterResult Interpret(const Function& function, const SlotState& initial,
+                            std::size_t max_steps = 10000);
+
+}  // namespace kf::ir
+
+#endif  // KF_IR_INTERPRETER_H_

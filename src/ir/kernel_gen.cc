@@ -1,0 +1,150 @@
+#include "ir/kernel_gen.h"
+
+#include "common/error.h"
+#include "ir/builder.h"
+
+namespace kf::ir {
+
+Opcode ToOpcode(CompareKind kind) {
+  switch (kind) {
+    case CompareKind::kLt: return Opcode::kSetLt;
+    case CompareKind::kLe: return Opcode::kSetLe;
+    case CompareKind::kGt: return Opcode::kSetGt;
+    case CompareKind::kGe: return Opcode::kSetGe;
+    case CompareKind::kEq: return Opcode::kSetEq;
+    case CompareKind::kNe: return Opcode::kSetNe;
+  }
+  return Opcode::kSetLt;
+}
+
+Function BuildSelectKernel(const std::string& name, const FilterStep& step) {
+  Function function(name);
+  IrBuilder builder(function, /*materialize_constants=*/true);
+  const ValueId in_slot = function.AddParam(Type::kPtr, "in");
+  const ValueId out_slot = function.AddParam(Type::kPtr, "out");
+  const ValueId threshold = function.AddConstInt(Type::kI32, step.threshold);
+
+  const BlockId entry = builder.CreateBlock("entry");
+  const BlockId then_block = builder.CreateBlock("matched");
+  const BlockId exit = builder.CreateBlock("exit");
+
+  builder.SetInsertBlock(entry);
+  const ValueId d = builder.Load(Type::kI32, in_slot);
+  const ValueId pred = builder.Compare(ToOpcode(step.compare), d, threshold);
+  builder.Branch(pred, then_block, exit);
+
+  builder.SetInsertBlock(then_block);
+  builder.Store(out_slot, d);
+  builder.Jump(exit);
+
+  builder.SetInsertBlock(exit);
+  builder.Ret();
+
+  function.Verify();
+  return function;
+}
+
+Function BuildFusedSelectKernel(const std::string& name,
+                                const std::vector<FilterStep>& steps) {
+  KF_REQUIRE(!steps.empty()) << "fused select needs at least one step";
+  Function function(name);
+  IrBuilder builder(function, /*materialize_constants=*/true);
+  const ValueId in_slot = function.AddParam(Type::kPtr, "in");
+  const ValueId out_slot = function.AddParam(Type::kPtr, "out");
+
+  // One nested triangle per filter; the innermost block stores the element.
+  const BlockId entry = builder.CreateBlock("entry");
+  std::vector<BlockId> level_blocks;
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    level_blocks.push_back(builder.CreateBlock("pass" + std::to_string(i)));
+  }
+  const BlockId store_block = builder.CreateBlock("matched");
+  const BlockId exit = builder.CreateBlock("exit");
+
+  builder.SetInsertBlock(entry);
+  ValueId current = builder.Load(Type::kI32, in_slot);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const ValueId threshold = function.AddConstInt(Type::kI32, steps[i].threshold);
+    const ValueId pred = builder.Compare(ToOpcode(steps[i].compare), current, threshold);
+    const BlockId next = i + 1 < steps.size() ? level_blocks[i] : store_block;
+    builder.Branch(pred, next, exit);
+    builder.SetInsertBlock(next);
+    if (i + 1 < steps.size()) {
+      // The downstream kernel's "load of the intermediate" became a register
+      // copy during fusion — unoptimized fusion keeps the mov.
+      current = builder.Mov(Type::kI32, current);
+    }
+  }
+  builder.Store(out_slot, current);
+  builder.Jump(exit);
+
+  builder.SetInsertBlock(exit);
+  builder.Ret();
+
+  function.Verify();
+  return function;
+}
+
+Function BuildArithKernelA(const std::string& name) {
+  Function function(name);
+  IrBuilder builder(function, /*materialize_constants=*/true);
+  const ValueId a1 = function.AddParam(Type::kPtr, "a1");
+  const ValueId a2 = function.AddParam(Type::kPtr, "a2");
+  const ValueId temp = function.AddParam(Type::kPtr, "temp");
+
+  const BlockId entry = builder.CreateBlock("entry");
+  builder.SetInsertBlock(entry);
+  const ValueId x = builder.Load(Type::kI32, a1);
+  const ValueId y = builder.Load(Type::kI32, a2);
+  const ValueId sum = builder.Binary(Opcode::kAdd, Type::kI32, x, y);
+  builder.Store(temp, sum);
+  builder.Ret();
+
+  function.Verify();
+  return function;
+}
+
+Function BuildArithKernelB(const std::string& name) {
+  Function function(name);
+  IrBuilder builder(function, /*materialize_constants=*/true);
+  const ValueId temp = function.AddParam(Type::kPtr, "temp");
+  const ValueId a3 = function.AddParam(Type::kPtr, "a3");
+  const ValueId out = function.AddParam(Type::kPtr, "out");
+
+  const BlockId entry = builder.CreateBlock("entry");
+  builder.SetInsertBlock(entry);
+  const ValueId t = builder.Load(Type::kI32, temp);
+  const ValueId z = builder.Load(Type::kI32, a3);
+  const ValueId diff = builder.Binary(Opcode::kSub, Type::kI32, t, z);
+  builder.Store(out, diff);
+  builder.Ret();
+
+  function.Verify();
+  return function;
+}
+
+Function BuildFusedArithKernel(const std::string& name) {
+  Function function(name);
+  IrBuilder builder(function, /*materialize_constants=*/true);
+  const ValueId a1 = function.AddParam(Type::kPtr, "a1");
+  const ValueId a2 = function.AddParam(Type::kPtr, "a2");
+  const ValueId a3 = function.AddParam(Type::kPtr, "a3");
+  const ValueId out = function.AddParam(Type::kPtr, "out");
+
+  const BlockId entry = builder.CreateBlock("entry");
+  builder.SetInsertBlock(entry);
+  const ValueId x = builder.Load(Type::kI32, a1);
+  const ValueId y = builder.Load(Type::kI32, a2);
+  const ValueId sum = builder.Binary(Opcode::kAdd, Type::kI32, x, y);
+  // Fusion: kernel B's load of the temporary becomes a register copy.
+  const ValueId t = builder.Mov(Type::kI32, sum);
+  const ValueId z = builder.Load(Type::kI32, a3);
+  const ValueId diff = builder.Binary(Opcode::kSub, Type::kI32, t, z);
+  builder.Store(out, diff);
+  builder.Ret();
+
+  function.Verify();
+  return function;
+}
+
+}  // namespace kf::ir

@@ -1,0 +1,53 @@
+// Generators producing mini-IR kernel bodies for the paper's code examples.
+//
+// These model what a straightforward (-O0-style) CUDA-C-to-PTX translation of
+// the filter stage of the staged SELECT operator looks like, before and after
+// kernel fusion. The Table III experiment runs the optimizer pipeline over
+// these bodies and counts instructions.
+//
+// Conventions mirroring an unoptimized compiler:
+//   * every constant is materialized into a register with `mov` before use;
+//   * each original kernel loads its input from a memory slot and stores its
+//     output to a memory slot;
+//   * fusion replaces the intermediate slot round trip with a register copy
+//     (`mov`), exactly what the paper's source-level fusion does — the fused
+//     body is NOT hand-optimized (paper Section I).
+#ifndef KF_IR_KERNEL_GEN_H_
+#define KF_IR_KERNEL_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace kf::ir {
+
+enum class CompareKind { kLt, kLe, kGt, kGe, kEq, kNe };
+
+Opcode ToOpcode(CompareKind kind);
+
+struct FilterStep {
+  CompareKind compare = CompareKind::kLt;
+  std::int64_t threshold = 0;
+};
+
+// A single SELECT filter body:  d = in[i]; if (d <op> T) out[i] = d.
+Function BuildSelectKernel(const std::string& name, const FilterStep& step);
+
+// The unoptimized fusion of a chain of SELECT filters: the kernels' bodies
+// concatenated, with each intermediate slot replaced by a register `mov`
+// and each later body guarded by the earlier predicates (nested triangles).
+Function BuildFusedSelectKernel(const std::string& name,
+                                const std::vector<FilterStep>& steps);
+
+// Figure 5's example: kernel A adds two arrays, kernel B subtracts a third.
+// `BuildArithKernelA/B` are the separate kernels (B loads A's result from a
+// temporary slot); `BuildFusedArithKernel` is their unoptimized fusion.
+Function BuildArithKernelA(const std::string& name);
+Function BuildArithKernelB(const std::string& name);
+Function BuildFusedArithKernel(const std::string& name);
+
+}  // namespace kf::ir
+
+#endif  // KF_IR_KERNEL_GEN_H_

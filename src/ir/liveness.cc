@@ -1,0 +1,89 @@
+#include "ir/liveness.h"
+
+#include <algorithm>
+#include <set>
+
+namespace kf::ir {
+
+namespace {
+
+bool IsRegister(const Function& f, ValueId v) {
+  return f.value(v).kind == ValueKind::kRegister;
+}
+
+void UseValue(const Function& f, std::set<ValueId>& live, ValueId v) {
+  if (v != kNoValue && IsRegister(f, v)) live.insert(v);
+}
+
+}  // namespace
+
+LivenessInfo AnalyzeLiveness(const Function& function) {
+  const std::size_t blocks = function.block_count();
+  std::vector<std::set<ValueId>> live_in(blocks), live_out(blocks);
+
+  // Successors per block.
+  auto successors = [&](BlockId b) {
+    std::vector<BlockId> succ;
+    const Terminator& term = function.block(b).terminator;
+    if (term.kind != TerminatorKind::kRet) succ.push_back(term.true_target);
+    if (term.kind == TerminatorKind::kBranch) succ.push_back(term.false_target);
+    return succ;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b = blocks; b-- > 0;) {
+      std::set<ValueId> out;
+      for (BlockId s : successors(b)) {
+        out.insert(live_in[s].begin(), live_in[s].end());
+      }
+      std::set<ValueId> in = out;
+      const BasicBlock& bb = function.block(b);
+      UseValue(function, in, bb.terminator.condition);
+      for (std::size_t i = bb.instructions.size(); i-- > 0;) {
+        const Instruction& inst = bb.instructions[i];
+        if (inst.has_dest()) in.erase(inst.dest);
+        for (ValueId v : inst.operands) UseValue(function, in, v);
+        UseValue(function, in, inst.guard);
+      }
+      if (in != live_in[b] || out != live_out[b]) {
+        live_in[b] = std::move(in);
+        live_out[b] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+
+  LivenessInfo info;
+  info.live_in.resize(blocks);
+  info.live_out.resize(blocks);
+  for (BlockId b = 0; b < blocks; ++b) {
+    info.live_in[b].assign(live_in[b].begin(), live_in[b].end());
+    info.live_out[b].assign(live_out[b].begin(), live_out[b].end());
+  }
+
+  // Peak pressure: walk each block backward from its live-out set.
+  int max_pressure = 0;
+  for (BlockId b = 0; b < blocks; ++b) {
+    std::set<ValueId> live = live_out[b];
+    const BasicBlock& bb = function.block(b);
+    UseValue(function, live, bb.terminator.condition);
+    max_pressure = std::max(max_pressure, static_cast<int>(live.size()));
+    for (std::size_t i = bb.instructions.size(); i-- > 0;) {
+      const Instruction& inst = bb.instructions[i];
+      if (inst.has_dest()) live.erase(inst.dest);
+      for (ValueId v : inst.operands) UseValue(function, live, v);
+      UseValue(function, live, inst.guard);
+      max_pressure = std::max(max_pressure, static_cast<int>(live.size()));
+    }
+  }
+  info.max_pressure = max_pressure;
+  return info;
+}
+
+int MaxRegisterPressure(const Function& function) {
+  return AnalyzeLiveness(function).max_pressure;
+}
+
+}  // namespace kf::ir

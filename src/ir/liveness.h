@@ -1,0 +1,33 @@
+// Liveness analysis and register-pressure measurement for the mini IR.
+//
+// The fusion planner guards cluster growth with an *estimated* per-thread
+// register demand (core/dependence). This analysis computes the real
+// maximum number of simultaneously-live register values of a generated
+// kernel body, so tests can hold the estimate against ground truth and the
+// register-pressure ablation can show the pressure growth of deeper fusion.
+#ifndef KF_IR_LIVENESS_H_
+#define KF_IR_LIVENESS_H_
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace kf::ir {
+
+struct LivenessInfo {
+  // Per block: values live on entry / exit (register values only).
+  std::vector<std::vector<ValueId>> live_in;
+  std::vector<std::vector<ValueId>> live_out;
+  // Maximum number of simultaneously live registers anywhere in the function.
+  int max_pressure = 0;
+};
+
+// Classic backward dataflow liveness over the CFG, to a fixpoint.
+LivenessInfo AnalyzeLiveness(const Function& function);
+
+// Convenience: just the peak register pressure.
+int MaxRegisterPressure(const Function& function);
+
+}  // namespace kf::ir
+
+#endif  // KF_IR_LIVENESS_H_

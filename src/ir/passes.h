@@ -1,0 +1,63 @@
+// Optimization passes over the mini kernel IR.
+//
+// The pipeline is a compact model of what `nvcc -O3` does to kernel bodies,
+// sufficient to reproduce the mechanism behind paper Table III: after kernel
+// fusion the optimizer sees both filter bodies at once, so if-conversion,
+// predicate combining, CSE, and DCE collapse the fused body far below the
+// sum of the separately-optimized kernels.
+#ifndef KF_IR_PASSES_H_
+#define KF_IR_PASSES_H_
+
+#include <memory>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace kf::ir {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  // Returns true if the function was modified.
+  virtual bool Run(Function& function) = 0;
+};
+
+// Removes instructions whose results are never used (stores are kept).
+std::unique_ptr<Pass> MakeDeadCodeEliminationPass();
+// Forwards `mov` sources into uses and deletes the movs.
+std::unique_ptr<Pass> MakeCopyPropagationPass();
+// Evaluates operations whose operands are all constants.
+std::unique_ptr<Pass> MakeConstantFoldPass();
+// Block-local common-subexpression elimination (value numbering).
+std::unique_ptr<Pass> MakeCsePass();
+// Converts single-predecessor if-then triangles into predicated straight-line
+// code (PTX "@p st"), removing branches and unreachable blocks.
+std::unique_ptr<Pass> MakeIfConversionPass();
+// Rewrites and/or of comparisons of one value against constants into a single
+// comparison against the tighter bound (e.g. d<5 && d<3  =>  d<3).
+std::unique_ptr<Pass> MakePredicateCombinePass();
+// Algebraic identities: x+0, x*1, p&&p, selp(p,a,a), not(not(x)), ...
+std::unique_ptr<Pass> MakePeepholePass();
+
+class PassManager {
+ public:
+  void Add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+
+  // Runs the pipeline repeatedly until a fixpoint (bounded), verifying the
+  // function after every pass. Returns the number of full iterations.
+  int RunToFixpoint(Function& function, int max_iterations = 10);
+
+  // The standard -O3-like pipeline.
+  static PassManager StandardO3();
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// Convenience: run the standard pipeline on `function`.
+void OptimizeO3(Function& function);
+
+}  // namespace kf::ir
+
+#endif  // KF_IR_PASSES_H_

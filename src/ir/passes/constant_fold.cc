@@ -1,0 +1,131 @@
+#include <cmath>
+#include <optional>
+
+#include "ir/passes.h"
+
+namespace kf::ir {
+namespace {
+
+// Evaluates an all-constant operation; returns the folded constant id, or
+// nullopt when the opcode cannot be folded (loads, stores, ...).
+std::optional<ValueId> Fold(Function& function, const Instruction& inst) {
+  for (ValueId v : inst.operands) {
+    if (!function.value(v).is_constant()) return std::nullopt;
+  }
+  const bool is_float = inst.type == Type::kF32 || inst.type == Type::kF64;
+  auto ival = [&](std::size_t i) { return function.value(inst.operands[i]).ival; };
+  auto fval = [&](std::size_t i) { return function.value(inst.operands[i]).as_double(); };
+  auto make_int = [&](std::int64_t v) { return function.AddConstInt(inst.type, v); };
+  auto make_float = [&](double v) { return function.AddConstFloat(inst.type, v); };
+  auto make_pred = [&](bool v) { return function.AddConstInt(Type::kPred, v ? 1 : 0); };
+  // Wrapping integer arithmetic, matching the interpreter (and hardware).
+  auto wrap = [](auto fn, std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(
+        fn(static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(b)));
+  };
+
+  switch (inst.op) {
+    case Opcode::kAdd:
+      return is_float ? make_float(fval(0) + fval(1))
+                      : make_int(wrap([](auto a, auto b) { return a + b; }, ival(0),
+                                      ival(1)));
+    case Opcode::kSub:
+      return is_float ? make_float(fval(0) - fval(1))
+                      : make_int(wrap([](auto a, auto b) { return a - b; }, ival(0),
+                                      ival(1)));
+    case Opcode::kMul:
+      return is_float ? make_float(fval(0) * fval(1))
+                      : make_int(wrap([](auto a, auto b) { return a * b; }, ival(0),
+                                      ival(1)));
+    case Opcode::kDiv:
+      if (!is_float && ival(1) == 0) return std::nullopt;
+      return is_float ? make_float(fval(0) / fval(1)) : make_int(ival(0) / ival(1));
+    case Opcode::kMad:
+      return is_float
+                 ? make_float(fval(0) * fval(1) + fval(2))
+                 : make_int(wrap([](auto a, auto b) { return a + b; },
+                                 wrap([](auto a, auto b) { return a * b; }, ival(0),
+                                      ival(1)),
+                                 ival(2)));
+    case Opcode::kMin:
+      return is_float ? make_float(std::min(fval(0), fval(1)))
+                      : make_int(std::min(ival(0), ival(1)));
+    case Opcode::kMax:
+      return is_float ? make_float(std::max(fval(0), fval(1)))
+                      : make_int(std::max(ival(0), ival(1)));
+    case Opcode::kSetLt:
+      return make_pred(is_float ? fval(0) < fval(1) : ival(0) < ival(1));
+    case Opcode::kSetLe:
+      return make_pred(is_float ? fval(0) <= fval(1) : ival(0) <= ival(1));
+    case Opcode::kSetGt:
+      return make_pred(is_float ? fval(0) > fval(1) : ival(0) > ival(1));
+    case Opcode::kSetGe:
+      return make_pred(is_float ? fval(0) >= fval(1) : ival(0) >= ival(1));
+    case Opcode::kSetEq:
+      return make_pred(is_float ? fval(0) == fval(1) : ival(0) == ival(1));
+    case Opcode::kSetNe:
+      return make_pred(is_float ? fval(0) != fval(1) : ival(0) != ival(1));
+    case Opcode::kAnd:
+      return make_pred(ival(0) != 0 && ival(1) != 0);
+    case Opcode::kOr:
+      return make_pred(ival(0) != 0 || ival(1) != 0);
+    case Opcode::kXor:
+      return make_pred((ival(0) != 0) != (ival(1) != 0));
+    case Opcode::kNot:
+      return make_pred(ival(0) == 0);
+    case Opcode::kSelp:
+      return inst.operands[ival(0) != 0 ? 1 : 2];
+    case Opcode::kCvt:
+      return is_float ? make_float(fval(0)) : make_int(ival(0));
+    default:
+      return std::nullopt;
+  }
+}
+
+class ConstantFoldPass final : public Pass {
+ public:
+  const char* name() const override { return "constant-fold"; }
+
+  bool Run(Function& function) override {
+    bool changed = false;
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      auto& instructions = function.block(b).instructions;
+      for (std::size_t i = 0; i < instructions.size();) {
+        Instruction& inst = instructions[i];
+        if (inst.has_dest() && !inst.is_guarded()) {
+          if (auto folded = Fold(function, inst)) {
+            const ValueId dest = inst.dest;
+            instructions.erase(instructions.begin() + static_cast<std::ptrdiff_t>(i));
+            function.ReplaceAllUses(dest, *folded);
+            changed = true;
+            continue;
+          }
+        }
+        ++i;
+      }
+      // Fold branches on constant conditions, and branches whose two targets
+      // coincide, into jumps.
+      Terminator& term = function.block(b).terminator;
+      if (term.kind == TerminatorKind::kBranch &&
+          (function.value(term.condition).is_constant() ||
+           term.true_target == term.false_target)) {
+        const bool taken = term.true_target == term.false_target ||
+                           function.value(term.condition).ival != 0;
+        term.kind = TerminatorKind::kJump;
+        term.true_target = taken ? term.true_target : term.false_target;
+        term.condition = kNoValue;
+        term.false_target = kNoBlock;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeConstantFoldPass() {
+  return std::make_unique<ConstantFoldPass>();
+}
+
+}  // namespace kf::ir

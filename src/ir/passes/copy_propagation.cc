@@ -1,0 +1,38 @@
+#include "ir/passes.h"
+
+namespace kf::ir {
+namespace {
+
+class CopyPropagationPass final : public Pass {
+ public:
+  const char* name() const override { return "copy-prop"; }
+
+  bool Run(Function& function) override {
+    bool changed = false;
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      auto& instructions = function.block(b).instructions;
+      for (std::size_t i = 0; i < instructions.size();) {
+        const Instruction& inst = instructions[i];
+        if (inst.op == Opcode::kMov && !inst.is_guarded() && inst.has_dest() &&
+            inst.operands.size() == 1) {
+          const ValueId dest = inst.dest;
+          const ValueId src = inst.operands[0];
+          instructions.erase(instructions.begin() + static_cast<std::ptrdiff_t>(i));
+          function.ReplaceAllUses(dest, src);
+          changed = true;
+          continue;  // re-examine the instruction now at position i
+        }
+        ++i;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeCopyPropagationPass() {
+  return std::make_unique<CopyPropagationPass>();
+}
+
+}  // namespace kf::ir

@@ -1,0 +1,61 @@
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "ir/passes.h"
+
+namespace kf::ir {
+namespace {
+
+// Block-local value numbering. Loads participate until any store is seen
+// (stores conservatively kill all remembered loads — the staged kernels never
+// alias their input and output slots, but the pass does not rely on that).
+class CsePass final : public Pass {
+ public:
+  const char* name() const override { return "cse"; }
+
+  bool Run(Function& function) override {
+    bool changed = false;
+    using Key = std::tuple<Opcode, Type, std::vector<ValueId>, ValueId>;
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      std::map<Key, ValueId> available;
+      auto& instructions = function.block(b).instructions;
+      for (std::size_t i = 0; i < instructions.size();) {
+        Instruction& inst = instructions[i];
+        if (inst.op == Opcode::kSt) {
+          // Kill loads; pure ops stay valid across stores.
+          for (auto it = available.begin(); it != available.end();) {
+            if (std::get<0>(it->first) == Opcode::kLd) {
+              it = available.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          ++i;
+          continue;
+        }
+        if (!inst.has_dest()) {
+          ++i;
+          continue;
+        }
+        Key key{inst.op, inst.type, inst.operands, inst.guard};
+        auto [it, inserted] = available.emplace(std::move(key), inst.dest);
+        if (!inserted) {
+          const ValueId dest = inst.dest;
+          instructions.erase(instructions.begin() + static_cast<std::ptrdiff_t>(i));
+          function.ReplaceAllUses(dest, it->second);
+          changed = true;
+          continue;
+        }
+        ++i;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeCsePass() { return std::make_unique<CsePass>(); }
+
+}  // namespace kf::ir

@@ -1,0 +1,51 @@
+#include <unordered_set>
+
+#include "ir/passes.h"
+
+namespace kf::ir {
+namespace {
+
+class DeadCodeEliminationPass final : public Pass {
+ public:
+  const char* name() const override { return "dce"; }
+
+  bool Run(Function& function) override {
+    bool changed_any = false;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::unordered_set<ValueId> used;
+      for (BlockId b = 0; b < function.block_count(); ++b) {
+        const BasicBlock& bb = function.block(b);
+        for (const Instruction& inst : bb.instructions) {
+          for (ValueId v : inst.operands) used.insert(v);
+          if (inst.is_guarded()) used.insert(inst.guard);
+        }
+        if (bb.terminator.kind == TerminatorKind::kBranch) {
+          used.insert(bb.terminator.condition);
+        }
+      }
+      for (BlockId b = 0; b < function.block_count(); ++b) {
+        auto& instructions = function.block(b).instructions;
+        for (std::size_t i = instructions.size(); i-- > 0;) {
+          const Instruction& inst = instructions[i];
+          if (inst.op == Opcode::kSt) continue;  // side effect
+          if (inst.has_dest() && used.count(inst.dest) == 0) {
+            instructions.erase(instructions.begin() + static_cast<std::ptrdiff_t>(i));
+            changed = true;
+            changed_any = true;
+          }
+        }
+      }
+    }
+    return changed_any;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeDeadCodeEliminationPass() {
+  return std::make_unique<DeadCodeEliminationPass>();
+}
+
+}  // namespace kf::ir

@@ -1,0 +1,209 @@
+#include <unordered_map>
+#include <vector>
+
+#include "ir/passes.h"
+
+namespace kf::ir {
+namespace {
+
+// Converts the triangle
+//
+//     B:  ... ; @c bra T else M
+//     T:  <speculatable ops and stores> ; bra M
+//     M:  ...
+//
+// (where B is T's only predecessor) into predicated straight-line code:
+// T's pure ops are hoisted as-is, stores become "@c st" (existing guards are
+// AND-ed with c), B falls through to M. Nested triangles converge over
+// repeated runs of the pass. Unreachable blocks are then removed and
+// straight-line chains merged.
+class IfConversionPass final : public Pass {
+ public:
+  const char* name() const override { return "if-convert"; }
+
+  bool Run(Function& function) override {
+    bool changed = false;
+    while (ConvertOneTriangle(function)) changed = true;
+    if (CleanUpCfg(function)) changed = true;
+    return changed;
+  }
+
+ private:
+  static std::vector<int> CountPredecessors(const Function& function) {
+    std::vector<int> preds(function.block_count(), 0);
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      const Terminator& term = function.block(b).terminator;
+      if (term.kind == TerminatorKind::kJump) {
+        ++preds[term.true_target];
+      } else if (term.kind == TerminatorKind::kBranch) {
+        ++preds[term.true_target];
+        ++preds[term.false_target];
+      }
+    }
+    return preds;
+  }
+
+  static bool ConvertOneTriangle(Function& function) {
+    const std::vector<int> preds = CountPredecessors(function);
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      BasicBlock& head = function.block(b);
+      if (head.terminator.kind != TerminatorKind::kBranch) continue;
+      const BlockId then_id = head.terminator.true_target;
+      const BlockId merge_id = head.terminator.false_target;
+      if (then_id == b || then_id == merge_id) continue;
+      BasicBlock& then_block = function.block(then_id);
+      if (preds[then_id] != 1) continue;
+      if (then_block.terminator.kind != TerminatorKind::kJump ||
+          then_block.terminator.true_target != merge_id) {
+        continue;
+      }
+      bool convertible = true;
+      for (const Instruction& inst : then_block.instructions) {
+        if (!IsSpeculatable(inst.op) && inst.op != Opcode::kSt) {
+          convertible = false;
+          break;
+        }
+      }
+      if (!convertible) continue;
+
+      const ValueId cond = head.terminator.condition;
+      for (Instruction inst : then_block.instructions) {
+        if (inst.op == Opcode::kSt) {
+          if (inst.is_guarded()) {
+            // @p st under "if (c)" becomes @(p && c) st.
+            const ValueId combined = function.AddRegister(Type::kPred);
+            Instruction conj;
+            conj.op = Opcode::kAnd;
+            conj.type = Type::kPred;
+            conj.dest = combined;
+            conj.operands = {inst.guard, cond};
+            head.instructions.push_back(std::move(conj));
+            inst.guard = combined;
+          } else {
+            inst.guard = cond;
+          }
+        }
+        head.instructions.push_back(std::move(inst));
+      }
+      then_block.instructions.clear();
+      head.terminator.kind = TerminatorKind::kJump;
+      head.terminator.true_target = merge_id;
+      head.terminator.condition = kNoValue;
+      head.terminator.false_target = kNoBlock;
+      return true;
+    }
+    return false;
+  }
+
+  // Removes unreachable blocks and merges single-predecessor jump chains,
+  // rebuilding block ids, until a fixpoint.
+  static bool CleanUpCfg(Function& function) {
+    bool changed = false;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      if (CompactReachable(function)) {
+        progress = true;
+        changed = true;
+      }
+      if (MergeOneChain(function)) {
+        progress = true;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  // Merges one straight-line chain B -> C where C has exactly one
+  // predecessor (B). Returns true if a merge happened.
+  static bool MergeOneChain(Function& function) {
+    const std::vector<int> preds = CountPredecessors(function);
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      BasicBlock& bb = function.block(b);
+      if (bb.terminator.kind != TerminatorKind::kJump) continue;
+      const BlockId next = bb.terminator.true_target;
+      if (next == b || preds[next] != 1) continue;
+      BasicBlock& nb = function.block(next);
+      bb.instructions.insert(bb.instructions.end(),
+                             std::make_move_iterator(nb.instructions.begin()),
+                             std::make_move_iterator(nb.instructions.end()));
+      nb.instructions.clear();
+      bb.terminator = nb.terminator;
+      nb.terminator = Terminator{TerminatorKind::kRet, kNoValue, kNoBlock, kNoBlock};
+      return true;
+    }
+    return false;
+  }
+
+  // Drops unreachable blocks (entry is block 0) and remaps targets.
+  // Returns true if anything was removed.
+  static bool CompactReachable(Function& function) {
+    std::vector<bool> reachable(function.block_count(), false);
+    std::vector<BlockId> worklist{0};
+    reachable[0] = true;
+    while (!worklist.empty()) {
+      const BlockId b = worklist.back();
+      worklist.pop_back();
+      const Terminator& term = function.block(b).terminator;
+      auto visit = [&](BlockId t) {
+        if (t != kNoBlock && !reachable[t]) {
+          reachable[t] = true;
+          worklist.push_back(t);
+        }
+      };
+      if (term.kind != TerminatorKind::kRet) visit(term.true_target);
+      if (term.kind == TerminatorKind::kBranch) visit(term.false_target);
+    }
+    bool any_unreachable = false;
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      if (!reachable[b]) any_unreachable = true;
+    }
+    if (!any_unreachable) return false;
+
+    Function compacted(function.name());
+    // Values are shared by id; copy the value table verbatim.
+    for (ValueId v = 0; v < function.value_count(); ++v) {
+      // Reconstruct values in order (ids are stable across the copy).
+      const ValueInfo& info = function.value(v);
+      ValueId copied = kNoValue;
+      switch (info.kind) {
+        case ValueKind::kParam:
+          copied = compacted.AddParam(info.type, info.name);
+          break;
+        case ValueKind::kConstant:
+          copied = info.is_float() ? compacted.AddConstFloat(info.type, info.fval)
+                                   : compacted.AddConstInt(info.type, info.ival);
+          break;
+        case ValueKind::kRegister:
+          copied = compacted.AddRegister(info.type);
+          break;
+      }
+      (void)copied;
+    }
+    std::unordered_map<BlockId, BlockId> remap;
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      if (reachable[b]) remap[b] = compacted.AddBlock(function.block(b).label);
+    }
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      if (!reachable[b]) continue;
+      BasicBlock& dst = compacted.block(remap[b]);
+      dst.instructions = std::move(function.block(b).instructions);
+      Terminator term = function.block(b).terminator;
+      if (term.kind != TerminatorKind::kRet) term.true_target = remap.at(term.true_target);
+      if (term.kind == TerminatorKind::kBranch) {
+        term.false_target = remap.at(term.false_target);
+      }
+      dst.terminator = term;
+    }
+    function = std::move(compacted);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeIfConversionPass() {
+  return std::make_unique<IfConversionPass>();
+}
+
+}  // namespace kf::ir

@@ -1,0 +1,35 @@
+#include "ir/passes.h"
+
+namespace kf::ir {
+
+int PassManager::RunToFixpoint(Function& function, int max_iterations) {
+  int iteration = 0;
+  for (; iteration < max_iterations; ++iteration) {
+    bool changed = false;
+    for (auto& pass : passes_) {
+      if (pass->Run(function)) changed = true;
+      function.Verify();
+    }
+    if (!changed) break;
+  }
+  return iteration;
+}
+
+PassManager PassManager::StandardO3() {
+  PassManager pm;
+  pm.Add(MakeCopyPropagationPass());
+  pm.Add(MakeConstantFoldPass());
+  pm.Add(MakeIfConversionPass());
+  pm.Add(MakePredicateCombinePass());
+  pm.Add(MakeCsePass());
+  pm.Add(MakePeepholePass());
+  pm.Add(MakeDeadCodeEliminationPass());
+  return pm;
+}
+
+void OptimizeO3(Function& function) {
+  PassManager pm = PassManager::StandardO3();
+  pm.RunToFixpoint(function);
+}
+
+}  // namespace kf::ir

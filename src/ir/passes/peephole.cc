@@ -1,0 +1,109 @@
+#include "ir/passes.h"
+
+namespace kf::ir {
+namespace {
+
+class PeepholePass final : public Pass {
+ public:
+  const char* name() const override { return "peephole"; }
+
+  bool Run(Function& function) override {
+    bool changed = false;
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      auto& instructions = function.block(b).instructions;
+      for (std::size_t i = 0; i < instructions.size(); ++i) {
+        Instruction& inst = instructions[i];
+        if (!inst.has_dest() || inst.is_guarded()) continue;
+        auto is_const_int = [&](std::size_t k, std::int64_t v) {
+          const ValueInfo& info = function.value(inst.operands[k]);
+          return info.is_constant() && !info.is_float() && info.ival == v;
+        };
+        auto to_mov = [&](ValueId src) {
+          inst.op = Opcode::kMov;
+          inst.operands = {src};
+          changed = true;
+        };
+        switch (inst.op) {
+          case Opcode::kAdd:
+            if (is_const_int(1, 0)) to_mov(inst.operands[0]);
+            else if (is_const_int(0, 0)) to_mov(inst.operands[1]);
+            break;
+          case Opcode::kSub:
+            if (is_const_int(1, 0)) to_mov(inst.operands[0]);
+            break;
+          case Opcode::kMul:
+            if (is_const_int(1, 1)) to_mov(inst.operands[0]);
+            else if (is_const_int(0, 1)) to_mov(inst.operands[1]);
+            break;
+          case Opcode::kMad:
+            // a*b + 0 -> mul; a*1 + c -> add.
+            if (is_const_int(2, 0)) {
+              inst.op = Opcode::kMul;
+              inst.operands.pop_back();
+              changed = true;
+            } else if (is_const_int(1, 1)) {
+              inst.op = Opcode::kAdd;
+              inst.operands.erase(inst.operands.begin() + 1);
+              changed = true;
+            }
+            break;
+          case Opcode::kAnd:
+          case Opcode::kOr:
+            if (inst.operands[0] == inst.operands[1]) to_mov(inst.operands[0]);
+            break;
+          case Opcode::kSelp:
+            if (inst.operands[1] == inst.operands[2]) {
+              to_mov(inst.operands[1]);
+              break;
+            }
+            // selp(a<b, a, b) -> min(a,b); selp(a<b, b, a) -> max(a,b)
+            // (and the analogous > forms), searching the compare in-block.
+            for (std::size_t j = 0; j < i; ++j) {
+              const Instruction& def = instructions[j];
+              if (def.dest != inst.operands[0] || def.is_guarded()) continue;
+              if (def.op != Opcode::kSetLt && def.op != Opcode::kSetLe &&
+                  def.op != Opcode::kSetGt && def.op != Opcode::kSetGe) {
+                break;
+              }
+              const bool lt_like =
+                  def.op == Opcode::kSetLt || def.op == Opcode::kSetLe;
+              const ValueId lhs = def.operands[0];
+              const ValueId rhs = def.operands[1];
+              if (inst.operands[1] == lhs && inst.operands[2] == rhs) {
+                inst.op = lt_like ? Opcode::kMin : Opcode::kMax;
+                inst.operands = {lhs, rhs};
+                changed = true;
+              } else if (inst.operands[1] == rhs && inst.operands[2] == lhs) {
+                inst.op = lt_like ? Opcode::kMax : Opcode::kMin;
+                inst.operands = {lhs, rhs};
+                changed = true;
+              }
+              break;
+            }
+            break;
+          case Opcode::kNot: {
+            // not(not(x)) -> x, searching the def within this block.
+            const ValueId src = inst.operands[0];
+            for (std::size_t j = 0; j < i; ++j) {
+              const Instruction& def = instructions[j];
+              if (def.dest == src && def.op == Opcode::kNot && !def.is_guarded()) {
+                to_mov(def.operands[0]);
+                break;
+              }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakePeepholePass() { return std::make_unique<PeepholePass>(); }
+
+}  // namespace kf::ir

@@ -1,0 +1,95 @@
+#include <optional>
+
+#include "ir/passes.h"
+
+namespace kf::ir {
+namespace {
+
+struct CompareInfo {
+  Opcode op;
+  Type type;
+  ValueId subject;   // the non-constant side
+  ValueId constant;  // the constant side
+};
+
+// Matches "cmp subject, constant" among the instructions of `bb` that appear
+// before position `limit` and define `pred`.
+std::optional<CompareInfo> MatchCompare(const Function& function, const BasicBlock& bb,
+                                        std::size_t limit, ValueId pred) {
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Instruction& inst = bb.instructions[i];
+    if (inst.dest != pred) continue;
+    if (!IsCompare(inst.op) || inst.operands.size() != 2) return std::nullopt;
+    const bool lhs_const = function.value(inst.operands[0]).is_constant();
+    const bool rhs_const = function.value(inst.operands[1]).is_constant();
+    if (rhs_const && !lhs_const) {
+      return CompareInfo{inst.op, inst.type, inst.operands[0], inst.operands[1]};
+    }
+    return std::nullopt;  // constant-on-left and const/const are handled elsewhere
+  }
+  return std::nullopt;
+}
+
+// Rewrites and(x<a, x<b) -> x<min(a,b) and or(x<a, x<b) -> x<max(a,b)
+// (and the analogous le/gt/ge forms) when both comparisons test the same
+// subject against constants. This is the transformation that lets a fused
+// SELECT-SELECT collapse to a single comparison (paper Table III).
+class PredicateCombinePass final : public Pass {
+ public:
+  const char* name() const override { return "predicate-combine"; }
+
+  bool Run(Function& function) override {
+    bool changed = false;
+    for (BlockId b = 0; b < function.block_count(); ++b) {
+      BasicBlock& bb = function.block(b);
+      for (std::size_t i = 0; i < bb.instructions.size(); ++i) {
+        Instruction& inst = bb.instructions[i];
+        const bool is_and = inst.op == Opcode::kAnd;
+        const bool is_or = inst.op == Opcode::kOr;
+        if ((!is_and && !is_or) || inst.operands.size() != 2 || inst.is_guarded()) {
+          continue;
+        }
+        auto lhs = MatchCompare(function, bb, i, inst.operands[0]);
+        auto rhs = MatchCompare(function, bb, i, inst.operands[1]);
+        if (!lhs || !rhs) continue;
+        if (lhs->op != rhs->op || lhs->subject != rhs->subject || lhs->type != rhs->type) {
+          continue;
+        }
+        const ValueInfo& ca = function.value(lhs->constant);
+        const ValueInfo& cb = function.value(rhs->constant);
+        // For < and <=, AND keeps the smaller bound, OR the larger;
+        // for > and >=, it is the reverse.
+        bool keep_smaller = false;
+        switch (lhs->op) {
+          case Opcode::kSetLt:
+          case Opcode::kSetLe:
+            keep_smaller = is_and;
+            break;
+          case Opcode::kSetGt:
+          case Opcode::kSetGe:
+            keep_smaller = !is_and;
+            break;
+          default:
+            continue;  // eq/ne do not combine into a range
+        }
+        const bool a_smaller = ca.is_float() || cb.is_float()
+                                   ? ca.as_double() < cb.as_double()
+                                   : ca.ival < cb.ival;
+        const ValueId kept = (a_smaller == keep_smaller) ? lhs->constant : rhs->constant;
+        inst.op = lhs->op;
+        inst.type = lhs->type;
+        inst.operands = {lhs->subject, kept};
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakePredicateCombinePass() {
+  return std::make_unique<PredicateCombinePass>();
+}
+
+}  // namespace kf::ir

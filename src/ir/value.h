@@ -1,0 +1,52 @@
+// Values and types of the mini kernel IR.
+//
+// The IR is a deliberately small PTX-flavored SSA form: enough to express the
+// bodies of staged relational kernels (loads, compares, predicated stores,
+// arithmetic) so that the effect of kernel fusion on the compiler's
+// optimization scope (paper Table III) can be measured with a real — if
+// compact — optimizer instead of being asserted.
+#ifndef KF_IR_VALUE_H_
+#define KF_IR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kf::ir {
+
+using ValueId = std::uint32_t;
+inline constexpr ValueId kNoValue = 0xffffffffu;
+
+enum class Type : std::uint8_t {
+  kPred,  // 1-bit predicate register
+  kI32,
+  kI64,
+  kF32,
+  kF64,
+  kPtr,  // memory slot handle (kernel parameter)
+};
+
+const char* ToString(Type type);
+
+// What a ValueId denotes.
+enum class ValueKind : std::uint8_t {
+  kRegister,  // defined by an instruction
+  kConstant,  // immediate
+  kParam,     // kernel parameter (incl. memory slots and the thread index)
+};
+
+struct ValueInfo {
+  Type type = Type::kI32;
+  ValueKind kind = ValueKind::kRegister;
+  // Constant payload (integers stored in `ival`, floats in `fval`).
+  std::int64_t ival = 0;
+  double fval = 0.0;
+  std::string name;  // for parameters and debugging
+
+  bool is_constant() const { return kind == ValueKind::kConstant; }
+  bool is_float() const { return type == Type::kF32 || type == Type::kF64; }
+  double as_double() const { return is_float() ? fval : static_cast<double>(ival); }
+};
+
+}  // namespace kf::ir
+
+#endif  // KF_IR_VALUE_H_

@@ -1,0 +1,107 @@
+#include "relational/column.h"
+
+#include <sstream>
+
+namespace kf::relational {
+
+const char* ToString(DataType type) {
+  switch (type) {
+    case DataType::kInt32: return "i32";
+    case DataType::kInt64: return "i64";
+    case DataType::kFloat64: return "f64";
+  }
+  return "?";
+}
+
+std::size_t SizeOf(DataType type) {
+  switch (type) {
+    case DataType::kInt32: return 4;
+    case DataType::kInt64: return 8;
+    case DataType::kFloat64: return 8;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  if (is_float()) {
+    os << f;
+  } else {
+    os << i;
+  }
+  return os.str();
+}
+
+Column::Column(DataType type) : type_(type) {
+  switch (type_) {
+    case DataType::kInt32: data_ = std::vector<std::int32_t>{}; break;
+    case DataType::kInt64: data_ = std::vector<std::int64_t>{}; break;
+    case DataType::kFloat64: data_ = std::vector<double>{}; break;
+  }
+}
+
+std::size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+void Column::Reserve(std::size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+void Column::Clear() {
+  std::visit([](auto& v) { v.clear(); }, data_);
+}
+
+void Column::Append(const Value& v) {
+  switch (type_) {
+    case DataType::kInt32:
+      std::get<std::vector<std::int32_t>>(data_).push_back(
+          static_cast<std::int32_t>(v.as_int()));
+      break;
+    case DataType::kInt64:
+      std::get<std::vector<std::int64_t>>(data_).push_back(v.as_int());
+      break;
+    case DataType::kFloat64:
+      std::get<std::vector<double>>(data_).push_back(v.as_double());
+      break;
+  }
+}
+
+Value Column::Get(std::size_t i) const {
+  switch (type_) {
+    case DataType::kInt32:
+      return Value::Int32(std::get<std::vector<std::int32_t>>(data_).at(i));
+    case DataType::kInt64:
+      return Value::Int64(std::get<std::vector<std::int64_t>>(data_).at(i));
+    case DataType::kFloat64:
+      return Value::Float64(std::get<std::vector<double>>(data_).at(i));
+  }
+  return {};
+}
+
+std::vector<std::int32_t>& Column::AsInt32() {
+  KF_REQUIRE(type_ == DataType::kInt32) << "column is " << kf::relational::ToString(type_);
+  return std::get<std::vector<std::int32_t>>(data_);
+}
+const std::vector<std::int32_t>& Column::AsInt32() const {
+  KF_REQUIRE(type_ == DataType::kInt32) << "column is " << kf::relational::ToString(type_);
+  return std::get<std::vector<std::int32_t>>(data_);
+}
+std::vector<std::int64_t>& Column::AsInt64() {
+  KF_REQUIRE(type_ == DataType::kInt64) << "column is " << kf::relational::ToString(type_);
+  return std::get<std::vector<std::int64_t>>(data_);
+}
+const std::vector<std::int64_t>& Column::AsInt64() const {
+  KF_REQUIRE(type_ == DataType::kInt64) << "column is " << kf::relational::ToString(type_);
+  return std::get<std::vector<std::int64_t>>(data_);
+}
+std::vector<double>& Column::AsFloat64() {
+  KF_REQUIRE(type_ == DataType::kFloat64) << "column is " << kf::relational::ToString(type_);
+  return std::get<std::vector<double>>(data_);
+}
+const std::vector<double>& Column::AsFloat64() const {
+  KF_REQUIRE(type_ == DataType::kFloat64) << "column is " << kf::relational::ToString(type_);
+  return std::get<std::vector<double>>(data_);
+}
+
+}  // namespace kf::relational

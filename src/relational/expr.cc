@@ -1,0 +1,182 @@
+#include "relational/expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace kf::relational {
+
+const char* ToString(ExprOp op) {
+  switch (op) {
+    case ExprOp::kConst: return "const";
+    case ExprOp::kField: return "field";
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kAnd: return "&&";
+    case ExprOp::kOr: return "||";
+    case ExprOp::kNot: return "!";
+  }
+  return "?";
+}
+
+Expr Expr::Lit(Value v) {
+  Expr e;
+  e.op = ExprOp::kConst;
+  e.constant = v;
+  return e;
+}
+
+Expr Expr::FieldRef(int index) {
+  KF_REQUIRE(index >= 0) << "negative field index";
+  Expr e;
+  e.op = ExprOp::kField;
+  e.field = index;
+  return e;
+}
+
+Expr Expr::Unary(ExprOp op, Expr a) {
+  Expr e;
+  e.op = op;
+  e.children.push_back(std::move(a));
+  return e;
+}
+
+Expr Expr::Binary(ExprOp op, Expr a, Expr b) {
+  Expr e;
+  e.op = op;
+  e.children.push_back(std::move(a));
+  e.children.push_back(std::move(b));
+  return e;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (op) {
+    case ExprOp::kConst:
+      os << constant.ToString();
+      break;
+    case ExprOp::kField:
+      os << "$" << field;
+      break;
+    case ExprOp::kNot:
+      os << "!(" << children[0].ToString() << ")";
+      break;
+    default:
+      os << "(" << children[0].ToString() << " " << kf::relational::ToString(op) << " "
+         << children[1].ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+Value Arith(ExprOp op, const Value& a, const Value& b) {
+  const bool as_float = a.is_float() || b.is_float() || op == ExprOp::kDiv;
+  if (as_float) {
+    const double x = a.as_double();
+    const double y = b.as_double();
+    switch (op) {
+      case ExprOp::kAdd: return Value::Float64(x + y);
+      case ExprOp::kSub: return Value::Float64(x - y);
+      case ExprOp::kMul: return Value::Float64(x * y);
+      case ExprOp::kDiv:
+        KF_REQUIRE(y != 0.0) << "division by zero in expression";
+        return Value::Float64(x / y);
+      default: break;
+    }
+  } else {
+    const std::int64_t x = a.as_int();
+    const std::int64_t y = b.as_int();
+    switch (op) {
+      case ExprOp::kAdd: return Value::Int64(x + y);
+      case ExprOp::kSub: return Value::Int64(x - y);
+      case ExprOp::kMul: return Value::Int64(x * y);
+      default: break;
+    }
+  }
+  KF_REQUIRE(false) << "not an arithmetic op";
+  return {};
+}
+
+Value Compare(ExprOp op, const Value& a, const Value& b) {
+  bool result = false;
+  switch (op) {
+    case ExprOp::kLt: result = a < b; break;
+    case ExprOp::kLe: result = a <= b; break;
+    case ExprOp::kGt: result = a > b; break;
+    case ExprOp::kGe: result = a >= b; break;
+    case ExprOp::kEq: result = a == b; break;
+    case ExprOp::kNe: result = a != b; break;
+    default: KF_REQUIRE(false) << "not a comparison op";
+  }
+  return Value::Int64(result ? 1 : 0);
+}
+
+}  // namespace
+
+Value EvalExpr(const Expr& expr, const Row& row) {
+  switch (expr.op) {
+    case ExprOp::kConst:
+      return expr.constant;
+    case ExprOp::kField:
+      KF_REQUIRE(expr.field >= 0 && static_cast<std::size_t>(expr.field) < row.size())
+          << "field $" << expr.field << " out of range for row of " << row.size();
+      return row[static_cast<std::size_t>(expr.field)];
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv:
+      return Arith(expr.op, EvalExpr(expr.children[0], row),
+                   EvalExpr(expr.children[1], row));
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+      return Compare(expr.op, EvalExpr(expr.children[0], row),
+                     EvalExpr(expr.children[1], row));
+    case ExprOp::kAnd:
+      // Short-circuit like the CUDA source would.
+      if (!EvalExpr(expr.children[0], row).as_bool()) return Value::Int64(0);
+      return Value::Int64(EvalExpr(expr.children[1], row).as_bool() ? 1 : 0);
+    case ExprOp::kOr:
+      if (EvalExpr(expr.children[0], row).as_bool()) return Value::Int64(1);
+      return Value::Int64(EvalExpr(expr.children[1], row).as_bool() ? 1 : 0);
+    case ExprOp::kNot:
+      return Value::Int64(EvalExpr(expr.children[0], row).as_bool() ? 0 : 1);
+  }
+  return {};
+}
+
+double ExprOps(const Expr& expr) {
+  double ops = 1.0;
+  for (const Expr& child : expr.children) ops += ExprOps(child);
+  return ops;
+}
+
+int ExprRegisters(const Expr& expr) {
+  if (expr.children.empty()) return 1;
+  if (expr.children.size() == 1) return ExprRegisters(expr.children[0]);
+  const int left = ExprRegisters(expr.children[0]);
+  const int right = ExprRegisters(expr.children[1]);
+  return left == right ? left + 1 : std::max(left, right);
+}
+
+int ExprMaxField(const Expr& expr) {
+  int max_field = expr.op == ExprOp::kField ? expr.field : -1;
+  for (const Expr& child : expr.children) max_field = std::max(max_field, ExprMaxField(child));
+  return max_field;
+}
+
+}  // namespace kf::relational

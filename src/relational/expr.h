@@ -1,0 +1,77 @@
+// A small expression AST over row fields.
+//
+// SELECT predicates and ARITH computations are expressed as `Expr` trees,
+// which serve three purposes: functional evaluation against rows, cost
+// estimation for the kernel cost model (ops per element, register pressure),
+// and lowering to the mini IR so the compiler-scope benefits of fusion can be
+// measured (core/expr_lower).
+#ifndef KF_RELATIONAL_EXPR_H_
+#define KF_RELATIONAL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/column.h"
+#include "relational/table.h"
+
+namespace kf::relational {
+
+enum class ExprOp : std::uint8_t {
+  kConst,
+  kField,
+  kAdd, kSub, kMul, kDiv,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr, kNot,
+};
+
+const char* ToString(ExprOp op);
+
+struct Expr {
+  ExprOp op = ExprOp::kConst;
+  Value constant;            // kConst
+  int field = -1;            // kField
+  std::vector<Expr> children;
+
+  // --- Construction helpers -------------------------------------------------
+  static Expr Lit(Value v);
+  static Expr Lit(std::int64_t v) { return Lit(Value::Int64(v)); }
+  static Expr LitF(double v) { return Lit(Value::Float64(v)); }
+  static Expr FieldRef(int index);
+  static Expr Unary(ExprOp op, Expr a);
+  static Expr Binary(ExprOp op, Expr a, Expr b);
+
+  static Expr Add(Expr a, Expr b) { return Binary(ExprOp::kAdd, std::move(a), std::move(b)); }
+  static Expr Sub(Expr a, Expr b) { return Binary(ExprOp::kSub, std::move(a), std::move(b)); }
+  static Expr Mul(Expr a, Expr b) { return Binary(ExprOp::kMul, std::move(a), std::move(b)); }
+  static Expr Div(Expr a, Expr b) { return Binary(ExprOp::kDiv, std::move(a), std::move(b)); }
+  static Expr Lt(Expr a, Expr b) { return Binary(ExprOp::kLt, std::move(a), std::move(b)); }
+  static Expr Le(Expr a, Expr b) { return Binary(ExprOp::kLe, std::move(a), std::move(b)); }
+  static Expr Gt(Expr a, Expr b) { return Binary(ExprOp::kGt, std::move(a), std::move(b)); }
+  static Expr Ge(Expr a, Expr b) { return Binary(ExprOp::kGe, std::move(a), std::move(b)); }
+  static Expr Eq(Expr a, Expr b) { return Binary(ExprOp::kEq, std::move(a), std::move(b)); }
+  static Expr Ne(Expr a, Expr b) { return Binary(ExprOp::kNe, std::move(a), std::move(b)); }
+  static Expr And(Expr a, Expr b) { return Binary(ExprOp::kAnd, std::move(a), std::move(b)); }
+  static Expr Or(Expr a, Expr b) { return Binary(ExprOp::kOr, std::move(a), std::move(b)); }
+  static Expr Not(Expr a) { return Unary(ExprOp::kNot, std::move(a)); }
+
+  std::string ToString() const;
+};
+
+// Evaluates `expr` against `row`. Comparison/logic results are Int64 0/1.
+Value EvalExpr(const Expr& expr, const Row& row);
+
+// Approximate dynamic scalar operations per evaluation (AST node count,
+// loads of fields included) — feeds the kernel cost model.
+double ExprOps(const Expr& expr);
+
+// Approximate live registers needed to evaluate the expression (Sethi-Ullman
+// style) — feeds the fusion register-pressure cost function.
+int ExprRegisters(const Expr& expr);
+
+// Highest field index referenced, or -1 when the expression is constant.
+int ExprMaxField(const Expr& expr);
+
+}  // namespace kf::relational
+
+#endif  // KF_RELATIONAL_EXPR_H_

@@ -1,0 +1,127 @@
+#include "relational/reference.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace kf::relational::reference {
+namespace {
+
+bool RowEq(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+bool RowLess(const Row& a, const Row& b) {
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+Table FromRows(const Schema& schema, const std::vector<Row>& rows) {
+  Table out(schema);
+  out.Reserve(rows.size());
+  for (const Row& row : rows) out.AppendRow(row);
+  return out;
+}
+
+std::vector<Row> DistinctSorted(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), RowLess);
+  rows.erase(std::unique(rows.begin(), rows.end(), RowEq), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+Table Apply(const OperatorDesc& op, const Table& left, const Table* right) {
+  KF_REQUIRE(op.is_binary() == (right != nullptr))
+      << ToString(op.kind) << ": right input " << (right ? "unexpected" : "missing");
+  const std::vector<Row> left_rows = left.Rows();
+  switch (op.kind) {
+    case OpKind::kSelect: {
+      std::vector<Row> out;
+      for (const Row& row : left_rows) {
+        if (EvalExpr(op.predicate, row).as_bool()) out.push_back(row);
+      }
+      return FromRows(left.schema(), out);
+    }
+    case OpKind::kProject: {
+      std::vector<Row> out;
+      for (const Row& row : left_rows) {
+        Row projected;
+        for (int f : op.fields) projected.push_back(row.at(static_cast<std::size_t>(f)));
+        out.push_back(std::move(projected));
+      }
+      return FromRows(OutputSchema(op, left.schema(), nullptr), out);
+    }
+    case OpKind::kProduct: {
+      std::vector<Row> out;
+      for (const Row& l : left_rows) {
+        for (const Row& r : right->Rows()) {
+          Row combined = l;
+          combined.insert(combined.end(), r.begin(), r.end());
+          out.push_back(std::move(combined));
+        }
+      }
+      return FromRows(OutputSchema(op, left.schema(), &right->schema()), out);
+    }
+    case OpKind::kJoin: {
+      // Nested-loop equi-join.
+      std::vector<Row> out;
+      const std::vector<Row> right_rows = right->Rows();
+      for (const Row& l : left_rows) {
+        for (const Row& r : right_rows) {
+          if (l.at(static_cast<std::size_t>(op.left_key)) !=
+              r.at(static_cast<std::size_t>(op.right_key))) {
+            continue;
+          }
+          Row combined = l;
+          for (std::size_t c = 0; c < r.size(); ++c) {
+            if (static_cast<int>(c) != op.right_key) combined.push_back(r[c]);
+          }
+          out.push_back(std::move(combined));
+        }
+      }
+      return FromRows(OutputSchema(op, left.schema(), &right->schema()), out);
+    }
+    case OpKind::kUnion: {
+      std::vector<Row> all = left_rows;
+      const std::vector<Row> right_rows = right->Rows();
+      all.insert(all.end(), right_rows.begin(), right_rows.end());
+      return FromRows(left.schema(), DistinctSorted(std::move(all)));
+    }
+    case OpKind::kIntersect: {
+      const std::vector<Row> a = DistinctSorted(left_rows);
+      const std::vector<Row> b = DistinctSorted(right->Rows());
+      std::vector<Row> out;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(out), RowLess);
+      return FromRows(left.schema(), out);
+    }
+    case OpKind::kDifference: {
+      const std::vector<Row> a = DistinctSorted(left_rows);
+      const std::vector<Row> b = DistinctSorted(right->Rows());
+      std::vector<Row> out;
+      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out), RowLess);
+      return FromRows(left.schema(), out);
+    }
+    case OpKind::kAggregate:
+    case OpKind::kArith:
+    case OpKind::kSort:
+      // Single sensible implementation; reuse the primary one.
+      return ApplyOperator(op, left, right);
+    case OpKind::kUnique:
+      return FromRows(left.schema(), DistinctSorted(left_rows));
+  }
+  KF_REQUIRE(false) << "unhandled operator kind";
+  return Table{};
+}
+
+}  // namespace kf::relational::reference

@@ -1,0 +1,19 @@
+// Naive reference implementations of the RA operators.
+//
+// These are deliberately written with different algorithms than
+// operators.cc (nested loops instead of hash tables, sort-based set
+// operations) so the two can check each other in property-based tests.
+#ifndef KF_RELATIONAL_REFERENCE_H_
+#define KF_RELATIONAL_REFERENCE_H_
+
+#include "relational/operators.h"
+
+namespace kf::relational::reference {
+
+// Executes `op` with the naive algorithms. Output rows may be in a different
+// order than ApplyOperator's; compare with SameRowMultiset.
+Table Apply(const OperatorDesc& op, const Table& left, const Table* right = nullptr);
+
+}  // namespace kf::relational::reference
+
+#endif  // KF_RELATIONAL_REFERENCE_H_

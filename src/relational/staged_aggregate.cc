@@ -1,0 +1,65 @@
+#include "relational/staged_aggregate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "relational/staged_kernel.h"
+
+namespace kf::relational {
+
+std::vector<GroupedSum> StagedGroupedAggregate(std::span<const AggregateInput> input,
+                                               int chunk_count, ThreadPool* pool) {
+  const std::vector<ChunkRange> chunks = PartitionInput(input.size(), chunk_count);
+
+  // Stage 1+2 — per-chunk partial accumulators (per-CTA shared memory).
+  std::vector<std::unordered_map<std::int64_t, GroupedSum>> partials(chunks.size());
+  auto fold_chunk = [&](std::size_t c) {
+    auto& local = partials[c];
+    for (std::size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+      const AggregateInput& in = input[i];
+      auto [it, inserted] = local.try_emplace(in.group);
+      GroupedSum& acc = it->second;
+      if (inserted) {
+        acc.group = in.group;
+        acc.min_value = in.value;
+        acc.max_value = in.value;
+      } else {
+        acc.min_value = std::min(acc.min_value, in.value);
+        acc.max_value = std::max(acc.max_value, in.value);
+      }
+      acc.sum += in.value;
+      ++acc.count;
+    }
+  };
+  if (pool != nullptr && chunks.size() > 1) {
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      pool->Submit([&fold_chunk, c] { fold_chunk(c); });
+    }
+    pool->Wait();
+  } else {
+    for (std::size_t c = 0; c < chunks.size(); ++c) fold_chunk(c);
+  }
+
+  // Stage 3 — combine (the second kernel): merge partials, sort by group.
+  std::unordered_map<std::int64_t, GroupedSum> merged;
+  for (const auto& local : partials) {
+    for (const auto& [group, partial] : local) {
+      auto [it, inserted] = merged.try_emplace(group, partial);
+      if (!inserted) {
+        GroupedSum& acc = it->second;
+        acc.sum += partial.sum;
+        acc.count += partial.count;
+        acc.min_value = std::min(acc.min_value, partial.min_value);
+        acc.max_value = std::max(acc.max_value, partial.max_value);
+      }
+    }
+  }
+  std::vector<GroupedSum> result;
+  result.reserve(merged.size());
+  for (const auto& [group, acc] : merged) result.push_back(acc);
+  std::sort(result.begin(), result.end(),
+            [](const GroupedSum& a, const GroupedSum& b) { return a.group < b.group; });
+  return result;
+}
+
+}  // namespace kf::relational

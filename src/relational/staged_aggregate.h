@@ -1,0 +1,45 @@
+// Staged grouped aggregation — the GPU-style AGGREGATION substrate
+// (paper Fig 2 pattern (g): AGGREGATION over selected data).
+//
+// Stage structure: the input is partitioned into chunks; each chunk folds
+// its elements into a chunk-local accumulator table (the per-CTA
+// shared-memory partials a GPU reduction keeps); the combine stage merges
+// the partials — the cross-CTA step that would be the second kernel launch.
+// This is the standalone, typed counterpart of the aggregation the fused row
+// pipeline performs, and it is what makes AGGREGATION fusable as a terminal
+// stage: the per-chunk fold slots directly after any elementwise chain.
+#ifndef KF_RELATIONAL_STAGED_AGGREGATE_H_
+#define KF_RELATIONAL_STAGED_AGGREGATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace kf::relational {
+
+struct GroupedSum {
+  std::int64_t group = 0;
+  double sum = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::int64_t count = 0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+struct AggregateInput {
+  std::int64_t group = 0;
+  double value = 0.0;
+};
+
+// Grouped sum/min/max/count over (group, value) pairs. Output is sorted by
+// group key (the canonical GPU result order after the combine's sort).
+std::vector<GroupedSum> StagedGroupedAggregate(std::span<const AggregateInput> input,
+                                               int chunk_count = 64,
+                                               ThreadPool* pool = nullptr);
+
+}  // namespace kf::relational
+
+#endif  // KF_RELATIONAL_STAGED_AGGREGATE_H_

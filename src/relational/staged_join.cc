@@ -1,0 +1,121 @@
+#include "relational/staged_join.h"
+
+#include <bit>
+
+#include "common/error.h"
+#include "common/prefix_sum.h"
+#include "relational/staged_kernel.h"
+
+namespace kf::relational {
+
+namespace {
+
+std::uint64_t HashKey(std::int64_t key) {
+  auto x = static_cast<std::uint64_t>(key);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StagedHashTable::StagedHashTable(std::span<const JoinPair> rows, int chunk_count,
+                                 ThreadPool* pool)
+    : entries_(rows.size()) {
+  // Power-of-two capacity at load factor <= 0.5 keeps probe runs short.
+  const std::size_t capacity =
+      std::bit_ceil(std::max<std::size_t>(16, rows.size() * 2));
+  slots_ = std::vector<Slot>(capacity);
+  mask_ = capacity - 1;
+
+  auto insert_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      KF_REQUIRE(rows[i].key != kEmpty) << "INT64_MIN key is reserved";
+      std::size_t slot = Index(rows[i].key);
+      for (;;) {
+        std::int64_t expected = kEmpty;
+        // Claim an empty slot with CAS, then write the value. No probe runs
+        // concurrently with the build (stage barrier), so the value write
+        // needs no ordering beyond the pool's join.
+        if (slots_[slot].key.load(std::memory_order_relaxed) == kEmpty &&
+            slots_[slot].key.compare_exchange_strong(expected, rows[i].key,
+                                                     std::memory_order_acq_rel)) {
+          slots_[slot].value = rows[i].value;
+          break;
+        }
+        slot = (slot + 1) & mask_;
+      }
+    }
+  };
+
+  const std::vector<ChunkRange> chunks = PartitionInput(rows.size(), chunk_count);
+  if (pool != nullptr && chunks.size() > 1) {
+    for (const ChunkRange& range : chunks) {
+      pool->Submit([&insert_range, range] { insert_range(range.begin, range.end); });
+    }
+    pool->Wait();
+  } else {
+    insert_range(0, rows.size());
+  }
+}
+
+std::size_t StagedHashTable::Index(std::int64_t key) const {
+  return static_cast<std::size_t>(HashKey(key)) & mask_;
+}
+
+std::size_t StagedHashTable::Probe(std::int64_t key,
+                                   std::vector<std::int64_t>& out) const {
+  std::size_t matches = 0;
+  std::size_t slot = Index(key);
+  for (;;) {
+    const std::int64_t stored = slots_[slot].key.load(std::memory_order_acquire);
+    if (stored == kEmpty) return matches;
+    if (stored == key) {
+      out.push_back(slots_[slot].value);
+      ++matches;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+std::vector<JoinedRow> StagedHashJoin(std::span<const JoinPair> left,
+                                      std::span<const JoinPair> right,
+                                      int chunk_count, ThreadPool* pool) {
+  // Build stage (cross-CTA barrier before probing).
+  const StagedHashTable table(right, chunk_count, pool);
+
+  // Probe stage: per-chunk buffers.
+  const std::vector<ChunkRange> chunks = PartitionInput(left.size(), chunk_count);
+  std::vector<std::vector<JoinedRow>> buffers(chunks.size());
+  auto probe_chunk = [&](std::size_t c) {
+    std::vector<std::int64_t> matches;
+    auto& buffer = buffers[c];
+    for (std::size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+      matches.clear();
+      table.Probe(left[i].key, matches);
+      for (std::int64_t value : matches) {
+        buffer.push_back(JoinedRow{left[i].key, left[i].value, value});
+      }
+    }
+  };
+  if (pool != nullptr && chunks.size() > 1) {
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      pool->Submit([&probe_chunk, c] { probe_chunk(c); });
+    }
+    pool->Wait();
+  } else {
+    for (std::size_t c = 0; c < chunks.size(); ++c) probe_chunk(c);
+  }
+
+  // Gather stage: scan + positioned concatenation.
+  std::vector<std::uint64_t> counts(buffers.size());
+  for (std::size_t c = 0; c < buffers.size(); ++c) counts[c] = buffers[c].size();
+  const std::vector<std::uint64_t> offsets = ExclusiveScanWithTotal(counts);
+  std::vector<JoinedRow> output(offsets.back());
+  for (std::size_t c = 0; c < buffers.size(); ++c) {
+    std::copy(buffers[c].begin(), buffers[c].end(), output.begin() + offsets[c]);
+  }
+  return output;
+}
+
+}  // namespace kf::relational

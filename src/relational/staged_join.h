@@ -1,0 +1,77 @@
+// Staged hash equi-join — the GPU-style JOIN substrate.
+//
+// Follows the same stage discipline as the staged SELECT (Fig 3), with the
+// structure the fusion planner assumes for BroadcastProbe operators:
+//   build:  the (smaller) build side is materialized into a lock-free
+//           open-addressing hash table, CTAs inserting in parallel with CAS
+//           — the GPU analogue of cuckoo/linear-probing join builds;
+//   probe:  the probe side is partitioned into chunks; each chunk probes and
+//           buffers its matches locally;
+//   gather: an exclusive scan positions the per-chunk buffers in the output.
+//
+// Keys are int64, payloads one int64 per side (the KV relations the tests
+// and microbenchmarks use); duplicate build keys chain within the table.
+#ifndef KF_RELATIONAL_STAGED_JOIN_H_
+#define KF_RELATIONAL_STAGED_JOIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace kf::relational {
+
+struct JoinPair {
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+};
+
+struct JoinedRow {
+  std::int64_t key = 0;
+  std::int64_t left_value = 0;
+  std::int64_t right_value = 0;
+
+  friend bool operator==(const JoinedRow&, const JoinedRow&) = default;
+};
+
+// Parallel open-addressing multi-hash-table over the build side.
+class StagedHashTable {
+ public:
+  // Builds from `rows` with `chunk_count` parallel inserter chunks.
+  StagedHashTable(std::span<const JoinPair> rows, int chunk_count = 64,
+                  ThreadPool* pool = nullptr);
+
+  std::size_t entry_count() const { return entries_; }
+  std::size_t slot_count() const { return slots_.size(); }
+
+  // Appends every build value matching `key` to `out`; returns match count.
+  std::size_t Probe(std::int64_t key, std::vector<std::int64_t>& out) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> key{kEmpty};
+    std::int64_t value = 0;
+  };
+  static constexpr std::int64_t kEmpty = INT64_MIN;
+
+  std::size_t Index(std::int64_t key) const;
+
+  std::vector<Slot> slots_;
+  std::size_t entries_ = 0;
+  std::size_t mask_ = 0;
+};
+
+// Complete staged join: probe `left` against `right` (build side). Output
+// order is chunk order then probe order — deterministic for fixed
+// chunk_count. Duplicate keys on both sides expand (cross product per key).
+std::vector<JoinedRow> StagedHashJoin(std::span<const JoinPair> left,
+                                      std::span<const JoinPair> right,
+                                      int chunk_count = 64,
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace kf::relational
+
+#endif  // KF_RELATIONAL_STAGED_JOIN_H_

@@ -1,0 +1,129 @@
+#include "relational/staged_kernel.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "common/prefix_sum.h"
+
+namespace kf::relational {
+
+std::vector<ChunkRange> PartitionInput(std::size_t n, int chunk_count) {
+  KF_REQUIRE(chunk_count > 0) << "chunk count must be positive";
+  const auto chunks = static_cast<std::size_t>(chunk_count);
+  std::vector<ChunkRange> ranges(chunks);
+  const std::size_t base = n / chunks;
+  const std::size_t remainder = n % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t size = base + (c < remainder ? 1 : 0);
+    ranges[c] = ChunkRange{begin, begin + size};
+    begin += size;
+  }
+  return ranges;
+}
+
+std::size_t FilterStageResult::total_matches() const {
+  return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+FilterStageResult RunFilterStage(std::span<const std::int32_t> input,
+                                 std::span<const ChunkRange> chunks,
+                                 const Int32Predicate& predicate, ThreadPool* pool) {
+  FilterStageResult result;
+  result.buffers.resize(chunks.size());
+  result.counts.assign(chunks.size(), 0);
+
+  auto filter_chunk = [&](std::size_t c) {
+    const ChunkRange& range = chunks[c];
+    KF_REQUIRE(range.end <= input.size()) << "chunk beyond input";
+    auto& buffer = result.buffers[c];
+    buffer.reserve(range.size());
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      if (predicate(input[i])) buffer.push_back(input[i]);
+    }
+    result.counts[c] = static_cast<std::uint32_t>(buffer.size());
+  };
+
+  if (pool != nullptr && chunks.size() > 1) {
+    // One task per simulated CTA.
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      pool->Submit([&filter_chunk, c] { filter_chunk(c); });
+    }
+    pool->Wait();
+  } else {
+    for (std::size_t c = 0; c < chunks.size(); ++c) filter_chunk(c);
+  }
+  return result;
+}
+
+std::vector<std::int32_t> RunGatherStage(const FilterStageResult& filtered,
+                                         ThreadPool* pool) {
+  // Global synchronization point: the exclusive scan over match counts is
+  // what separates the filter CUDA kernel from the gather CUDA kernel.
+  const std::vector<std::uint32_t> offsets = ExclusiveScanWithTotal(filtered.counts);
+  std::vector<std::int32_t> output(offsets.back());
+
+  auto gather_chunk = [&](std::size_t c) {
+    const auto& buffer = filtered.buffers[c];
+    std::copy(buffer.begin(), buffer.end(), output.begin() + offsets[c]);
+  };
+
+  if (pool != nullptr && filtered.buffers.size() > 1) {
+    for (std::size_t c = 0; c < filtered.buffers.size(); ++c) {
+      pool->Submit([&gather_chunk, c] { gather_chunk(c); });
+    }
+    pool->Wait();
+  } else {
+    for (std::size_t c = 0; c < filtered.buffers.size(); ++c) gather_chunk(c);
+  }
+  return output;
+}
+
+std::vector<std::int32_t> StagedSelect(std::span<const std::int32_t> input,
+                                       const Int32Predicate& predicate, int chunk_count,
+                                       ThreadPool* pool, StagedSelectStats* stats,
+                                       int filter_stage_count) {
+  const std::vector<ChunkRange> chunks = PartitionInput(input.size(), chunk_count);
+  const FilterStageResult filtered = RunFilterStage(input, chunks, predicate, pool);
+  std::vector<std::int32_t> output = RunGatherStage(filtered, pool);
+  if (stats != nullptr) {
+    stats->input_count = input.size();
+    stats->output_count = output.size();
+    stats->chunk_count = chunk_count;
+    stats->filter_stage_count = filter_stage_count;
+  }
+  return output;
+}
+
+std::vector<std::int32_t> StagedSelectChainUnfused(
+    std::span<const std::int32_t> input, std::span<const Int32Predicate> predicates,
+    int chunk_count, ThreadPool* pool, std::vector<StagedSelectStats>* per_step_stats) {
+  KF_REQUIRE(!predicates.empty()) << "empty select chain";
+  std::vector<std::int32_t> current(input.begin(), input.end());
+  if (per_step_stats != nullptr) per_step_stats->clear();
+  for (const Int32Predicate& predicate : predicates) {
+    StagedSelectStats stats;
+    current = StagedSelect(current, predicate, chunk_count, pool, &stats);
+    if (per_step_stats != nullptr) per_step_stats->push_back(stats);
+  }
+  return current;
+}
+
+std::vector<std::int32_t> StagedSelectChainFused(std::span<const std::int32_t> input,
+                                                 std::span<const Int32Predicate> predicates,
+                                                 int chunk_count, ThreadPool* pool,
+                                                 StagedSelectStats* stats) {
+  KF_REQUIRE(!predicates.empty()) << "empty select chain";
+  // The fused filter applies every predicate while the element is still in a
+  // register (Figure 6's Filter1 + Filter2 in one kernel).
+  auto fused = [&predicates](std::int32_t v) {
+    for (const Int32Predicate& p : predicates) {
+      if (!p(v)) return false;
+    }
+    return true;
+  };
+  return StagedSelect(input, fused, chunk_count, pool, stats,
+                      static_cast<int>(predicates.size()));
+}
+
+}  // namespace kf::relational

@@ -1,0 +1,87 @@
+// Staged GPU-style SELECT kernels (paper Figure 3), executed on host threads.
+//
+// Diamos et al.'s RA algorithms are multi-stage: the input is partitioned
+// into chunks (one per CTA), each chunk is filtered in parallel into a dense
+// per-chunk buffer, a global synchronization computes output offsets from the
+// per-chunk match counts (an exclusive scan), and a second kernel gathers the
+// buffers into the final dense array. Kernel fusion operates on this stage
+// structure — a fused SELECT chain inserts extra filter stages and keeps a
+// single partition/buffer/gather (Figure 6) — so the structure is kept
+// literal here: each stage is a separate function, and the fused/unfused
+// paths below differ exactly the way the paper's kernels differ.
+#ifndef KF_RELATIONAL_STAGED_KERNEL_H_
+#define KF_RELATIONAL_STAGED_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace kf::relational {
+
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+// Stage 1 — partition: split [0, n) into `chunk_count` contiguous chunks
+// (the last may be short; empty chunks are produced when n < chunk_count).
+std::vector<ChunkRange> PartitionInput(std::size_t n, int chunk_count);
+
+using Int32Predicate = std::function<bool(std::int32_t)>;
+
+// Stages 2+3 — filter + buffer: each chunk's matching elements, densely
+// packed per chunk, plus the per-chunk match counts.
+struct FilterStageResult {
+  std::vector<std::vector<std::int32_t>> buffers;
+  std::vector<std::uint32_t> counts;
+  std::size_t total_matches() const;
+};
+
+FilterStageResult RunFilterStage(std::span<const std::int32_t> input,
+                                 std::span<const ChunkRange> chunks,
+                                 const Int32Predicate& predicate,
+                                 ThreadPool* pool = nullptr);
+
+// Stage 4 — gather: offsets from the exclusive scan of counts (the global
+// synchronization between the two CUDA kernels), then a positioned copy.
+std::vector<std::int32_t> RunGatherStage(const FilterStageResult& filtered,
+                                         ThreadPool* pool = nullptr);
+
+// Realized statistics of a staged select run — these feed the cost model.
+struct StagedSelectStats {
+  std::size_t input_count = 0;
+  std::size_t output_count = 0;
+  int chunk_count = 0;
+  int filter_stage_count = 1;  // > 1 for fused chains
+};
+
+// Complete staged SELECT: partition, filter, scan, gather. A fused chain of
+// SELECTs is expressed by passing a composed predicate and recording the
+// chain depth in the stats (the filter stage applies every predicate while
+// the element is still in registers — Figure 6).
+std::vector<std::int32_t> StagedSelect(std::span<const std::int32_t> input,
+                                       const Int32Predicate& predicate,
+                                       int chunk_count, ThreadPool* pool = nullptr,
+                                       StagedSelectStats* stats = nullptr,
+                                       int filter_stage_count = 1);
+
+// The unfused chain: one full staged SELECT (two CUDA kernels each) per
+// predicate, materializing every intermediate — the paper's baseline.
+std::vector<std::int32_t> StagedSelectChainUnfused(
+    std::span<const std::int32_t> input, std::span<const Int32Predicate> predicates,
+    int chunk_count, ThreadPool* pool = nullptr,
+    std::vector<StagedSelectStats>* per_step_stats = nullptr);
+
+// The fused chain: a single staged SELECT whose filter stage applies all
+// predicates back-to-back (one partition, one buffer, one gather).
+std::vector<std::int32_t> StagedSelectChainFused(
+    std::span<const std::int32_t> input, std::span<const Int32Predicate> predicates,
+    int chunk_count, ThreadPool* pool = nullptr, StagedSelectStats* stats = nullptr);
+
+}  // namespace kf::relational
+
+#endif  // KF_RELATIONAL_STAGED_KERNEL_H_

@@ -1,0 +1,91 @@
+// Parameters of the simulated GPU and host.
+//
+// The default configuration models the paper's testbed (Table II): an NVIDIA
+// Tesla C2070 (Fermi, 14 SMs x 32 cores @ 1.15 GHz, 144 GB/s GDDR5, 6 GB,
+// two DMA copy engines) attached over PCIe 2.0 x16 to a dual quad-core Xeon
+// E5520 host with 48 GB of memory. Absolute throughputs produced by the cost
+// model are calibrated against the figures in the paper; the *mechanisms*
+// (bandwidth ratios, overlap capability, capacity limits) are what matter for
+// reproducing the fusion/fission results.
+#ifndef KF_SIM_DEVICE_SPEC_H_
+#define KF_SIM_DEVICE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace kf::sim {
+
+struct DeviceSpec {
+  std::string name = "Simulated Tesla C2070";
+
+  // Compute.
+  int sm_count = 14;
+  int cores_per_sm = 32;
+  double clock_ghz = 1.15;
+  // Sustained fraction of peak issue rate for data-dependent integer code
+  // (branches, predication, address arithmetic).
+  double sustained_ipc_fraction = 0.55;
+
+  // Memory system.
+  double mem_bandwidth_gbs = 144.0;  // GDDR5 peak
+  // Fraction of peak DRAM bandwidth achieved by fully coalesced streaming
+  // kernels (ECC on, as on the C2070 in the paper's testbed).
+  double mem_efficiency = 0.75;
+  std::uint64_t mem_capacity_bytes = GiB(6);
+
+  // Execution limits (Fermi).
+  int max_threads_per_cta = 1024;
+  int max_threads_per_sm = 1536;
+  int max_resident_ctas_per_sm = 8;
+  int max_concurrent_kernels = 16;
+
+  // Threads needed in flight machine-wide before memory latency is fully
+  // hidden; kernels keeping fewer resident run at proportionally lower
+  // throughput (this is why halving a launch's CTAs and threads hurts —
+  // Fig 12's "no stream (new)" — and why register pressure from aggressive
+  // fusion eventually costs performance).
+  int saturation_threads() const { return sm_count * max_threads_per_sm; }
+
+  // Overheads.
+  SimTime kernel_launch_overhead = 7.0 * kMicrosecond;
+  SimTime stream_sync_overhead = 3.0 * kMicrosecond;
+
+  // Host side (dual quad-core Xeon E5520).
+  int host_cores = 8;
+  int host_threads = 16;
+  std::uint64_t host_mem_capacity_bytes = GiB(48);
+  double host_mem_bandwidth_gbs = 16.0;
+
+  // Copy engines: the C2070 can overlap one H2D copy, one D2H copy, and
+  // kernel execution simultaneously.
+  int copy_engine_count = 2;
+
+  // Peak arithmetic throughput in scalar integer ops/s.
+  double peak_ops_per_second() const {
+    return static_cast<double>(sm_count) * cores_per_sm * clock_ghz * 1e9 *
+           sustained_ipc_fraction;
+  }
+
+  // Sustained device-memory bandwidth in bytes/s for coalesced access.
+  double sustained_mem_bytes_per_second() const {
+    return mem_bandwidth_gbs * kGB * mem_efficiency;
+  }
+
+  static DeviceSpec TeslaC2070() { return DeviceSpec{}; }
+
+  // A smaller device used by tests to hit capacity limits quickly.
+  static DeviceSpec TinyTestDevice() {
+    DeviceSpec spec;
+    spec.name = "Tiny test device";
+    spec.sm_count = 2;
+    spec.mem_capacity_bytes = MiB(64);
+    spec.mem_bandwidth_gbs = 10.0;
+    return spec;
+  }
+};
+
+}  // namespace kf::sim
+
+#endif  // KF_SIM_DEVICE_SPEC_H_

@@ -1,0 +1,65 @@
+#include "sim/kernel_cost_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace kf::sim {
+
+KernelCost KernelCostModel::Cost(const KernelProfile& profile) const {
+  KF_REQUIRE(profile.cta_count > 0) << "kernel '" << profile.label << "' has no CTAs";
+  KF_REQUIRE(profile.threads_per_cta > 0 &&
+             profile.threads_per_cta <= spec_.max_threads_per_cta)
+      << "kernel '" << profile.label << "' threads_per_cta=" << profile.threads_per_cta;
+  KF_REQUIRE(profile.registers_per_thread > 0);
+
+  KernelCost cost;
+
+  // --- Occupancy: how many threads can be resident at once. -----------------
+  // Register pressure limits residents; beyond the hardware per-thread limit
+  // the compiler spills to local memory, which we charge as extra traffic.
+  int effective_regs = profile.registers_per_thread;
+  std::uint64_t spill_bytes = 0;
+  if (effective_regs > kMaxRegistersPerThread) {
+    const int spilled = effective_regs - kMaxRegistersPerThread;
+    // Each spilled register costs one store + one load of 4 bytes per element.
+    spill_bytes = profile.elements * static_cast<std::uint64_t>(spilled) * 8;
+    effective_regs = kMaxRegistersPerThread;
+  }
+
+  const int threads_by_regs = kRegistersPerSm / effective_regs;
+  const int threads_by_ctas = spec_.max_resident_ctas_per_sm * profile.threads_per_cta;
+  const int resident_per_sm = std::min(
+      {spec_.max_threads_per_sm, threads_by_regs, threads_by_ctas});
+  cost.occupancy = static_cast<double>(resident_per_sm) /
+                   static_cast<double>(spec_.max_threads_per_sm);
+
+  // --- Machine demand: can this launch keep the device busy? ---------------
+  const std::int64_t launched_threads =
+      static_cast<std::int64_t>(profile.cta_count) * profile.threads_per_cta;
+  const std::int64_t resident_threads =
+      std::min<std::int64_t>(launched_threads,
+                             static_cast<std::int64_t>(spec_.sm_count) * resident_per_sm);
+  cost.demand = std::min(
+      1.0, static_cast<double>(resident_threads) /
+               static_cast<double>(spec_.saturation_threads()));
+  cost.demand = std::max(cost.demand, 1e-3);
+
+  // --- Time components at full utilization. --------------------------------
+  const double mem_bw =
+      spec_.sustained_mem_bytes_per_second() * profile.memory_access_efficiency;
+  const auto traffic = static_cast<double>(profile.global_bytes_read +
+                                           profile.global_bytes_written + spill_bytes);
+  cost.memory_time = traffic / mem_bw;
+  cost.compute_time = static_cast<double>(profile.elements) * profile.ops_per_element /
+                      spec_.peak_ops_per_second();
+
+  // A streaming kernel overlaps arithmetic with memory; the slower pipe wins.
+  const SimTime busy = std::max(cost.memory_time, cost.compute_time);
+  cost.solo_duration =
+      busy / cost.demand +
+      static_cast<double>(std::max(1, profile.launches)) * spec_.kernel_launch_overhead;
+  return cost;
+}
+
+}  // namespace kf::sim

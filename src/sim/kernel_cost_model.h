@@ -1,0 +1,82 @@
+// Analytic kernel cost model for the simulated device.
+//
+// Each staged RA kernel (or fused kernel) is summarized by a `KernelProfile`:
+// how many elements it touches, how many scalar operations it executes per
+// element, how many bytes it moves to/from device global memory, and its
+// launch geometry. The model converts a profile into
+//   * `solo_duration`  — runtime when the kernel has the device to itself, and
+//   * `demand`         — the fraction of machine throughput it can absorb,
+// which the discrete-event timeline uses for processor-sharing of the compute
+// engine (concurrent kernels, Fig 12).
+//
+// The model captures exactly the effects the paper attributes to fusion:
+//   * global-memory traffic is the common bottleneck, so removing
+//     intermediate loads/stores (benefit c) shortens kernels;
+//   * under-populated launches (few CTAs / threads) cannot hide memory
+//     latency, so halving the geometry halves throughput (Fig 12 "new");
+//   * register pressure reduces occupancy and eventually spills, which is the
+//     cost side of fusing too many kernels (Section III-C).
+#ifndef KF_SIM_KERNEL_COST_MODEL_H_
+#define KF_SIM_KERNEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "sim/device_spec.h"
+
+namespace kf::sim {
+
+struct KernelProfile {
+  std::string label;
+
+  // Work volume.
+  std::uint64_t elements = 0;
+  double ops_per_element = 8.0;
+
+  // Device global-memory traffic (bytes). Shared-memory/register traffic is
+  // deliberately *not* counted: keeping intermediates there is the point of
+  // fusion.
+  std::uint64_t global_bytes_read = 0;
+  std::uint64_t global_bytes_written = 0;
+  // 1.0 for fully coalesced streaming access; < 1 for scattered access such
+  // as the gather stage's positioned writes.
+  double memory_access_efficiency = 1.0;
+
+  // Launch geometry.
+  int cta_count = 448;
+  int threads_per_cta = 256;
+  int registers_per_thread = 16;
+
+  // Number of distinct device-kernel launches this profile represents (a
+  // staged operator is usually 2: compute + gather).
+  int launches = 1;
+};
+
+struct KernelCost {
+  SimTime solo_duration = 0.0;  // runtime alone on the device (incl. launches)
+  double demand = 1.0;          // fraction of machine throughput demanded
+  SimTime memory_time = 0.0;    // global-memory component at full utilization
+  SimTime compute_time = 0.0;   // arithmetic component at full utilization
+  double occupancy = 1.0;       // resident-thread fraction after reg pressure
+};
+
+class KernelCostModel {
+ public:
+  explicit KernelCostModel(DeviceSpec spec) : spec_(spec) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  KernelCost Cost(const KernelProfile& profile) const;
+
+  // Fermi register file per SM (32 K x 32-bit) and per-thread spill limit.
+  static constexpr int kRegistersPerSm = 32 * 1024;
+  static constexpr int kMaxRegistersPerThread = 63;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace kf::sim
+
+#endif  // KF_SIM_KERNEL_COST_MODEL_H_

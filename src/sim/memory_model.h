@@ -1,0 +1,67 @@
+// Device-memory capacity accounting.
+//
+// Executors use this model to answer the question that drives the paper's
+// "with round trip" vs "without round trip" distinction: does the working set
+// (inputs + intermediates + outputs) fit in the 6 GB of device memory, or
+// must intermediates make a PCIe round trip through host memory?
+#ifndef KF_SIM_MEMORY_MODEL_H_
+#define KF_SIM_MEMORY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace kf::sim {
+
+using AllocationId = std::uint64_t;
+
+class DeviceMemoryModel {
+ public:
+  explicit DeviceMemoryModel(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_bytes() const { return capacity_ - used_; }
+  std::uint64_t high_water_mark() const { return high_water_; }
+
+  bool CanAllocate(std::uint64_t bytes) const { return bytes <= free_bytes(); }
+
+  // Reserves `bytes`; throws kf::Error on exhaustion.
+  AllocationId Allocate(std::uint64_t bytes, const std::string& label = {}) {
+    KF_REQUIRE(CanAllocate(bytes))
+        << "device OOM allocating " << bytes << " bytes for '" << label << "' ("
+        << used_ << "/" << capacity_ << " in use)";
+    const AllocationId id = next_id_++;
+    allocations_.emplace(id, bytes);
+    used_ += bytes;
+    high_water_ = std::max(high_water_, used_);
+    return id;
+  }
+
+  void Free(AllocationId id) {
+    auto it = allocations_.find(id);
+    KF_REQUIRE(it != allocations_.end()) << "double free of allocation " << id;
+    used_ -= it->second;
+    allocations_.erase(it);
+  }
+
+  void Reset() {
+    allocations_.clear();
+    used_ = 0;
+    high_water_ = 0;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t high_water_ = 0;
+  AllocationId next_id_ = 1;
+  std::unordered_map<AllocationId, std::uint64_t> allocations_;
+};
+
+}  // namespace kf::sim
+
+#endif  // KF_SIM_MEMORY_MODEL_H_

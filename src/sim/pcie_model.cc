@@ -1,0 +1,38 @@
+#include "sim/pcie_model.h"
+
+namespace kf::sim {
+
+double PcieModel::EffectiveBandwidth(std::uint64_t bytes, HostMemoryKind kind,
+                                     CopyDirection direction) const {
+  double peak_gbs = 0.0;
+  if (kind == HostMemoryKind::kPinned) {
+    peak_gbs = direction == CopyDirection::kHostToDevice ? config_.pinned_h2d_gbs
+                                                         : config_.pinned_d2h_gbs;
+  } else {
+    peak_gbs = direction == CopyDirection::kHostToDevice ? config_.pageable_h2d_gbs
+                                                         : config_.pageable_d2h_gbs;
+  }
+  double bandwidth = peak_gbs * kGB;
+
+  // Latency-dominated ramp for small transfers.
+  const double b = static_cast<double>(bytes);
+  bandwidth *= b / (b + static_cast<double>(config_.ramp_bytes));
+
+  // Large pinned regions stress the OS (Fig 4b: the pinned advantage shrinks
+  // as transfer size grows).
+  if (kind == HostMemoryKind::kPinned && bytes > config_.degradation_threshold_bytes) {
+    const double excess = static_cast<double>(bytes - config_.degradation_threshold_bytes);
+    const double pressure = excess / static_cast<double>(config_.host_capacity_bytes);
+    bandwidth /= 1.0 + config_.degradation_slope * pressure;
+  }
+  return bandwidth;
+}
+
+SimTime PcieModel::TransferTime(std::uint64_t bytes, HostMemoryKind kind,
+                                CopyDirection direction) const {
+  if (bytes == 0) return config_.latency;
+  return config_.latency +
+         static_cast<double>(bytes) / EffectiveBandwidth(bytes, kind, direction);
+}
+
+}  // namespace kf::sim

@@ -1,0 +1,62 @@
+// PCIe 2.0 x16 transfer-time model.
+//
+// Models the behaviour the paper measures with NVIDIA's bandwidthTest
+// (Fig 4b): effective bandwidth well under the 8 GB/s theoretical peak, a
+// latency-dominated ramp for small transfers, pinned memory beating pageable
+// memory, and the pinned advantage shrinking for very large transfers (the
+// OS pays for keeping large regions locked).
+#ifndef KF_SIM_PCIE_MODEL_H_
+#define KF_SIM_PCIE_MODEL_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace kf::sim {
+
+enum class CopyDirection { kHostToDevice, kDeviceToHost };
+enum class HostMemoryKind { kPageable, kPinned };
+
+struct PcieConfig {
+  // Peak sustained bandwidths in GB/s, calibrated to Fig 4(b).
+  double pinned_h2d_gbs = 5.9;
+  double pinned_d2h_gbs = 6.3;
+  double pageable_h2d_gbs = 2.7;
+  double pageable_d2h_gbs = 3.3;
+
+  // Per-transfer fixed cost (driver + DMA setup).
+  SimTime latency = 12.0 * kMicrosecond;
+
+  // Transfer size at which half of peak bandwidth is reached.
+  std::uint64_t ramp_bytes = KiB(64);
+
+  // Pinned-memory degradation: bandwidth scales by
+  // 1 / (1 + degradation_slope * pinned_bytes / host_capacity) once the
+  // transfer exceeds `degradation_threshold_bytes`.
+  std::uint64_t degradation_threshold_bytes = MiB(256);
+  double degradation_slope = 6.0;
+  std::uint64_t host_capacity_bytes = GiB(48);
+};
+
+class PcieModel {
+ public:
+  PcieModel() = default;
+  explicit PcieModel(PcieConfig config) : config_(config) {}
+
+  const PcieConfig& config() const { return config_; }
+
+  // Effective bandwidth in bytes/s for a single transfer of `bytes`.
+  double EffectiveBandwidth(std::uint64_t bytes, HostMemoryKind kind,
+                            CopyDirection direction) const;
+
+  // Wall time of a single transfer, including fixed latency.
+  SimTime TransferTime(std::uint64_t bytes, HostMemoryKind kind,
+                       CopyDirection direction) const;
+
+ private:
+  PcieConfig config_;
+};
+
+}  // namespace kf::sim
+
+#endif  // KF_SIM_PCIE_MODEL_H_

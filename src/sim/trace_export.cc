@@ -1,0 +1,71 @@
+#include "sim/trace_export.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace kf::sim {
+
+namespace {
+
+// Track id per engine, in display order.
+int TrackOf(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kCopyH2D: return 1;
+    case CommandKind::kKernel: return 2;
+    case CommandKind::kCopyD2H: return 3;
+    case CommandKind::kHostCompute: return 4;
+  }
+  return 0;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeTrace(const TimelineStats& stats,
+                          const std::vector<TraceCommand>& commands) {
+  KF_REQUIRE(commands.size() == stats.commands.size())
+      << "trace metadata for " << commands.size() << " commands, stats has "
+      << stats.commands.size();
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "{\"traceEvents\":[";
+  // Engine name metadata.
+  const char* names[] = {"", "H2D copy engine", "compute engine",
+                         "D2H copy engine", "host CPU"};
+  bool first = true;
+  for (int track = 1; track <= 4; ++track) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+       << ",\"args\":{\"name\":\"" << names[track] << "\"}}";
+  }
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    const CommandTiming& timing = stats.commands[i];
+    const std::string label =
+        commands[i].label.empty() ? ToString(commands[i].kind) : commands[i].label;
+    os << ",{\"name\":\"" << EscapeJson(label) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << TrackOf(commands[i].kind) << ",\"ts\":" << timing.start * 1e6
+       << ",\"dur\":" << (timing.end - timing.start) * 1e6 << ",\"args\":{\"ready\":"
+       << timing.ready * 1e6 << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+}  // namespace kf::sim

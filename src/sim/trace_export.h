@@ -1,0 +1,29 @@
+// Chrome-tracing export of a simulated timeline.
+//
+// Serializes a `TimelineStats` (plus the command list that produced it) into
+// the Chrome trace-event JSON format, so a fission pipeline can be inspected
+// visually in chrome://tracing or https://ui.perfetto.dev — one row per
+// engine (H2D, compute, D2H, host), one slice per command.
+#ifndef KF_SIM_TRACE_EXPORT_H_
+#define KF_SIM_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/timeline.h"
+
+namespace kf::sim {
+
+struct TraceCommand {
+  CommandKind kind = CommandKind::kKernel;
+  std::string label;
+};
+
+// Builds the trace JSON. `commands` must be parallel to `stats.commands`
+// (the issue order of the timeline). Durations are emitted in microseconds.
+std::string ToChromeTrace(const TimelineStats& stats,
+                          const std::vector<TraceCommand>& commands);
+
+}  // namespace kf::sim
+
+#endif  // KF_SIM_TRACE_EXPORT_H_

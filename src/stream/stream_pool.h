@@ -1,0 +1,91 @@
+// The Stream Pool runtime (paper Section IV-A, Table IV).
+//
+// The paper builds a software runtime manager on top of CUDA streams so that
+// kernel fission does not burden the programmer with low-level stream
+// management. This is that library, targeting the simulated device: a pool of
+// in-order command streams with availability tracking, command assignment,
+// point-to-point synchronization between chosen streams, bulk start/wait, and
+// immediate termination.
+//
+//   API (Table IV)            This implementation
+//   ------------------------  ------------------------------------------
+//   getAvailableStream()      GetAvailableStream()
+//   setStreamCommand()        SetStreamCommand(stream, command)
+//   startStreams()            StartStreams()  — runs the timeline
+//   waitAll()                 WaitAll()       — returns TimelineStats
+//   selectWait(a, b)          SelectWait(a, b) — a waits for b's last command
+//   terminate()               Terminate()
+//
+// Commands may carry an optional host action (a closure) executed when the
+// pool starts; actions run in issue order, which respects stream order and
+// all declared dependencies because dependencies always point backwards.
+#ifndef KF_STREAM_STREAM_POOL_H_
+#define KF_STREAM_STREAM_POOL_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/device_simulator.h"
+#include "sim/timeline.h"
+
+namespace kf::stream {
+
+using StreamHandle = int;
+
+struct PoolCommand {
+  sim::CommandSpec spec;
+  // Optional functional work performed on the host when the pool starts
+  // (simulated kernels do their data work host-side; see DESIGN.md §6).
+  std::function<void()> action;
+};
+
+class StreamPool {
+ public:
+  // `stream_count` defaults to 3: enough to saturate a device with two copy
+  // engines plus compute (paper: "at least three streams are needed to fully
+  // utilize its concurrency capacity").
+  explicit StreamPool(const sim::DeviceSimulator& device, int stream_count = 3);
+
+  int stream_count() const { return static_cast<int>(streams_.size()); }
+
+  // Returns a stream with the fewest queued commands, marking it in use.
+  StreamHandle GetAvailableStream();
+
+  // Appends `command` to `stream`'s in-order queue. Returns a command id
+  // usable with SelectWait/dependencies.
+  sim::CommandId SetStreamCommand(StreamHandle stream, PoolCommand command);
+
+  // Makes the *next* command issued to `waiter` wait until the most recently
+  // issued command of `signaler` has completed (point-to-point sync).
+  void SelectWait(StreamHandle waiter, StreamHandle signaler);
+
+  // Runs all host actions (issue order) and simulates the timeline.
+  void StartStreams();
+
+  // Blocks until execution finishes (simulation is synchronous, so this
+  // just returns the stats). Throws if StartStreams was not called.
+  const sim::TimelineStats& WaitAll() const;
+
+  // Ends execution immediately: drops all queued commands and results.
+  void Terminate();
+
+  bool started() const { return stats_.has_value(); }
+
+ private:
+  struct StreamState {
+    std::vector<sim::CommandId> issued;           // global ids, issue order
+    std::vector<sim::CommandId> pending_waits;    // deps for next command
+    bool in_use = false;
+  };
+
+  const sim::DeviceSimulator& device_;
+  std::vector<StreamState> streams_;
+  std::vector<PoolCommand> commands_;             // issue order
+  std::vector<sim::StreamId> command_stream_;     // parallel to commands_
+  std::optional<sim::TimelineStats> stats_;
+};
+
+}  // namespace kf::stream
+
+#endif  // KF_STREAM_STREAM_POOL_H_

@@ -1,0 +1,136 @@
+#include "tpch/q1.h"
+
+#include <map>
+
+#include "relational/operators.h"
+
+namespace kf::tpch {
+
+using core::NodeId;
+using relational::AggregateSpec;
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Table;
+using relational::Value;
+
+QueryPlan BuildQ1Plan(const TpchData& data) {
+  QueryPlan plan;
+  Q1Columns columns = SplitQ1Columns(data.lineitem);
+
+  auto add_source = [&](const char* name, Table& table) {
+    const NodeId id = plan.graph.AddSource(name, table.schema(), table.row_count());
+    plan.source_bytes += table.byte_size();
+    plan.sources.emplace(id, std::move(table));
+    return id;
+  };
+  const NodeId src_date = add_source("shipdate", columns.shipdate);
+  const NodeId src_qty = add_source("quantity", columns.quantity);
+  const NodeId src_price = add_source("price", columns.price);
+  const NodeId src_disc = add_source("discount", columns.discount);
+  const NodeId src_tax = add_source("tax", columns.tax);
+  const NodeId src_flag = add_source("flag", columns.flag);
+  const NodeId src_status = add_source("status", columns.status);
+
+  // SELECT on the ship date, then six JOINs on the row id reassemble the
+  // wide relation: (rowid, date, qty, price, disc, tax, flag, status).
+  const NodeId sel = plan.graph.AddOperator(
+      OperatorDesc::Select(
+          Expr::Le(Expr::FieldRef(1), Expr::Lit(Value::Int32(kQ1Cutoff))),
+          "select_shipdate"),
+      src_date);
+  NodeId wide = sel;
+  const NodeId joins[] = {src_qty, src_price, src_disc, src_tax, src_flag, src_status};
+  const char* names[] = {"join_qty", "join_price", "join_disc",
+                         "join_tax", "join_flag", "join_status"};
+  for (std::size_t j = 0; j < 6; ++j) {
+    wide = plan.graph.AddOperator(OperatorDesc::Join(0, 0, names[j]), wide, joins[j]);
+  }
+
+  // SORT by (returnflag, linestatus) — fields 6, 7.
+  const NodeId sorted =
+      plan.graph.AddOperator(OperatorDesc::Sort({6, 7}, "sort_flag_status"), wide);
+
+  // Price arithmetic: disc_price = price*(1-disc); charge = disc_price*(1+tax).
+  const NodeId disc_price = plan.graph.AddOperator(
+      OperatorDesc::Arith(
+          Expr::Mul(Expr::FieldRef(3), Expr::Sub(Expr::LitF(1.0), Expr::FieldRef(4))),
+          "disc_price", DataType::kFloat64, "arith_disc_price"),
+      sorted);
+  const NodeId charge = plan.graph.AddOperator(
+      OperatorDesc::Arith(
+          Expr::Mul(Expr::FieldRef(8), Expr::Add(Expr::LitF(1.0), Expr::FieldRef(5))),
+          "charge", DataType::kFloat64, "arith_charge"),
+      disc_price);
+
+  // AGGREGATION by (flag, status).
+  const NodeId agg = plan.graph.AddOperator(
+      OperatorDesc::Aggregate(
+          {6, 7},
+          {
+              AggregateSpec{AggregateSpec::Func::kSum, 2, "sum_qty"},
+              AggregateSpec{AggregateSpec::Func::kSum, 3, "sum_base_price"},
+              AggregateSpec{AggregateSpec::Func::kSum, 8, "sum_disc_price"},
+              AggregateSpec{AggregateSpec::Func::kSum, 9, "sum_charge"},
+              AggregateSpec{AggregateSpec::Func::kAvg, 2, "avg_qty"},
+              AggregateSpec{AggregateSpec::Func::kAvg, 3, "avg_price"},
+              AggregateSpec{AggregateSpec::Func::kAvg, 4, "avg_disc"},
+              AggregateSpec{AggregateSpec::Func::kCount, 0, "count_order"},
+          },
+          "aggregate_q1"),
+      charge);
+
+  plan.sink = plan.graph.AddOperator(OperatorDesc::Unique("unique_q1"), agg);
+  return plan;
+}
+
+Table ReferenceQ1(const Table& lineitem) {
+  struct Acc {
+    double sum_qty = 0, sum_price = 0, sum_disc_price = 0, sum_charge = 0;
+    double sum_disc = 0;
+    std::int64_t count = 0;
+  };
+  std::map<std::pair<std::int32_t, std::int32_t>, Acc> groups;
+
+  const auto& qty = lineitem.column("l_quantity").AsInt32();
+  const auto& price = lineitem.column("l_extendedprice").AsFloat64();
+  const auto& disc = lineitem.column("l_discount").AsFloat64();
+  const auto& tax = lineitem.column("l_tax").AsFloat64();
+  const auto& flag = lineitem.column("l_returnflag").AsInt32();
+  const auto& status = lineitem.column("l_linestatus").AsInt32();
+  const auto& shipdate = lineitem.column("l_shipdate").AsInt32();
+
+  for (std::size_t r = 0; r < lineitem.row_count(); ++r) {
+    if (shipdate[r] > kQ1Cutoff) continue;
+    Acc& acc = groups[{flag[r], status[r]}];
+    const double disc_price = price[r] * (1.0 - disc[r]);
+    acc.sum_qty += qty[r];
+    acc.sum_price += price[r];
+    acc.sum_disc_price += disc_price;
+    acc.sum_charge += disc_price * (1.0 + tax[r]);
+    acc.sum_disc += disc[r];
+    ++acc.count;
+  }
+
+  Table out(relational::Schema{{"flag", DataType::kInt32},
+                               {"status", DataType::kInt32},
+                               {"sum_qty", DataType::kFloat64},
+                               {"sum_base_price", DataType::kFloat64},
+                               {"sum_disc_price", DataType::kFloat64},
+                               {"sum_charge", DataType::kFloat64},
+                               {"avg_qty", DataType::kFloat64},
+                               {"avg_price", DataType::kFloat64},
+                               {"avg_disc", DataType::kFloat64},
+                               {"count_order", DataType::kInt64}});
+  for (const auto& [key, acc] : groups) {
+    const auto n = static_cast<double>(acc.count);
+    out.AppendRow({Value::Int32(key.first), Value::Int32(key.second),
+                   Value::Float64(acc.sum_qty), Value::Float64(acc.sum_price),
+                   Value::Float64(acc.sum_disc_price), Value::Float64(acc.sum_charge),
+                   Value::Float64(acc.sum_qty / n), Value::Float64(acc.sum_price / n),
+                   Value::Float64(acc.sum_disc / n), Value::Int64(acc.count)});
+  }
+  return out;
+}
+
+}  // namespace kf::tpch

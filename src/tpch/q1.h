@@ -1,0 +1,35 @@
+// TPC-H Q1 — the pricing summary report (paper Fig 17a / Fig 18a).
+//
+// The paper's plan builds a wide relation from seven single-column tables
+// (one SELECT on the ship date plus six JOINs on the row id), sorts by
+// (returnflag, linestatus), computes the price arithmetic, and aggregates.
+// Fusion merges the SELECT + 6 JOINs into one kernel and the arithmetic +
+// aggregation into another; SORT stays a fusion barrier, and fission can
+// only overlap the *input* transfers of the first block (the arithmetic's
+// input is already in device memory after the SORT).
+#ifndef KF_TPCH_Q1_H_
+#define KF_TPCH_Q1_H_
+
+#include <map>
+
+#include "core/op_graph.h"
+#include "tpch/datagen.h"
+
+namespace kf::tpch {
+
+struct QueryPlan {
+  core::OpGraph graph;
+  std::map<core::NodeId, relational::Table> sources;
+  core::NodeId sink = core::kNoNode;
+  std::uint64_t source_bytes = 0;
+};
+
+QueryPlan BuildQ1Plan(const TpchData& data);
+
+// Independent scalar implementation of the same query over the raw lineitem
+// table; rows match the plan's sink output (ApproxSameRowMultiset).
+relational::Table ReferenceQ1(const relational::Table& lineitem);
+
+}  // namespace kf::tpch
+
+#endif  // KF_TPCH_Q1_H_

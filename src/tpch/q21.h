@@ -1,0 +1,36 @@
+// TPC-H Q21 — suppliers who kept orders waiting (paper Fig 17b / Fig 18b).
+//
+// Q21 identifies suppliers, in one nation, whose late shipment was the only
+// late shipment of a multi-supplier order with status 'F'. The paper uses a
+// simplified plan (PROJECTs omitted); we follow the same spirit:
+//
+//   late      = SELECT(lineitem, receiptdate > commitdate)
+//   fords     = SELECT(orders, status == 'F')
+//   nat       = SELECT(nation, name == SAUDI ARABIA)
+//   supnat    = JOIN(supplier, nat)               [suppliers in the nation]
+//   per_order = AGGREGATE(lineitem BY orderkey, COUNT)   [suppliers/order]
+//   per_late  = AGGREGATE(late BY orderkey, COUNT)       [late supps/order]
+//   chain     = late ⋈ fords ⋈ supnat ⋈ SELECT(per_order > 1)
+//                     ⋈ SELECT(per_late == 1)
+//   result    = SORT(AGGREGATE(SORT(chain) BY suppkey, COUNT))
+//
+// (The generator guarantees distinct suppliers per order, so per-order line
+// counts equal per-order supplier counts — the EXISTS / NOT EXISTS of the
+// spec become the two count filters.) SORTs and the AGGREGATE boundaries
+// fragment fusion exactly as the paper describes, which is why Q21 gains
+// less from fusion than Q1.
+#ifndef KF_TPCH_Q21_H_
+#define KF_TPCH_Q21_H_
+
+#include "tpch/q1.h"
+
+namespace kf::tpch {
+
+QueryPlan BuildQ21Plan(const TpchData& data);
+
+// Scalar implementation mirroring the plan's semantics.
+relational::Table ReferenceQ21(const TpchData& data);
+
+}  // namespace kf::tpch
+
+#endif  // KF_TPCH_Q21_H_

@@ -1,0 +1,25 @@
+// TPC-H Q6 — the forecasting revenue change query (extension beyond the
+// paper's Q1/Q21 evaluation).
+//
+// Q6 is the canonical *fully fusable* decision-support query: three range
+// SELECTs over lineitem, one ARITH (revenue = price * discount), and one
+// global aggregation — no JOIN, no SORT. The whole plan collapses into a
+// single fused kernel (patterns (a) + (h) + (g) composed), which makes it
+// the upper-bound contrast to Q1 (fusable blocks fenced by one SORT) and
+// Q21 (heavily fenced): it bounds how much fusion can ever deliver on a
+// real query.
+#ifndef KF_TPCH_Q6_H_
+#define KF_TPCH_Q6_H_
+
+#include "tpch/q1.h"
+
+namespace kf::tpch {
+
+QueryPlan BuildQ6Plan(const TpchData& data);
+
+// Scalar reference: one row, the total discounted revenue.
+relational::Table ReferenceQ6(const relational::Table& lineitem);
+
+}  // namespace kf::tpch
+
+#endif  // KF_TPCH_Q6_H_

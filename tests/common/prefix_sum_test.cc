@@ -1,0 +1,52 @@
+#include "common/prefix_sum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+namespace kf {
+namespace {
+
+TEST(PrefixSum, EmptyInputYieldsSingleZero) {
+  const std::vector<std::uint32_t> counts;
+  const auto offsets = ExclusiveScanWithTotal(counts);
+  ASSERT_EQ(offsets.size(), 1u);
+  EXPECT_EQ(offsets[0], 0u);
+}
+
+TEST(PrefixSum, SingleElement) {
+  const std::vector<std::uint32_t> counts{7};
+  const auto offsets = ExclusiveScanWithTotal(counts);
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 7u);
+}
+
+TEST(PrefixSum, OffsetsAreExclusiveAndTotalIsLast) {
+  const std::vector<std::uint32_t> counts{3, 0, 5, 1};
+  const auto offsets = ExclusiveScanWithTotal(counts);
+  const std::vector<std::uint32_t> expected{0, 3, 3, 8, 9};
+  EXPECT_EQ(offsets, expected);
+}
+
+TEST(PrefixSum, WorksWithInt64) {
+  const std::vector<std::int64_t> counts{1000000000, 2000000000, 3000000000};
+  const auto offsets = ExclusiveScanWithTotal(counts);
+  EXPECT_EQ(offsets.back(), 6000000000);
+}
+
+TEST(PrefixSum, MatchesManualScanOnRandomInput) {
+  std::vector<std::uint64_t> counts(100);
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] = (i * 37) % 11;
+  const auto offsets = ExclusiveScanWithTotal(counts);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(offsets[i], running) << "at " << i;
+    running += counts[i];
+  }
+  EXPECT_EQ(offsets.back(), running);
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,91 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace kf {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.UniformInt(3, 2), Error);
+}
+
+TEST(Rng, UniformIntCoversRangeRoughlyUniformly) {
+  Rng rng(99);
+  std::array<int, 10> buckets{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++buckets[static_cast<std::size_t>(rng.UniformInt(0, 9))];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, draws / 10, draws / 50);  // within 20% of expectation
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int heads = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.Bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / draws, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(13);
+  Rng child = parent.Split();
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) {
+    values.insert(parent());
+    values.insert(child());
+  }
+  EXPECT_EQ(values.size(), 100u);  // no collisions in practice
+}
+
+TEST(SplitMix, IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kf {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> data(100, 0);
+  pool.ParallelFor(data.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) data[i] = 1;
+  });
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 100);
+}
+
+TEST(ThreadPool, NestedWaitDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&pool, &inner] {
+      for (int j = 0; j < 8; ++j) pool.Submit([&inner] { ++inner; });
+      // Note: workers submitting then the main thread waiting exercises the
+      // help-drain path in Wait().
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> counter{0};
+  ThreadPool::Shared().Submit([&counter] { ++counter; });
+  ThreadPool::Shared().Wait();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_GE(ThreadPool::Shared().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,39 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace kf {
+namespace {
+
+TEST(Units, ByteHelpers) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(2), 2u * 1024 * 1024);
+  EXPECT_EQ(GiB(6), 6ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, ThroughputGBs) {
+  EXPECT_DOUBLE_EQ(ThroughputGBs(2'000'000'000ull, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ThroughputGBs(1'000'000'000ull, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(ThroughputGBs(100, 0.0), 0.0);
+}
+
+TEST(Units, FormatTimePicksUnit) {
+  EXPECT_EQ(FormatTime(2.0), "2.000 s");
+  EXPECT_EQ(FormatTime(0.0123), "12.300 ms");
+  EXPECT_EQ(FormatTime(42e-6), "42.000 us");
+}
+
+TEST(Units, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(KiB(2)), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(MiB(3)), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(GiB(1)), "1.00 GiB");
+}
+
+TEST(Units, FormatGBs) {
+  EXPECT_EQ(FormatGBs(1.5), "1.500 GB/s");
+  EXPECT_EQ(FormatGBs(1.23456, 2), "1.23 GB/s");
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,68 @@
+#include "core/dependence.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::core {
+namespace {
+
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::OpKind;
+using relational::Schema;
+
+TEST(Dependence, ClassificationFollowsThePaper) {
+  // Case (i): elementwise dependence decomposes to scalars.
+  EXPECT_EQ(Classify(OpKind::kSelect), FusionClass::kElementwise);
+  EXPECT_EQ(Classify(OpKind::kProject), FusionClass::kElementwise);
+  EXPECT_EQ(Classify(OpKind::kArith), FusionClass::kElementwise);
+  // Case (ii) with domain knowledge: JOIN-JOIN fuses via the probe side.
+  EXPECT_EQ(Classify(OpKind::kJoin), FusionClass::kBroadcastProbe);
+  EXPECT_EQ(Classify(OpKind::kProduct), FusionClass::kBroadcastProbe);
+  // Aggregation fuses as a terminal reduction (pattern g).
+  EXPECT_EQ(Classify(OpKind::kAggregate), FusionClass::kReduction);
+  // "SORT and UNIQUE cannot be fused with any other operators."
+  EXPECT_EQ(Classify(OpKind::kSort), FusionClass::kBarrier);
+  EXPECT_EQ(Classify(OpKind::kUnique), FusionClass::kBarrier);
+}
+
+TEST(Dependence, FusableEdges) {
+  EXPECT_TRUE(CanFuseEdge(OperatorDesc::Select(Expr::Lit(1)), 0));
+  EXPECT_TRUE(CanFuseEdge(OperatorDesc::Join(), 0));    // probe side
+  EXPECT_FALSE(CanFuseEdge(OperatorDesc::Join(), 1));   // build side
+  EXPECT_TRUE(CanFuseEdge(OperatorDesc::Aggregate({}, {{}}), 0));
+  EXPECT_FALSE(CanFuseEdge(OperatorDesc::Sort({0}), 0));
+  EXPECT_FALSE(CanFuseEdge(OperatorDesc::Unique(), 0));
+  EXPECT_FALSE(CanFuseEdge(OperatorDesc::Union(), 0));
+}
+
+TEST(Dependence, RegisterDemandGrowsWithExprComplexity) {
+  OpGraph g;
+  const NodeId src =
+      g.AddSource("s", Schema{{"a", DataType::kInt64}, {"b", DataType::kInt64}}, 1);
+  const NodeId cheap = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(1))), src);
+  const NodeId costly = g.AddOperator(
+      OperatorDesc::Select(Expr::And(
+          Expr::Lt(Expr::Add(Expr::FieldRef(0), Expr::FieldRef(1)), Expr::Lit(9)),
+          Expr::Gt(Expr::Mul(Expr::FieldRef(0), Expr::FieldRef(1)), Expr::Lit(2)))),
+      src);
+  EXPECT_LT(RegisterDemand(g, g.node(cheap)), RegisterDemand(g, g.node(costly)));
+  EXPECT_EQ(RegisterDemand(g, g.node(src)), 0);
+}
+
+TEST(Dependence, JoinDemandCountsAppendedFieldsOnly) {
+  OpGraph g;
+  const NodeId wide = g.AddSource(
+      "wide",
+      Schema{{"k", DataType::kInt64}, {"a", DataType::kInt64}, {"b", DataType::kInt64}},
+      1);
+  const NodeId narrow =
+      g.AddSource("narrow", Schema{{"k", DataType::kInt64}, {"x", DataType::kInt64}}, 1);
+  const NodeId j = g.AddOperator(OperatorDesc::Join(), wide, narrow);
+  // Join appends exactly one field (x): demand is 2 + 1.
+  EXPECT_EQ(RegisterDemand(g, g.node(j)), 3);
+}
+
+}  // namespace
+}  // namespace kf::core

@@ -1,0 +1,111 @@
+// Capacity-pressure behaviour of the executor: when retained intermediates
+// exceed device memory, the executor must spill them to host memory (the
+// forced round trip of paper Fig 7(a)) instead of failing — and reload them
+// for their consumers.
+#include <gtest/gtest.h>
+
+#include "core/query_executor.h"
+#include "core/select_chain.h"
+#include "relational/operators.h"
+
+namespace kf::core {
+namespace {
+
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+
+// A graph whose intermediates all stay retained: three branches off one
+// source, consumed again at the end, so the peak retained set (source +
+// current sort output + three branch results) far exceeds any single
+// operator's own working set.
+//   src -> sort_i -> sel_i  (i = 1..3),  union(sel1, union(sel2, sel3))
+OpGraph RetentionHeavyGraph(std::uint64_t rows) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", Schema{{"v", DataType::kInt32}}, rows);
+  std::vector<NodeId> branches;
+  for (int i = 1; i <= 3; ++i) {
+    const NodeId sorted = g.AddOperator(
+        OperatorDesc::Sort({0}, "sort" + std::to_string(i)), src);
+    branches.push_back(g.AddOperator(
+        OperatorDesc::Select(Expr::Ge(Expr::FieldRef(0), Expr::Lit(i - 1)),
+                             "sel" + std::to_string(i)),
+        sorted));
+  }
+  const NodeId inner =
+      g.AddOperator(OperatorDesc::Union("union_inner"), branches[1], branches[2]);
+  g.AddOperator(OperatorDesc::Union("union_outer"), branches[0], inner);
+  return g;
+}
+
+TEST(ExecutorSpill, TinyDeviceForcesRoundTripsButStaysCorrect) {
+  // 64 MiB device; 5M int32 rows = 20 MB per materialized relation, and the
+  // graph retains several at once (the union's inputs + output still fit,
+  // but the full retained set does not).
+  sim::DeviceSimulator tiny(sim::DeviceSpec::TinyTestDevice());
+  QueryExecutor executor(tiny);
+  const std::uint64_t rows = 5'000'000;
+  const OpGraph graph = RetentionHeavyGraph(rows);
+
+  ExecutorOptions options;
+  options.strategy = Strategy::kSerial;
+  std::map<NodeId, std::uint64_t> counts;
+  for (NodeId id = 0; id < graph.node_count(); ++id) counts[id] = rows;
+  const ExecutionReport report = executor.EstimateOnly(graph, counts, options);
+
+  // The working set exceeded capacity, so intermediates round-tripped.
+  EXPECT_GT(report.round_trip_time, 0.0);
+  EXPECT_LE(report.peak_device_bytes, tiny.spec().mem_capacity_bytes);
+}
+
+TEST(ExecutorSpill, BigDeviceNeedsNoRoundTrips) {
+  sim::DeviceSimulator big;  // 6 GB
+  QueryExecutor executor(big);
+  const std::uint64_t rows = 5'000'000;
+  const OpGraph graph = RetentionHeavyGraph(rows);
+  ExecutorOptions options;
+  options.strategy = Strategy::kSerial;
+  std::map<NodeId, std::uint64_t> counts;
+  for (NodeId id = 0; id < graph.node_count(); ++id) counts[id] = rows;
+  const ExecutionReport report = executor.EstimateOnly(graph, counts, options);
+  EXPECT_DOUBLE_EQ(report.round_trip_time, 0.0);
+}
+
+TEST(ExecutorSpill, SpillingIsFunctionallyInvisible) {
+  // Same query on the tiny and the big device: identical results.
+  sim::DeviceSimulator tiny(sim::DeviceSpec::TinyTestDevice());
+  sim::DeviceSimulator big;
+  const std::uint64_t rows = 20000;
+  const OpGraph graph = RetentionHeavyGraph(rows);
+  const relational::Table data = MakeUniformInt32Table(rows);
+  const std::map<NodeId, relational::Table> sources{{graph.Sources()[0], data}};
+  ExecutorOptions options;
+  options.strategy = Strategy::kSerial;
+  options.chunk_count = 4;
+  const auto tiny_report = QueryExecutor(tiny).Execute(graph, sources, options);
+  const auto big_report = QueryExecutor(big).Execute(graph, sources, options);
+  ASSERT_EQ(tiny_report.sink_results.size(), 1u);
+  EXPECT_TRUE(relational::SameRowMultiset(
+      tiny_report.sink_results.begin()->second,
+      big_report.sink_results.begin()->second));
+}
+
+TEST(ExecutorSpill, ImpossibleWorkingSetThrows) {
+  // A single relation larger than the tiny device with pinned inputs on
+  // both sides of a sort leaves nothing to spill mid-cluster.
+  sim::DeviceSimulator tiny(sim::DeviceSpec::TinyTestDevice());
+  QueryExecutor executor(tiny);
+  OpGraph g;
+  const NodeId src = g.AddSource("in", Schema{{"v", DataType::kInt32}}, 0);
+  g.AddOperator(OperatorDesc::Sort({0}), src);
+  std::map<NodeId, std::uint64_t> counts;
+  // 40M rows = 160 MB >> 64 MiB: sort needs input + output resident at once.
+  for (NodeId id = 0; id < g.node_count(); ++id) counts[id] = 40'000'000;
+  ExecutorOptions options;
+  options.strategy = Strategy::kSerial;
+  EXPECT_THROW(executor.EstimateOnly(g, counts, options), kf::Error);
+}
+
+}  // namespace
+}  // namespace kf::core

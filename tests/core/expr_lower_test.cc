@@ -1,0 +1,75 @@
+#include "core/expr_lower.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/passes.h"
+
+namespace kf::core {
+namespace {
+
+using relational::Expr;
+
+TEST(ExprLower, SelectFilterShape) {
+  const ir::Function f =
+      LowerSelectFilter("filter", Expr::Lt(Expr::FieldRef(0), Expr::Lit(100)));
+  // ld, mov(const), setp, bra, st, ret.
+  EXPECT_EQ(f.InstructionCount(), 6u);
+}
+
+TEST(ExprLower, SelectFilterOptimizesToPredicatedStore) {
+  ir::Function f =
+      LowerSelectFilter("filter", Expr::Lt(Expr::FieldRef(0), Expr::Lit(100)));
+  ir::OptimizeO3(f);
+  EXPECT_EQ(f.InstructionCount(), 4u);  // ld, setp, @p st, ret
+  EXPECT_EQ(f.block_count(), 1u);
+}
+
+TEST(ExprLower, FusedChainCollapsesUnderO3) {
+  const std::vector<Expr> predicates = {
+      Expr::Lt(Expr::FieldRef(0), Expr::Lit(1000)),
+      Expr::Lt(Expr::FieldRef(0), Expr::Lit(500)),
+  };
+  ir::Function fused = LowerFusedSelectFilters("fused", predicates);
+  const std::size_t before = fused.InstructionCount();
+  ir::OptimizeO3(fused);
+  // The two range predicates merge into one comparison.
+  EXPECT_EQ(fused.InstructionCount(), 4u);
+  EXPECT_GT(before, 2 * fused.InstructionCount());
+}
+
+TEST(ExprLower, MultiFieldPredicateLoadsEachFieldOnce) {
+  const Expr pred = Expr::And(Expr::Lt(Expr::FieldRef(0), Expr::Lit(10)),
+                              Expr::Gt(Expr::FieldRef(1), Expr::FieldRef(0)));
+  ir::Function f = LowerSelectFilter("multi", pred);
+  std::size_t loads = 0;
+  for (ir::BlockId b = 0; b < f.block_count(); ++b) {
+    for (const auto& inst : f.block(b).instructions) {
+      if (inst.op == ir::Opcode::kLd) ++loads;
+    }
+  }
+  EXPECT_EQ(loads, 2u);  // fields 0 and 1, cached
+}
+
+TEST(ExprLower, ArithMapLowersAndFolds) {
+  // (1 - 0.4) * $0  -> constant folds the (1 - 0.4) subtree.
+  const Expr e = Expr::Mul(Expr::Sub(Expr::Lit(10), Expr::Lit(4)), Expr::FieldRef(0));
+  ir::Function f = LowerArithMap("map", e);
+  ir::OptimizeO3(f);
+  // ld, mul, st, ret.
+  EXPECT_EQ(f.InstructionCount(), 4u);
+}
+
+TEST(ExprLower, LogicalOpsLower) {
+  const Expr pred = Expr::Or(Expr::Not(Expr::Eq(Expr::FieldRef(0), Expr::Lit(0))),
+                             Expr::Le(Expr::FieldRef(0), Expr::Lit(-5)));
+  ir::Function f = LowerSelectFilter("logic", pred);
+  f.Verify();
+  EXPECT_GT(f.InstructionCount(), 5u);
+}
+
+TEST(ExprLower, EmptyChainThrows) {
+  EXPECT_THROW(LowerFusedSelectFilters("none", {}), kf::Error);
+}
+
+}  // namespace
+}  // namespace kf::core

@@ -1,0 +1,209 @@
+// The fused kernel must be functionally identical to the unfused operator
+// chain — the correctness contract of kernel fusion.
+#include "core/fused_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "core/fusion_planner.h"
+#include "relational/operators.h"
+
+namespace kf::core {
+namespace {
+
+using relational::AggregateSpec;
+using relational::ApplyOperator;
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+Table RandomKV(std::size_t rows, std::uint64_t seed, int key_range = 50) {
+  Rng rng(seed);
+  Table t(Schema{{"k", DataType::kInt64}, {"v", DataType::kInt64}});
+  for (std::size_t r = 0; r < rows; ++r) {
+    t.AppendRow({Value::Int64(rng.UniformInt(0, key_range)),
+                 Value::Int64(rng.UniformInt(0, 100))});
+  }
+  return t;
+}
+
+// Runs the graph unfused (operator at a time) and fused (cluster pipeline),
+// comparing every cluster output.
+void CheckFusionEquivalence(const OpGraph& g,
+                            const std::map<NodeId, Table>& sources,
+                            int chunk_count = 16) {
+  const FusionPlan plan = PlanFusion(g);
+  // Unfused reference.
+  std::map<NodeId, Table> reference;
+  for (NodeId id : g.TopologicalOrder()) {
+    const OpNode& node = g.node(id);
+    if (node.is_source) {
+      reference.emplace(id, sources.at(id));
+      continue;
+    }
+    const Table& left = reference.at(node.inputs[0]);
+    const Table* right = node.inputs.size() > 1 ? &reference.at(node.inputs[1]) : nullptr;
+    reference.emplace(id, ApplyOperator(node.desc, left, right));
+  }
+  // Fused execution.
+  std::map<NodeId, Table> computed;
+  auto lookup = [&](NodeId id) -> const Table& {
+    auto it = sources.find(id);
+    if (it != sources.end()) return it->second;
+    return computed.at(id);
+  };
+  for (const FusionCluster& cluster : plan.clusters) {
+    ClusterExecution exec = ExecuteCluster(g, cluster, lookup, chunk_count);
+    for (auto& [id, table] : exec.outputs) {
+      EXPECT_TRUE(ApproxSameRowMultiset(table, reference.at(id)))
+          << "node #" << id << " (" << g.node(id).name << ") differs";
+      computed.emplace(id, std::move(table));
+    }
+  }
+}
+
+TEST(FusedPipeline, SelectChain) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", RandomKV(1, 0).schema(), 0);
+  const NodeId s1 = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(30))), src);
+  g.AddOperator(OperatorDesc::Select(Expr::Ge(Expr::FieldRef(1), Expr::Lit(20))), s1);
+  CheckFusionEquivalence(g, {{src, RandomKV(5000, 1)}});
+}
+
+TEST(FusedPipeline, SelectProjectArith) {
+  OpGraph g;
+  const Table data = RandomKV(3000, 2);
+  const NodeId src = g.AddSource("in", data.schema(), 0);
+  const NodeId s = g.AddOperator(
+      OperatorDesc::Select(Expr::Gt(Expr::FieldRef(1), Expr::Lit(10))), src);
+  const NodeId ar = g.AddOperator(
+      OperatorDesc::Arith(Expr::Mul(Expr::FieldRef(1), Expr::Lit(3)), "triple",
+                          DataType::kInt64),
+      s);
+  g.AddOperator(OperatorDesc::Project({0, 2}), ar);
+  CheckFusionEquivalence(g, {{src, data}});
+}
+
+TEST(FusedPipeline, JoinChainWithExpansion) {
+  OpGraph g;
+  const Table probe = RandomKV(2000, 3, 20);
+  const Table build1 = RandomKV(100, 4, 20);  // duplicate keys -> expansion
+  const Table build2 = RandomKV(50, 5, 20);
+  const NodeId src = g.AddSource("probe", probe.schema(), 0);
+  const NodeId b1 = g.AddSource("build1", build1.schema(), 0);
+  const NodeId b2 = g.AddSource("build2", build2.schema(), 0);
+  const NodeId j1 = g.AddOperator(OperatorDesc::Join(0, 0, "j1"), src, b1);
+  g.AddOperator(OperatorDesc::Join(0, 0, "j2"), j1, b2);
+  CheckFusionEquivalence(g, {{src, probe}, {b1, build1}, {b2, build2}});
+}
+
+TEST(FusedPipeline, ProductInsideCluster) {
+  OpGraph g;
+  const Table left = RandomKV(100, 6);
+  const Table right = RandomKV(7, 7);
+  const NodeId src = g.AddSource("l", left.schema(), 0);
+  const NodeId b = g.AddSource("r", right.schema(), 0);
+  const NodeId s = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(25))), src);
+  g.AddOperator(OperatorDesc::Product(), s, b);
+  CheckFusionEquivalence(g, {{src, left}, {b, right}});
+}
+
+TEST(FusedPipeline, TerminalAggregationMatchesUnfused) {
+  OpGraph g;
+  const Table data = RandomKV(5000, 8, 5);
+  const NodeId src = g.AddSource("in", data.schema(), 0);
+  const NodeId s = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(1), Expr::Lit(60))), src);
+  g.AddOperator(
+      OperatorDesc::Aggregate({0},
+                              {AggregateSpec{AggregateSpec::Func::kSum, 1, "sum"},
+                               AggregateSpec{AggregateSpec::Func::kAvg, 1, "avg"},
+                               AggregateSpec{AggregateSpec::Func::kMin, 1, "min"},
+                               AggregateSpec{AggregateSpec::Func::kMax, 1, "max"},
+                               AggregateSpec{AggregateSpec::Func::kCount, 0, "n"}}),
+      s);
+  CheckFusionEquivalence(g, {{src, data}});
+}
+
+TEST(FusedPipeline, MultiOutputClusterPatternC) {
+  OpGraph g;
+  const Table data = RandomKV(2000, 9);
+  const NodeId src = g.AddSource("in", data.schema(), 0);
+  g.AddOperator(OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(10)), "s1"),
+                src);
+  g.AddOperator(OperatorDesc::Select(Expr::Ge(Expr::FieldRef(0), Expr::Lit(40)), "s2"),
+                src);
+  CheckFusionEquivalence(g, {{src, data}});
+}
+
+TEST(FusedPipeline, ResultsIndependentOfChunkCount) {
+  OpGraph g;
+  const Table data = RandomKV(3000, 10);
+  const NodeId src = g.AddSource("in", data.schema(), 0);
+  const NodeId s = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(1), Expr::Lit(50))), src);
+  g.AddOperator(
+      OperatorDesc::Aggregate({0}, {AggregateSpec{AggregateSpec::Func::kSum, 1, "sum"}}),
+      s);
+  for (int chunks : {1, 3, 64, 448}) {
+    CheckFusionEquivalence(g, {{src, data}}, chunks);
+  }
+}
+
+TEST(FusedPipeline, ParallelChunksMatchSerial) {
+  OpGraph g;
+  const Table data = RandomKV(20000, 11);
+  const NodeId src = g.AddSource("in", data.schema(), 0);
+  const NodeId s1 = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(40))), src);
+  g.AddOperator(OperatorDesc::Select(Expr::Gt(Expr::FieldRef(1), Expr::Lit(5))), s1);
+  const FusionPlan plan = PlanFusion(g);
+  ASSERT_EQ(plan.clusters.size(), 1u);
+  auto lookup = [&](NodeId) -> const Table& { return data; };
+  ThreadPool pool(4);
+  const ClusterExecution serial = ExecuteCluster(g, plan.clusters[0], lookup, 32);
+  const ClusterExecution parallel =
+      ExecuteCluster(g, plan.clusters[0], lookup, 32, &pool);
+  for (const auto& [id, table] : serial.outputs) {
+    EXPECT_TRUE(relational::SameRowMultiset(table, parallel.outputs.at(id)));
+  }
+}
+
+TEST(FusedPipeline, MemberRowsTrackIntermediateCardinalities) {
+  OpGraph g;
+  const Table data = RandomKV(1000, 12);
+  const NodeId src = g.AddSource("in", data.schema(), 0);
+  const NodeId s1 = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(25)), "half"), src);
+  const NodeId s2 = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(1), Expr::Lit(50)), "quarter"), s1);
+  const FusionPlan plan = PlanFusion(g);
+  auto lookup = [&](NodeId) -> const Table& { return data; };
+  const ClusterExecution exec = ExecuteCluster(g, plan.clusters[0], lookup, 8);
+  EXPECT_EQ(exec.primary_rows, data.row_count());
+  EXPECT_GT(exec.member_rows.at(s1), exec.member_rows.at(s2));
+  EXPECT_EQ(exec.member_rows.at(s2), exec.outputs.at(s2).row_count());
+}
+
+TEST(FusedPipeline, RejectsBarrierMembers) {
+  OpGraph g;
+  const Table data = RandomKV(10, 13);
+  const NodeId src = g.AddSource("in", data.schema(), 0);
+  const NodeId sort = g.AddOperator(OperatorDesc::Sort({0}), src);
+  FusionCluster bogus;
+  bogus.nodes = {sort};
+  bogus.primary_input = src;
+  bogus.outputs = {sort};
+  auto lookup = [&](NodeId) -> const Table& { return data; };
+  EXPECT_THROW(ExecuteCluster(g, bogus, lookup, 4), kf::Error);
+}
+
+}  // namespace
+}  // namespace kf::core

@@ -1,0 +1,202 @@
+// The planner must discover exactly the fusable patterns of paper Fig 2.
+#include "core/fusion_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::core {
+namespace {
+
+using relational::AggregateSpec;
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+
+Schema KV() { return Schema{{"k", DataType::kInt64}, {"v", DataType::kInt64}}; }
+
+OperatorDesc Sel(const char* label = "select") {
+  return OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(5)), label);
+}
+
+int ClusterOf(const FusionPlan& plan, NodeId id) { return plan.cluster_of[id]; }
+
+TEST(FusionPlanner, PatternA_SelectChainFusesIntoOneCluster) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  const NodeId s1 = g.AddOperator(Sel("s1"), src);
+  const NodeId s2 = g.AddOperator(Sel("s2"), s1);
+  const NodeId s3 = g.AddOperator(Sel("s3"), s2);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 1u);
+  EXPECT_EQ(ClusterOf(plan, s1), ClusterOf(plan, s2));
+  EXPECT_EQ(ClusterOf(plan, s2), ClusterOf(plan, s3));
+  EXPECT_EQ(plan.clusters[0].primary_input, src);
+  EXPECT_EQ(plan.clusters[0].outputs, std::vector<NodeId>{s3});
+}
+
+TEST(FusionPlanner, PatternB_JoinChainFusesAlongProbeSide) {
+  OpGraph g;
+  const NodeId a = g.AddSource("a", KV(), 100);
+  const NodeId b = g.AddSource("b", KV(), 100);
+  const NodeId c = g.AddSource("c", KV(), 100);
+  const NodeId j1 = g.AddOperator(OperatorDesc::Join(0, 0, "j1"), a, b);
+  const NodeId j2 = g.AddOperator(OperatorDesc::Join(0, 0, "j2"), j1, c);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 1u);
+  EXPECT_EQ(ClusterOf(plan, j1), ClusterOf(plan, j2));
+  EXPECT_EQ(plan.clusters[0].build_inputs, (std::vector<NodeId>{b, c}));
+}
+
+TEST(FusionPlanner, PatternC_SharedInputSelectsShareACluster) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  const NodeId s1 = g.AddOperator(Sel("s1"), src);
+  const NodeId s2 = g.AddOperator(Sel("s2"), src);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 1u);
+  EXPECT_EQ(ClusterOf(plan, s1), ClusterOf(plan, s2));
+  // Both selects escape: two outputs from one fused kernel.
+  EXPECT_EQ(plan.clusters[0].outputs, (std::vector<NodeId>{s1, s2}));
+}
+
+TEST(FusionPlanner, PatternDE_SelectAndArithAfterJoinFuse) {
+  OpGraph g;
+  const NodeId a = g.AddSource("a", KV(), 100);
+  const NodeId b = g.AddSource("b", KV(), 100);
+  const NodeId j = g.AddOperator(OperatorDesc::Join(), a, b);
+  const NodeId s = g.AddOperator(Sel(), j);
+  const NodeId ar = g.AddOperator(
+      OperatorDesc::Arith(Expr::Add(Expr::FieldRef(1), Expr::FieldRef(2)), "sum"), s);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 1u);
+  EXPECT_EQ(ClusterOf(plan, j), ClusterOf(plan, ar));
+}
+
+TEST(FusionPlanner, PatternF_JoinOfTwoSelectedTables) {
+  // select(a) join select(b): the probe-side select fuses with the join;
+  // the build-side select is a separate, earlier cluster.
+  OpGraph g;
+  const NodeId a = g.AddSource("a", KV(), 100);
+  const NodeId b = g.AddSource("b", KV(), 100);
+  const NodeId sb = g.AddOperator(Sel("sel_b"), b);
+  const NodeId sa = g.AddOperator(Sel("sel_a"), a);
+  const NodeId j = g.AddOperator(OperatorDesc::Join(), sa, sb);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 2u);
+  EXPECT_EQ(ClusterOf(plan, sa), ClusterOf(plan, j));
+  EXPECT_NE(ClusterOf(plan, sb), ClusterOf(plan, j));
+}
+
+TEST(FusionPlanner, PatternG_AggregationOverSelectFuses) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  const NodeId s = g.AddOperator(Sel(), src);
+  const NodeId agg = g.AddOperator(
+      OperatorDesc::Aggregate({}, {AggregateSpec{AggregateSpec::Func::kSum, 1, "sum"}}),
+      s);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 1u);
+  EXPECT_EQ(ClusterOf(plan, s), ClusterOf(plan, agg));
+}
+
+TEST(FusionPlanner, PatternH_ArithThenProjectFuses) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  const NodeId ar = g.AddOperator(
+      OperatorDesc::Arith(Expr::Mul(Expr::FieldRef(1), Expr::LitF(0.9)), "disc"), src);
+  const NodeId pr = g.AddOperator(OperatorDesc::Project({0, 2}), ar);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 1u);
+  EXPECT_EQ(ClusterOf(plan, ar), ClusterOf(plan, pr));
+}
+
+TEST(FusionPlanner, NothingFusesThroughAggregation) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  const NodeId agg = g.AddOperator(
+      OperatorDesc::Aggregate({0}, {AggregateSpec{AggregateSpec::Func::kSum, 1, "sum"}}),
+      src);
+  const NodeId s = g.AddOperator(Sel(), agg);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 2u);
+  EXPECT_NE(ClusterOf(plan, agg), ClusterOf(plan, s));
+}
+
+TEST(FusionPlanner, SortIsABarrierOnBothSides) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  const NodeId s1 = g.AddOperator(Sel("s1"), src);
+  const NodeId sort = g.AddOperator(OperatorDesc::Sort({0}), s1);
+  const NodeId s2 = g.AddOperator(Sel("s2"), sort);
+  const FusionPlan plan = PlanFusion(g);
+  EXPECT_EQ(plan.clusters.size(), 3u);
+  EXPECT_NE(ClusterOf(plan, s1), ClusterOf(plan, sort));
+  EXPECT_NE(ClusterOf(plan, sort), ClusterOf(plan, s2));
+}
+
+TEST(FusionPlanner, DisabledPlannerKeepsEveryOperatorAlone) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  const NodeId s1 = g.AddOperator(Sel("s1"), src);
+  g.AddOperator(Sel("s2"), s1);
+  FusionOptions options;
+  options.enabled = false;
+  const FusionPlan plan = PlanFusion(g, options);
+  EXPECT_EQ(plan.clusters.size(), 2u);
+  EXPECT_EQ(plan.fused_cluster_count(), 0u);
+}
+
+TEST(FusionPlanner, RegisterBudgetSplitsLongChains) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  NodeId current = src;
+  std::vector<NodeId> selects;
+  for (int i = 0; i < 12; ++i) {
+    current = g.AddOperator(Sel(("s" + std::to_string(i)).c_str()), current);
+    selects.push_back(current);
+  }
+  FusionOptions tight;
+  tight.register_budget = 20;  // base 10 + 3 per select -> ~3 per cluster
+  const FusionPlan plan = PlanFusion(g, tight);
+  EXPECT_GT(plan.clusters.size(), 2u);
+  for (const FusionCluster& cluster : plan.clusters) {
+    EXPECT_LE(cluster.register_estimate, 20);
+  }
+  // A generous budget fuses everything.
+  FusionOptions loose;
+  loose.register_budget = 128;
+  EXPECT_EQ(PlanFusion(g, loose).clusters.size(), 1u);
+}
+
+TEST(FusionPlanner, BuildSideFromLaterClusterBlocksFusion) {
+  // join(chain_a, sel_b) where sel_b is created AFTER the chain started: the
+  // planner must not fuse the join into a cluster that would run before its
+  // build input exists.
+  OpGraph g;
+  const NodeId a = g.AddSource("a", KV(), 100);
+  const NodeId b = g.AddSource("b", KV(), 100);
+  const NodeId sa = g.AddOperator(Sel("sa"), a);
+  const NodeId sb = g.AddOperator(Sel("sb"), b);
+  const NodeId j = g.AddOperator(OperatorDesc::Join(), sa, sb);
+  const FusionPlan plan = PlanFusion(g);
+  // sb lands in cluster 1 (> sa's cluster 0), so the join cannot join
+  // cluster 0; it must start its own cluster.
+  EXPECT_EQ(ClusterOf(plan, sa), 0);
+  EXPECT_EQ(ClusterOf(plan, sb), 1);
+  EXPECT_EQ(ClusterOf(plan, j), 2);
+}
+
+TEST(FusionPlanner, ToStringMentionsFusedClusters) {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", KV(), 100);
+  const NodeId s1 = g.AddOperator(Sel("alpha"), src);
+  g.AddOperator(Sel("beta"), s1);
+  const FusionPlan plan = PlanFusion(g);
+  const std::string s = plan.ToString(g);
+  EXPECT_NE(s.find("FUSED"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kf::core

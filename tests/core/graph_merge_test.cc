@@ -1,0 +1,109 @@
+#include "core/graph_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_executor.h"
+#include "core/select_chain.h"
+
+namespace kf::core {
+namespace {
+
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+using relational::Table;
+
+Schema I32() { return Schema{{"v", DataType::kInt32}}; }
+
+OpGraph OneSelectQuery(const char* source_name, std::int32_t threshold,
+                       const char* label) {
+  OpGraph g;
+  const NodeId src = g.AddSource(source_name, I32(), 1000);
+  g.AddOperator(OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0),
+                                              Expr::Lit(relational::Value::Int32(
+                                                  threshold))),
+                                     label),
+                src);
+  return g;
+}
+
+TEST(GraphMerge, SharedSourceIsUnified) {
+  const OpGraph q1 = OneSelectQuery("lineitem", 100, "q1_select");
+  const OpGraph q2 = OneSelectQuery("lineitem", 200, "q2_select");
+  const MergeResult merged = MergeGraphs(q1, q2);
+  EXPECT_EQ(merged.graph.Sources().size(), 1u);  // one shared scan
+  EXPECT_EQ(merged.graph.node_count(), 3u);      // source + 2 selects
+  EXPECT_EQ(merged.graph.Sinks().size(), 2u);    // both query results
+}
+
+TEST(GraphMerge, DistinctSourcesStaySeparate) {
+  const OpGraph q1 = OneSelectQuery("orders", 100, "a");
+  const OpGraph q2 = OneSelectQuery("lineitem", 200, "b");
+  const MergeResult merged = MergeGraphs(q1, q2);
+  EXPECT_EQ(merged.graph.Sources().size(), 2u);
+}
+
+TEST(GraphMerge, ConflictingSchemasThrow) {
+  OpGraph q1;
+  q1.AddSource("t", I32(), 10);
+  OpGraph q2;
+  q2.AddSource("t", Schema{{"v", DataType::kInt64}}, 10);
+  EXPECT_THROW(MergeGraphs(q1, q2), kf::Error);
+}
+
+TEST(GraphMerge, CrossQueryFusionSharesOneScan) {
+  // Section III-A: RA operators from different queries fuse. Both queries'
+  // SELECTs land in ONE cluster streaming the shared source once.
+  const OpGraph q1 = OneSelectQuery("lineitem", 100, "q1_select");
+  const OpGraph q2 = OneSelectQuery("lineitem", 200, "q2_select");
+  const MergeResult merged = MergeGraphs(q1, q2);
+  const FusionPlan plan = PlanFusion(merged.graph);
+  ASSERT_EQ(plan.clusters.size(), 1u);
+  EXPECT_EQ(plan.clusters[0].nodes.size(), 2u);
+  EXPECT_EQ(plan.clusters[0].outputs.size(), 2u);  // one result per query
+}
+
+TEST(GraphMerge, MergedExecutionMatchesSeparateExecution) {
+  const OpGraph q1 = OneSelectQuery("numbers", 1 << 29, "q1_select");
+  const OpGraph q2 = OneSelectQuery("numbers", 1 << 30, "q2_select");
+  const MergeResult merged = MergeGraphs(q1, q2);
+
+  const Table data = MakeUniformInt32Table(20000, 77);
+  sim::DeviceSimulator device;
+  QueryExecutor executor(device);
+  ExecutorOptions options;
+  options.strategy = Strategy::kFused;
+  options.chunk_count = 8;
+
+  // Separate runs.
+  const auto r1 = executor.Execute(q1, {{q1.Sources()[0], data}}, options);
+  const auto r2 = executor.Execute(q2, {{q2.Sources()[0], data}}, options);
+  // Merged run: one scan serves both.
+  const auto merged_report = executor.Execute(
+      merged.graph, {{merged.graph.Sources()[0], data}}, options);
+  ASSERT_EQ(merged_report.sink_results.size(), 2u);
+
+  // Map each original sink to its merged counterpart and compare.
+  const NodeId sink1 = merged.first_mapping.at(q1.Sinks()[0]);
+  const NodeId sink2 = merged.second_mapping.at(q2.Sinks()[0]);
+  EXPECT_TRUE(relational::SameRowMultiset(merged_report.sink_results.at(sink1),
+                                          r1.sink_results.begin()->second));
+  EXPECT_TRUE(relational::SameRowMultiset(merged_report.sink_results.at(sink2),
+                                          r2.sink_results.begin()->second));
+
+  // And the shared scan moves fewer bytes than two separate runs.
+  EXPECT_LT(merged_report.h2d_bytes, r1.h2d_bytes + r2.h2d_bytes);
+  EXPECT_LT(merged_report.makespan, r1.makespan + r2.makespan);
+}
+
+TEST(GraphMerge, MappingsCoverEveryNode) {
+  const OpGraph q1 = OneSelectQuery("t", 1, "a");
+  const OpGraph q2 = OneSelectQuery("t", 2, "b");
+  const MergeResult merged = MergeGraphs(q1, q2);
+  EXPECT_EQ(merged.first_mapping.size(), q1.node_count());
+  EXPECT_EQ(merged.second_mapping.size(), q2.node_count());
+}
+
+}  // namespace
+}  // namespace kf::core

@@ -1,0 +1,85 @@
+#include "core/hetero.h"
+
+#include <gtest/gtest.h>
+
+#include "core/select_chain.h"
+
+namespace kf::core {
+namespace {
+
+struct Fixture {
+  SelectChain chain = MakeSelectChain(1000, std::vector<double>{0.5, 0.5});
+  FusionPlan plan = PlanFusion(chain.graph);
+  sim::DeviceSimulator device;
+  HeterogeneousScheduler scheduler{device};
+
+  std::vector<RealizedSizes> Sizes(std::uint64_t n) const {
+    RealizedSizes s1{n, 4, n / 2, 4, 0};
+    RealizedSizes s2{n / 2, 4, n / 4, 4, 0};
+    return {s1, s2};
+  }
+};
+
+TEST(Hetero, TinyClustersRunOnTheHost) {
+  Fixture f;
+  const PlacementDecision d = f.scheduler.Decide(
+      f.chain.graph, f.plan.clusters[0], f.Sizes(10'000));
+  EXPECT_EQ(d.placement, Placement::kHost);
+  EXPECT_LT(d.host_time, d.device_time);
+}
+
+TEST(Hetero, LargeStreamingClustersRunOnTheDevice) {
+  Fixture f;
+  const PlacementDecision d = f.scheduler.Decide(
+      f.chain.graph, f.plan.clusters[0], f.Sizes(200'000'000));
+  EXPECT_EQ(d.placement, Placement::kDevice);
+  EXPECT_LT(d.device_time, d.host_time);
+}
+
+TEST(Hetero, CrossoverIsMonotone) {
+  // Once the device wins, it keeps winning as the data grows.
+  Fixture f;
+  bool device_seen = false;
+  for (std::uint64_t n = 1'000; n <= 1'000'000'000ull; n *= 10) {
+    const PlacementDecision d =
+        f.scheduler.Decide(f.chain.graph, f.plan.clusters[0], f.Sizes(n));
+    if (device_seen) {
+      EXPECT_EQ(d.placement, Placement::kDevice) << "n=" << n;
+    }
+    if (d.placement == Placement::kDevice) device_seen = true;
+  }
+  EXPECT_TRUE(device_seen);
+}
+
+TEST(Hetero, DeviceResidentInputFavorsTheDevice) {
+  // If the input is already in device memory, host placement must pay a D2H
+  // download first — the Q1 arithmetic block stays on the device.
+  Fixture f;
+  const auto sizes = f.Sizes(5'000'000);
+  const PlacementDecision host_input = f.scheduler.Decide(
+      f.chain.graph, f.plan.clusters[0], sizes, /*input_on_host=*/true);
+  const PlacementDecision device_input = f.scheduler.Decide(
+      f.chain.graph, f.plan.clusters[0], sizes, /*input_on_host=*/false);
+  EXPECT_LT(device_input.device_time, host_input.device_time);
+  EXPECT_GT(device_input.host_time, host_input.host_time);
+}
+
+TEST(Hetero, OutputDestinationShiftsTheBalance) {
+  Fixture f;
+  const auto sizes = f.Sizes(50'000'000);
+  const PlacementDecision to_host = f.scheduler.Decide(
+      f.chain.graph, f.plan.clusters[0], sizes, true, /*output_to_host=*/true);
+  const PlacementDecision stay_device = f.scheduler.Decide(
+      f.chain.graph, f.plan.clusters[0], sizes, true, /*output_to_host=*/false);
+  EXPECT_LT(stay_device.device_time, to_host.device_time);
+}
+
+TEST(Hetero, SizeMismatchThrows) {
+  Fixture f;
+  EXPECT_THROW(
+      f.scheduler.Decide(f.chain.graph, f.plan.clusters[0], {RealizedSizes{}}),
+      kf::Error);
+}
+
+}  // namespace
+}  // namespace kf::core

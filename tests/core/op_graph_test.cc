@@ -1,0 +1,77 @@
+#include "core/op_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kf::core {
+namespace {
+
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+
+Schema KV() { return Schema{{"k", DataType::kInt64}, {"v", DataType::kInt64}}; }
+
+TEST(OpGraph, SourcesAndOperatorsPropagateSchemas) {
+  OpGraph g;
+  const NodeId src = g.AddSource("input", KV(), 100);
+  const NodeId sel = g.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(5))), src);
+  const NodeId proj = g.AddOperator(OperatorDesc::Project({1}), sel);
+  EXPECT_EQ(g.node(src).schema.field_count(), 2u);
+  EXPECT_EQ(g.node(sel).schema.field_count(), 2u);
+  EXPECT_EQ(g.node(proj).schema.field_count(), 1u);
+  EXPECT_EQ(g.node(proj).schema.field(0).name, "v");
+}
+
+TEST(OpGraph, JoinSchemaConcatenates) {
+  OpGraph g;
+  const NodeId a = g.AddSource("a", KV(), 10);
+  const NodeId b = g.AddSource("b", KV(), 10);
+  const NodeId j = g.AddOperator(OperatorDesc::Join(), a, b);
+  EXPECT_EQ(g.node(j).schema.field_count(), 3u);
+}
+
+TEST(OpGraph, ArityIsEnforced) {
+  OpGraph g;
+  const NodeId a = g.AddSource("a", KV(), 10);
+  const NodeId b = g.AddSource("b", KV(), 10);
+  EXPECT_THROW(g.AddOperator(OperatorDesc::Join(), a), Error);
+  EXPECT_THROW(g.AddOperator(OperatorDesc::Unique(), a, b), Error);
+  EXPECT_THROW(g.AddOperator(OperatorDesc::Unique(), NodeId{99}), Error);
+}
+
+TEST(OpGraph, ConsumersAndSinks) {
+  OpGraph g;
+  const NodeId src = g.AddSource("input", KV(), 100);
+  const NodeId s1 = g.AddOperator(OperatorDesc::Select(Expr::Lit(1), "s1"), src);
+  const NodeId s2 = g.AddOperator(OperatorDesc::Select(Expr::Lit(1), "s2"), src);
+  const NodeId u = g.AddOperator(OperatorDesc::Union(), s1, s2);
+  EXPECT_EQ(g.Consumers(src), (std::vector<NodeId>{s1, s2}));
+  EXPECT_EQ(g.Sinks(), std::vector<NodeId>{u});
+  EXPECT_EQ(g.Sources(), std::vector<NodeId>{src});
+}
+
+TEST(OpGraph, TopologicalOrderRespectsInsertion) {
+  OpGraph g;
+  const NodeId src = g.AddSource("input", KV(), 1);
+  const NodeId a = g.AddOperator(OperatorDesc::Unique(), src);
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_LT(std::find(order.begin(), order.end(), src),
+            std::find(order.begin(), order.end(), a));
+}
+
+TEST(OpGraph, ToStringListsNodes) {
+  OpGraph g;
+  const NodeId src = g.AddSource("lineitem", KV(), 1);
+  g.AddOperator(OperatorDesc::Sort({0}, "sort_it"), src);
+  const std::string s = g.ToString();
+  EXPECT_NE(s.find("lineitem"), std::string::npos);
+  EXPECT_NE(s.find("sort_it"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kf::core

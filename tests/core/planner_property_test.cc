@@ -1,0 +1,200 @@
+// Property-based tests of the fusion planner and the query executor over
+// randomly generated operator graphs: structural invariants of every plan,
+// and functional equivalence of all four execution strategies against the
+// plain operator-at-a-time semantics.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/query_executor.h"
+#include "relational/operators.h"
+
+namespace kf::core {
+namespace {
+
+using relational::AggregateSpec;
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+using relational::Table;
+
+// A random DAG of streaming-friendly operators over int64 KV relations.
+struct RandomQuery {
+  OpGraph graph;
+  std::map<NodeId, Table> sources;
+};
+
+Table RandomKV(Rng& rng, std::size_t rows) {
+  Table t(Schema{{"k", DataType::kInt64}, {"v", DataType::kInt64}});
+  for (std::size_t r = 0; r < rows; ++r) {
+    t.AppendRow({relational::Value::Int64(rng.UniformInt(0, 30)),
+                 relational::Value::Int64(rng.UniformInt(-50, 50))});
+  }
+  return t;
+}
+
+RandomQuery MakeRandomQuery(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomQuery q;
+  std::vector<NodeId> pool;  // nodes with 2-field schemas, usable as inputs
+
+  const int source_count = static_cast<int>(rng.UniformInt(1, 3));
+  for (int s = 0; s < source_count; ++s) {
+    const std::size_t rows = static_cast<std::size_t>(rng.UniformInt(50, 400));
+    const NodeId src = q.graph.AddSource("src" + std::to_string(s),
+                                         RandomKV(rng, 1).schema(), rows);
+    q.sources.emplace(src, RandomKV(rng, rows));
+    pool.push_back(src);
+  }
+
+  const int op_count = static_cast<int>(rng.UniformInt(2, 8));
+  for (int i = 0; i < op_count; ++i) {
+    const NodeId input = pool[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    const bool two_fields = q.graph.node(input).schema.field_count() == 2;
+    switch (rng.UniformInt(0, two_fields ? 4 : 2)) {
+      case 0:
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Select(
+                Expr::Lt(Expr::FieldRef(0), Expr::Lit(rng.UniformInt(0, 30))),
+                "sel" + std::to_string(i)),
+            input));
+        break;
+      case 1:
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Select(
+                Expr::Ge(Expr::FieldRef(static_cast<int>(
+                             rng.UniformInt(0, static_cast<std::int64_t>(
+                                                   q.graph.node(input)
+                                                       .schema.field_count()) -
+                                                   1))),
+                         Expr::Lit(rng.UniformInt(-20, 20))),
+                "sel" + std::to_string(i)),
+            input));
+        break;
+      case 2: {
+        // Sort: a barrier in the middle of the DAG.
+        pool.push_back(
+            q.graph.AddOperator(OperatorDesc::Sort({0}, "sort" + std::to_string(i)),
+                                input));
+        break;
+      }
+      case 3: {
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Arith(Expr::Add(Expr::FieldRef(0), Expr::FieldRef(1)),
+                                "sum" + std::to_string(i), DataType::kInt64),
+            input));
+        break;
+      }
+      case 4: {
+        // Join against a fresh small build table.
+        const std::size_t rows = static_cast<std::size_t>(rng.UniformInt(5, 40));
+        const NodeId build = q.graph.AddSource("build" + std::to_string(i),
+                                               RandomKV(rng, 1).schema(), rows);
+        q.sources.emplace(build, RandomKV(rng, rows));
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Join(0, 0, "join" + std::to_string(i)), input, build));
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+class RandomGraphProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphProperty, PlanInvariantsHold) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const RandomQuery q =
+        MakeRandomQuery(static_cast<std::uint64_t>(GetParam()) * 100 + trial);
+    FusionOptions options;
+    options.register_budget = static_cast<int>(20 + trial * 8);
+    const FusionPlan plan = PlanFusion(q.graph, options);
+
+    // Every operator node is in exactly one cluster.
+    std::map<NodeId, int> membership;
+    for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+      for (NodeId id : plan.clusters[c].nodes) {
+        EXPECT_EQ(membership.count(id), 0u) << "node in two clusters";
+        membership[id] = static_cast<int>(c);
+        EXPECT_EQ(plan.cluster_of[id], static_cast<int>(c));
+      }
+    }
+    for (NodeId id : q.graph.TopologicalOrder()) {
+      if (!q.graph.node(id).is_source) {
+        EXPECT_EQ(membership.count(id), 1u) << "operator not planned";
+      }
+    }
+
+    for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+      const FusionCluster& cluster = plan.clusters[c];
+      // Barriers are always singleton clusters.
+      for (NodeId id : cluster.nodes) {
+        if (Classify(q.graph.node(id).desc.kind) == FusionClass::kBarrier) {
+          EXPECT_EQ(cluster.nodes.size(), 1u) << "fused barrier";
+        }
+      }
+      // Register estimates respect the budget for fused clusters.
+      if (cluster.fused()) {
+        EXPECT_LE(cluster.register_estimate, options.register_budget);
+      }
+      // Build inputs come from sources or strictly earlier clusters.
+      for (NodeId build : cluster.build_inputs) {
+        if (!q.graph.node(build).is_source) {
+          EXPECT_LT(plan.cluster_of[build], static_cast<int>(c));
+        }
+      }
+      // The primary input is a source or belongs to an earlier cluster.
+      if (!q.graph.node(cluster.primary_input).is_source) {
+        EXPECT_LT(plan.cluster_of[cluster.primary_input], static_cast<int>(c));
+      }
+      EXPECT_FALSE(cluster.outputs.empty());
+    }
+  }
+}
+
+TEST_P(RandomGraphProperty, AllStrategiesMatchOperatorAtATimeSemantics) {
+  for (int trial = 0; trial < 5; ++trial) {
+    const RandomQuery q =
+        MakeRandomQuery(static_cast<std::uint64_t>(GetParam()) * 977 + trial + 31);
+
+    // Ground truth: plain ApplyOperator over the graph.
+    std::map<NodeId, Table> truth;
+    for (NodeId id : q.graph.TopologicalOrder()) {
+      const OpNode& node = q.graph.node(id);
+      if (node.is_source) {
+        truth.emplace(id, q.sources.at(id));
+        continue;
+      }
+      const Table* right =
+          node.inputs.size() > 1 ? &truth.at(node.inputs[1]) : nullptr;
+      truth.emplace(id,
+                    relational::ApplyOperator(node.desc, truth.at(node.inputs[0]),
+                                              right));
+    }
+
+    sim::DeviceSimulator device;
+    QueryExecutor executor(device);
+    for (Strategy strategy : {Strategy::kSerial, Strategy::kFused,
+                              Strategy::kFission, Strategy::kFusedFission}) {
+      ExecutorOptions options;
+      options.strategy = strategy;
+      options.chunk_count = 4;
+      const ExecutionReport report = executor.Execute(q.graph, q.sources, options);
+      for (NodeId sink : q.graph.Sinks()) {
+        ASSERT_EQ(report.sink_results.count(sink), 1u)
+            << ToString(strategy) << " missing sink " << sink;
+        EXPECT_TRUE(relational::SameRowMultiset(report.sink_results.at(sink),
+                                                truth.at(sink)))
+            << ToString(strategy) << " sink " << sink << " trial " << trial
+            << "\ngraph:\n" << q.graph.ToString();
+      }
+      EXPECT_GT(report.makespan, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace kf::core

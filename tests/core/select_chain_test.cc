@@ -1,0 +1,61 @@
+#include "core/select_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "relational/operators.h"
+
+namespace kf::core {
+namespace {
+
+TEST(SelectChain, GraphShape) {
+  const SelectChain chain = MakeSelectChain(1000, std::vector<double>{0.5, 0.5, 0.5});
+  EXPECT_EQ(chain.graph.node_count(), 4u);  // source + 3 selects
+  EXPECT_EQ(chain.selects.size(), 3u);
+  EXPECT_EQ(chain.graph.Sinks(), std::vector<NodeId>{chain.selects.back()});
+  EXPECT_EQ(chain.input_bytes(), 4000u);
+}
+
+TEST(SelectChain, ExpectedRowsCompound) {
+  const SelectChain chain = MakeSelectChain(1000000, std::vector<double>{0.5, 0.5});
+  EXPECT_EQ(chain.expected_rows.at(chain.source), 1000000u);
+  EXPECT_NEAR(chain.expected_rows.at(chain.selects[0]), 500000.0, 1.0);
+  EXPECT_NEAR(chain.expected_rows.at(chain.selects[1]), 250000.0, 1.0);
+}
+
+TEST(SelectChain, ThresholdsAreNested) {
+  const SelectChain chain = MakeSelectChain(100, std::vector<double>{0.5, 0.5, 0.5});
+  ASSERT_EQ(chain.thresholds.size(), 3u);
+  EXPECT_GT(chain.thresholds[0], chain.thresholds[1]);
+  EXPECT_GT(chain.thresholds[1], chain.thresholds[2]);
+}
+
+TEST(SelectChain, RealizedSelectivityMatchesExpectation) {
+  const SelectChain chain = MakeSelectChain(100000, std::vector<double>{0.3, 0.5});
+  const relational::Table data = MakeUniformInt32Table(100000, 7);
+  relational::Table current = data;
+  for (std::size_t i = 0; i < chain.selects.size(); ++i) {
+    current = relational::ApplyOperator(
+        chain.graph.node(chain.selects[i]).desc, current);
+    const double expected =
+        static_cast<double>(chain.expected_rows.at(chain.selects[i]));
+    EXPECT_NEAR(static_cast<double>(current.row_count()) / expected, 1.0, 0.05)
+        << "select " << i;
+  }
+}
+
+TEST(SelectChain, RejectsBadSelectivities) {
+  EXPECT_THROW(MakeSelectChain(10, std::vector<double>{}), Error);
+  EXPECT_THROW(MakeSelectChain(10, std::vector<double>{1.5}), Error);
+  EXPECT_THROW(MakeSelectChain(10, std::vector<double>{0.0}), Error);
+}
+
+TEST(UniformTable, DeterministicAndInDomain) {
+  const relational::Table a = MakeUniformInt32Table(1000, 3);
+  const relational::Table b = MakeUniformInt32Table(1000, 3);
+  EXPECT_TRUE(relational::SameRowMultiset(a, b));
+  for (std::int32_t v : a.column(0).AsInt32()) EXPECT_GE(v, 0);
+}
+
+}  // namespace
+}  // namespace kf::core

@@ -1,0 +1,89 @@
+#include "cpu/cpu_select.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace kf::cpu {
+namespace {
+
+std::vector<std::int32_t> RandomInts(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.UniformInt(0, 1 << 30));
+  return v;
+}
+
+TEST(CpuSelect, MatchesCopyIfSerial) {
+  const auto data = RandomInts(10000, 1);
+  const auto pred = [](std::int32_t v) { return v % 2 == 0; };
+  std::vector<std::int32_t> expected;
+  std::copy_if(data.begin(), data.end(), std::back_inserter(expected), pred);
+  EXPECT_EQ(CpuSelect(data, pred), expected);
+}
+
+TEST(CpuSelect, ParallelMatchesSerialAndPreservesOrder) {
+  const auto data = RandomInts(100000, 2);
+  const auto pred = [](std::int32_t v) { return (v % 5) < 2; };
+  ThreadPool pool(4);
+  EXPECT_EQ(CpuSelect(data, pred, &pool), CpuSelect(data, pred));
+}
+
+TEST(CpuSelect, EmptyAndDegenerate) {
+  const std::vector<std::int32_t> empty;
+  EXPECT_TRUE(CpuSelect(empty, [](std::int32_t) { return true; }).empty());
+  const auto data = RandomInts(1000, 3);
+  ThreadPool pool(4);
+  EXPECT_EQ(CpuSelect(data, [](std::int32_t) { return true; }, &pool), data);
+  EXPECT_TRUE(CpuSelect(data, [](std::int32_t) { return false; }, &pool).empty());
+}
+
+TEST(CpuSelectModel, CalibratedToPaperFig4a) {
+  // Fig 4(a): CPU throughput falls from ~7.5 GB/s at 10% to ~1.8 at 90%.
+  CpuSelectModel model;
+  const std::uint64_t n = 200'000'000;
+  EXPECT_NEAR(model.ThroughputGBs(n, 0.10), 7.5, 0.5);
+  EXPECT_NEAR(model.ThroughputGBs(n, 0.50), 2.3, 0.3);
+  EXPECT_NEAR(model.ThroughputGBs(n, 0.90), 1.75, 0.3);
+}
+
+TEST(CpuSelectModel, ThroughputMonotonicInSelectivity) {
+  CpuSelectModel model;
+  double last = 1e9;
+  for (double s : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double t = model.ThroughputGBs(100'000'000, s);
+    EXPECT_LE(t, last) << "selectivity " << s;
+    last = t;
+  }
+}
+
+TEST(CpuSelectModel, SmallInputsRampDown) {
+  CpuSelectModel model;
+  EXPECT_LT(model.ThroughputGBs(10'000, 0.5), model.ThroughputGBs(100'000'000, 0.5));
+}
+
+TEST(CpuSelectModel, FewerThreadsAreSlower) {
+  CpuSelectModel::Config half;
+  half.threads = 8;
+  EXPECT_LT(CpuSelectModel(half).ThroughputGBs(100'000'000, 0.5),
+            CpuSelectModel().ThroughputGBs(100'000'000, 0.5));
+}
+
+TEST(CpuSelectModel, SelectTimeConsistentWithThroughput) {
+  CpuSelectModel model;
+  const std::uint64_t n = 50'000'000;
+  const double gbs = model.ThroughputGBs(n, 0.5);
+  EXPECT_NEAR(model.SelectTime(n, 0.5), n * 4.0 / (gbs * kGB), 1e-9);
+}
+
+TEST(CpuSelectModel, RejectsBadSelectivity) {
+  CpuSelectModel model;
+  EXPECT_THROW(model.ThroughputGBs(100, -0.1), Error);
+  EXPECT_THROW(model.ThroughputGBs(100, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace kf::cpu

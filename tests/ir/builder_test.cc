@@ -1,0 +1,89 @@
+#include "ir/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kf::ir {
+namespace {
+
+TEST(IrBuilder, EmitWithoutBlockThrows) {
+  Function f("k");
+  IrBuilder b(f);
+  EXPECT_THROW(b.Ret(), kf::Error);
+}
+
+TEST(IrBuilder, MaterializeConstantsEmitsMovs) {
+  Function f("k");
+  IrBuilder b(f, /*materialize_constants=*/true);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId c = f.AddConstInt(Type::kI32, 7);
+  const ValueId x = b.Mov(Type::kI32, f.AddConstInt(Type::kI32, 1));
+  b.Binary(Opcode::kAdd, Type::kI32, x, c);
+  b.Ret();
+  // mov(x) + mov(materialized 7) + add.
+  EXPECT_EQ(f.block(entry).instructions.size(), 3u);
+  EXPECT_EQ(f.block(entry).instructions[1].op, Opcode::kMov);
+}
+
+TEST(IrBuilder, ImmediateModeUsesConstantsDirectly) {
+  Function f("k");
+  IrBuilder b(f, /*materialize_constants=*/false);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId x = b.Mov(Type::kI32, f.AddConstInt(Type::kI32, 1));
+  b.Binary(Opcode::kAdd, Type::kI32, x, f.AddConstInt(Type::kI32, 7));
+  b.Ret();
+  EXPECT_EQ(f.block(entry).instructions.size(), 2u);  // mov + add only
+}
+
+TEST(IrBuilder, CompareProducesPredicate) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p = b.Compare(Opcode::kSetLt, d, f.AddConstInt(Type::kI32, 3));
+  b.Ret();
+  EXPECT_EQ(f.value(p).type, Type::kPred);
+  EXPECT_THROW(b.Compare(Opcode::kAdd, d, d), kf::Error);  // not a compare op
+}
+
+TEST(IrBuilder, SelectAndMadShapes) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p = b.Compare(Opcode::kSetNe, d, f.AddConstInt(Type::kI32, 0));
+  const ValueId sel = b.Select(Type::kI32, p, d, f.AddConstInt(Type::kI32, -1));
+  const ValueId mad = b.Mad(Type::kI32, d, d, sel);
+  b.Ret();
+  f.Verify();
+  EXPECT_EQ(f.value(sel).type, Type::kI32);
+  EXPECT_EQ(f.value(mad).type, Type::kI32);
+}
+
+TEST(IrBuilder, GuardedStoreRoundTrips) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p = b.Compare(Opcode::kSetGt, d, f.AddConstInt(Type::kI32, 0));
+  b.Store(out, d, p);
+  b.Ret();
+  f.Verify();
+  const Instruction& st = f.block(entry).instructions.back();
+  EXPECT_EQ(st.op, Opcode::kSt);
+  EXPECT_TRUE(st.is_guarded());
+  EXPECT_EQ(st.guard, p);
+}
+
+}  // namespace
+}  // namespace kf::ir

@@ -1,0 +1,130 @@
+#include "ir/function.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ir/builder.h"
+
+namespace kf::ir {
+namespace {
+
+TEST(Function, InstructionCountCountsBodiesBranchesAndRet) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId then_block = b.CreateBlock("then");
+  const BlockId exit = b.CreateBlock("exit");
+
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p = b.Compare(Opcode::kSetLt, d, f.AddConstInt(Type::kI32, 5));
+  b.Branch(p, then_block, exit);
+
+  b.SetInsertBlock(then_block);
+  b.Store(out, d);
+  b.Jump(exit);  // fallthrough: free
+
+  b.SetInsertBlock(exit);
+  b.Ret();
+
+  // ld, setp, bra, st, ret = 5 (the paper's unfused -O0 count).
+  EXPECT_EQ(f.InstructionCount(), 5u);
+}
+
+TEST(Function, NonFallthroughJumpCosts) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId skip = b.CreateBlock("skipped");
+  const BlockId target = b.CreateBlock("target");
+  b.SetInsertBlock(entry);
+  b.Jump(target);  // jumps over `skip`: costs one instruction
+  b.SetInsertBlock(skip);
+  b.Ret();
+  b.SetInsertBlock(target);
+  b.Ret();
+  EXPECT_EQ(f.InstructionCount(), 3u);  // bra + 2 rets
+}
+
+TEST(Function, VerifyCatchesDoubleDefinition) {
+  Function f("k");
+  const ValueId reg = f.AddRegister(Type::kI32);
+  const BlockId entry = f.AddBlock("entry");
+  Instruction def;
+  def.op = Opcode::kMov;
+  def.type = Type::kI32;
+  def.dest = reg;
+  def.operands = {f.AddConstInt(Type::kI32, 1)};
+  f.block(entry).instructions.push_back(def);
+  f.block(entry).instructions.push_back(def);  // defined twice
+  f.block(entry).terminator = Terminator{TerminatorKind::kRet, kNoValue, kNoBlock, kNoBlock};
+  EXPECT_THROW(f.Verify(), kf::Error);
+}
+
+TEST(Function, VerifyCatchesUseOfUndefinedValue) {
+  Function f("k");
+  const ValueId never_defined = f.AddRegister(Type::kI32);
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = f.AddBlock("entry");
+  Instruction st;
+  st.op = Opcode::kSt;
+  st.type = Type::kI32;
+  st.operands = {out, never_defined};
+  f.block(entry).instructions.push_back(st);
+  f.block(entry).terminator = Terminator{TerminatorKind::kRet, kNoValue, kNoBlock, kNoBlock};
+  EXPECT_THROW(f.Verify(), kf::Error);
+}
+
+TEST(Function, VerifyCatchesNonPredGuard) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId x = b.Mov(Type::kI32, f.AddConstInt(Type::kI32, 3));
+  b.Store(out, x, x);  // guard is an i32, not a predicate
+  b.Ret();
+  EXPECT_THROW(f.Verify(), kf::Error);
+}
+
+TEST(Function, ReplaceAllUsesRewritesOperandsGuardsAndConditions) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId t = b.CreateBlock("t");
+  const BlockId e = b.CreateBlock("e");
+  b.SetInsertBlock(entry);
+  const ValueId x = b.Mov(Type::kI32, f.AddConstInt(Type::kI32, 3));
+  const ValueId p = b.Compare(Opcode::kSetLt, x, f.AddConstInt(Type::kI32, 9));
+  b.Branch(p, t, e);
+  b.SetInsertBlock(t);
+  b.Store(out, x, p);
+  b.Jump(e);
+  b.SetInsertBlock(e);
+  b.Ret();
+
+  const ValueId replacement = f.AddRegister(Type::kPred);
+  f.ReplaceAllUses(p, replacement);
+  EXPECT_EQ(f.block(entry).terminator.condition, replacement);
+  EXPECT_EQ(f.block(t).instructions[0].guard, replacement);
+}
+
+TEST(Function, ToStringShowsStructure) {
+  Function f("demo");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  b.Load(Type::kI32, in);
+  b.Ret();
+  const std::string text = f.ToString();
+  EXPECT_NE(text.find(".func demo"), std::string::npos);
+  EXPECT_NE(text.find("ld.s32"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kf::ir

@@ -1,0 +1,61 @@
+#include "ir/kernel_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ir/passes.h"
+
+namespace kf::ir {
+namespace {
+
+TEST(KernelGen, SelectKernelHasPaperO0Shape) {
+  // ld, mov(threshold), setp, bra, st, ret — within one of the paper's
+  // "5 instructions" depending on how immediates are counted.
+  const Function f = BuildSelectKernel("select", FilterStep{CompareKind::kLt, 100});
+  EXPECT_GE(f.InstructionCount(), 5u);
+  EXPECT_LE(f.InstructionCount(), 6u);
+}
+
+TEST(KernelGen, FusedTwoSelectsHasTenInstructionsAtO0) {
+  // Paper Table III row 2: the unoptimized fused kernel has 10 instructions.
+  const Function f = BuildFusedSelectKernel(
+      "fused", {{CompareKind::kLt, 100}, {CompareKind::kLt, 50}});
+  EXPECT_EQ(f.InstructionCount(), 10u);
+}
+
+TEST(KernelGen, FusedChainGrowsLinearly) {
+  const Function two = BuildFusedSelectKernel(
+      "f2", {{CompareKind::kLt, 9}, {CompareKind::kLt, 5}});
+  const Function three = BuildFusedSelectKernel(
+      "f3", {{CompareKind::kLt, 9}, {CompareKind::kLt, 5}, {CompareKind::kLt, 3}});
+  EXPECT_GT(three.InstructionCount(), two.InstructionCount());
+}
+
+TEST(KernelGen, FusedSelectRejectsEmptyChain) {
+  EXPECT_THROW(BuildFusedSelectKernel("empty", {}), kf::Error);
+}
+
+TEST(KernelGen, ArithKernelsVerifyAndOptimize) {
+  Function a = BuildArithKernelA("a");
+  Function b = BuildArithKernelB("b");
+  Function fused = BuildFusedArithKernel("fused");
+  const std::size_t before = fused.InstructionCount();
+  OptimizeO3(a);
+  OptimizeO3(b);
+  OptimizeO3(fused);
+  // Fusion eliminated the temp store+load pair: the fused optimized kernel
+  // is smaller than the two optimized kernels combined.
+  EXPECT_LT(fused.InstructionCount(), a.InstructionCount() + b.InstructionCount());
+  EXPECT_LT(fused.InstructionCount(), before);
+}
+
+TEST(KernelGen, AllCompareKindsLower) {
+  for (CompareKind kind : {CompareKind::kLt, CompareKind::kLe, CompareKind::kGt,
+                           CompareKind::kGe, CompareKind::kEq, CompareKind::kNe}) {
+    const Function f = BuildSelectKernel("k", FilterStep{kind, 1});
+    EXPECT_GT(f.InstructionCount(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kf::ir

@@ -1,0 +1,417 @@
+#include "ir/passes.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace kf::ir {
+namespace {
+
+// Counts instructions with a given opcode across the whole function.
+std::size_t CountOp(const Function& f, Opcode op) {
+  std::size_t n = 0;
+  for (BlockId b = 0; b < f.block_count(); ++b) {
+    for (const Instruction& inst : f.block(b).instructions) {
+      if (inst.op == op) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(DcePass, RemovesUnusedPureInstructions) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const ValueId d = b.Load(Type::kI32, in);
+  b.Binary(Opcode::kAdd, Type::kI32, d, d);  // dead
+  b.Binary(Opcode::kMul, Type::kI32, d, d);  // dead
+  b.Store(out, d);
+  b.Ret();
+
+  EXPECT_TRUE(MakeDeadCodeEliminationPass()->Run(f));
+  EXPECT_EQ(f.block(entry).instructions.size(), 2u);  // ld + st
+  EXPECT_FALSE(MakeDeadCodeEliminationPass()->Run(f));  // fixpoint
+}
+
+TEST(DcePass, RemovesTransitivelyDeadChains) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId x = b.Binary(Opcode::kAdd, Type::kI32, d, d);
+  b.Binary(Opcode::kMul, Type::kI32, x, x);  // uses x; both dead together
+  b.Ret();
+  EXPECT_TRUE(MakeDeadCodeEliminationPass()->Run(f));
+  EXPECT_EQ(f.block(entry).instructions.size(), 0u);  // load dead too
+}
+
+TEST(DcePass, KeepsStores) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  b.Store(out, f.AddConstInt(Type::kI32, 1));
+  b.Ret();
+  EXPECT_FALSE(MakeDeadCodeEliminationPass()->Run(f));
+  EXPECT_EQ(CountOp(f, Opcode::kSt), 1u);
+}
+
+TEST(CopyPropagation, ForwardsMovSources) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId copy = b.Mov(Type::kI32, d);
+  b.Store(out, copy);
+  b.Ret();
+  EXPECT_TRUE(MakeCopyPropagationPass()->Run(f));
+  EXPECT_EQ(CountOp(f, Opcode::kMov), 0u);
+  EXPECT_EQ(f.block(entry).instructions.back().operands[1], d);
+}
+
+TEST(ConstantFold, FoldsArithmeticAndComparisons) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const ValueId sum = b.Binary(Opcode::kAdd, Type::kI32, f.AddConstInt(Type::kI32, 2),
+                               f.AddConstInt(Type::kI32, 3));
+  b.Store(out, sum);
+  b.Ret();
+  EXPECT_TRUE(MakeConstantFoldPass()->Run(f));
+  const Instruction& st = f.block(entry).instructions.back();
+  EXPECT_TRUE(f.value(st.operands[1]).is_constant());
+  EXPECT_EQ(f.value(st.operands[1]).ival, 5);
+}
+
+TEST(ConstantFold, FoldsBranchOnConstant) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId t = b.CreateBlock("t");
+  const BlockId e = b.CreateBlock("e");
+  b.SetInsertBlock(entry);
+  b.Branch(f.AddConstInt(Type::kPred, 1), t, e);
+  b.SetInsertBlock(t);
+  b.Ret();
+  b.SetInsertBlock(e);
+  b.Ret();
+  EXPECT_TRUE(MakeConstantFoldPass()->Run(f));
+  EXPECT_EQ(f.block(entry).terminator.kind, TerminatorKind::kJump);
+  EXPECT_EQ(f.block(entry).terminator.true_target, t);
+}
+
+TEST(ConstantFold, DoesNotFoldDivisionByZero) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const ValueId q = b.Binary(Opcode::kDiv, Type::kI32, f.AddConstInt(Type::kI32, 2),
+                             f.AddConstInt(Type::kI32, 0));
+  b.Store(out, q);
+  b.Ret();
+  EXPECT_FALSE(MakeConstantFoldPass()->Run(f));
+  EXPECT_EQ(CountOp(f, Opcode::kDiv), 1u);
+}
+
+TEST(CsePass, DeduplicatesPureExpressions) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId a1 = b.Binary(Opcode::kAdd, Type::kI32, d, d);
+  const ValueId a2 = b.Binary(Opcode::kAdd, Type::kI32, d, d);  // duplicate
+  (void)a1;
+  b.Store(out, a2);
+  b.Ret();
+  EXPECT_TRUE(MakeCsePass()->Run(f));
+  EXPECT_EQ(CountOp(f, Opcode::kAdd), 1u);
+  EXPECT_EQ(f.block(entry).instructions.back().operands[1], a1);
+}
+
+TEST(CsePass, DeduplicatesLoadsButStoresKillThem) {
+  Function f("k");
+  IrBuilder b(f);
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const ValueId d1 = b.Load(Type::kI32, in);
+  const ValueId d2 = b.Load(Type::kI32, in);  // dedup with d1
+  b.Store(out, d2);
+  const ValueId d3 = b.Load(Type::kI32, in);  // NOT dedup: store killed loads
+  b.Store(out, d3);
+  b.Ret();
+  (void)d1;
+  EXPECT_TRUE(MakeCsePass()->Run(f));
+  EXPECT_EQ(CountOp(f, Opcode::kLd), 2u);
+}
+
+TEST(IfConversion, ConvertsTriangleToPredicatedStore) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId t = b.CreateBlock("t");
+  const BlockId merge = b.CreateBlock("merge");
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p = b.Compare(Opcode::kSetLt, d, f.AddConstInt(Type::kI32, 10));
+  b.Branch(p, t, merge);
+  b.SetInsertBlock(t);
+  b.Store(out, d);
+  b.Jump(merge);
+  b.SetInsertBlock(merge);
+  b.Ret();
+
+  EXPECT_TRUE(MakeIfConversionPass()->Run(f));
+  f.Verify();
+  // Single block remains: ld, setp, @p st, ret.
+  EXPECT_EQ(f.block_count(), 1u);
+  EXPECT_EQ(f.InstructionCount(), 4u);
+  const Instruction& st = f.block(0).instructions.back();
+  EXPECT_EQ(st.op, Opcode::kSt);
+  EXPECT_EQ(st.guard, p);
+}
+
+TEST(IfConversion, NestedTrianglesCombineGuardsWithAnd) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId l1 = b.CreateBlock("l1");
+  const BlockId l2 = b.CreateBlock("l2");
+  const BlockId merge = b.CreateBlock("merge");
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p1 = b.Compare(Opcode::kSetLt, d, f.AddConstInt(Type::kI32, 10));
+  b.Branch(p1, l1, merge);
+  b.SetInsertBlock(l1);
+  const ValueId p2 = b.Compare(Opcode::kSetLt, d, f.AddConstInt(Type::kI32, 5));
+  b.Branch(p2, l2, merge);
+  b.SetInsertBlock(l2);
+  b.Store(out, d);
+  b.Jump(merge);
+  b.SetInsertBlock(merge);
+  b.Ret();
+
+  // Two rounds: inner triangle first, then the outer.
+  Pass* pass_ptr = nullptr;
+  auto pass = MakeIfConversionPass();
+  pass_ptr = pass.get();
+  while (pass_ptr->Run(f)) {
+  }
+  f.Verify();
+  EXPECT_EQ(f.block_count(), 1u);
+  EXPECT_EQ(CountOp(f, Opcode::kAnd), 1u);
+  const Instruction& st = f.block(0).instructions.back();
+  ASSERT_EQ(st.op, Opcode::kSt);
+  EXPECT_TRUE(st.is_guarded());
+}
+
+TEST(IfConversion, RefusesNonSpeculatableThenBlock) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId t = b.CreateBlock("t");
+  const BlockId merge = b.CreateBlock("merge");
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p = b.Compare(Opcode::kSetNe, d, f.AddConstInt(Type::kI32, 0));
+  b.Branch(p, t, merge);
+  b.SetInsertBlock(t);
+  // Integer division may fault: not speculatable, blocks if-conversion.
+  const ValueId q = b.Binary(Opcode::kDiv, Type::kI32, f.AddConstInt(Type::kI32, 100), d);
+  b.Store(out, q);
+  b.Jump(merge);
+  b.SetInsertBlock(merge);
+  b.Ret();
+
+  MakeIfConversionPass()->Run(f);
+  // The branch must still be there.
+  bool has_branch = false;
+  for (BlockId blk = 0; blk < f.block_count(); ++blk) {
+    if (f.block(blk).terminator.kind == TerminatorKind::kBranch) has_branch = true;
+  }
+  EXPECT_TRUE(has_branch);
+}
+
+TEST(PredicateCombine, AndOfLessThansKeepsTighterBound) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p1 = b.Compare(Opcode::kSetLt, d, f.AddConstInt(Type::kI32, 10));
+  const ValueId p2 = b.Compare(Opcode::kSetLt, d, f.AddConstInt(Type::kI32, 5));
+  const ValueId both = b.Binary(Opcode::kAnd, Type::kPred, p1, p2);
+  b.Store(out, d, both);
+  b.Ret();
+
+  EXPECT_TRUE(MakePredicateCombinePass()->Run(f));
+  f.Verify();
+  // The AND became a single compare against 5; DCE can drop the old setps.
+  const Instruction* rewritten = nullptr;
+  for (const Instruction& inst : f.block(entry).instructions) {
+    if (inst.dest == both) rewritten = &inst;
+  }
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_EQ(rewritten->op, Opcode::kSetLt);
+  EXPECT_EQ(f.value(rewritten->operands[1]).ival, 5);
+}
+
+TEST(PredicateCombine, OrOfGreaterThansKeepsSmallerBound) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p1 = b.Compare(Opcode::kSetGt, d, f.AddConstInt(Type::kI32, 10));
+  const ValueId p2 = b.Compare(Opcode::kSetGt, d, f.AddConstInt(Type::kI32, 5));
+  const ValueId either = b.Binary(Opcode::kOr, Type::kPred, p1, p2);
+  b.Store(out, d, either);
+  b.Ret();
+  EXPECT_TRUE(MakePredicateCombinePass()->Run(f));
+  const Instruction* rewritten = nullptr;
+  for (const Instruction& inst : f.block(entry).instructions) {
+    if (inst.dest == either) rewritten = &inst;
+  }
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_EQ(rewritten->op, Opcode::kSetGt);
+  EXPECT_EQ(f.value(rewritten->operands[1]).ival, 5);
+}
+
+TEST(PredicateCombine, MixedSubjectsAreLeftAlone) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in1 = f.AddParam(Type::kPtr, "in1");
+  const ValueId in2 = f.AddParam(Type::kPtr, "in2");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId d1 = b.Load(Type::kI32, in1);
+  const ValueId d2 = b.Load(Type::kI32, in2);
+  const ValueId p1 = b.Compare(Opcode::kSetLt, d1, f.AddConstInt(Type::kI32, 10));
+  const ValueId p2 = b.Compare(Opcode::kSetLt, d2, f.AddConstInt(Type::kI32, 5));
+  const ValueId both = b.Binary(Opcode::kAnd, Type::kPred, p1, p2);
+  b.Store(out, d1, both);
+  b.Ret();
+  EXPECT_FALSE(MakePredicateCombinePass()->Run(f));
+}
+
+TEST(Peephole, AlgebraicIdentities) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId a = b.Binary(Opcode::kAdd, Type::kI32, d, f.AddConstInt(Type::kI32, 0));
+  const ValueId m = b.Binary(Opcode::kMul, Type::kI32, a, f.AddConstInt(Type::kI32, 1));
+  b.Store(out, m);
+  b.Ret();
+  EXPECT_TRUE(MakePeepholePass()->Run(f));
+  // Both became movs; copy-prop + DCE clean up fully.
+  EXPECT_EQ(CountOp(f, Opcode::kAdd), 0u);
+  EXPECT_EQ(CountOp(f, Opcode::kMul), 0u);
+  OptimizeO3(f);
+  EXPECT_EQ(f.InstructionCount(), 3u);  // ld, st, ret
+}
+
+TEST(Peephole, RecognizesMinFromSelp) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in1 = f.AddParam(Type::kPtr, "a");
+  const ValueId in2 = f.AddParam(Type::kPtr, "b");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId x = b.Load(Type::kI32, in1);
+  const ValueId y = b.Load(Type::kI32, in2);
+  const ValueId p = b.Compare(Opcode::kSetLt, x, y);
+  const ValueId m = b.Select(Type::kI32, p, x, y);  // p ? x : y == min
+  b.Store(out, m);
+  b.Ret();
+  EXPECT_TRUE(MakePeepholePass()->Run(f));
+  EXPECT_EQ(CountOp(f, Opcode::kMin), 1u);
+  EXPECT_EQ(CountOp(f, Opcode::kSelp), 0u);
+  f.Verify();
+}
+
+TEST(Peephole, RecognizesMaxFromSwappedSelp) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in1 = f.AddParam(Type::kPtr, "a");
+  const ValueId in2 = f.AddParam(Type::kPtr, "b");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId x = b.Load(Type::kI32, in1);
+  const ValueId y = b.Load(Type::kI32, in2);
+  const ValueId p = b.Compare(Opcode::kSetLt, x, y);
+  const ValueId m = b.Select(Type::kI32, p, y, x);  // p ? y : x == max
+  b.Store(out, m);
+  b.Ret();
+  EXPECT_TRUE(MakePeepholePass()->Run(f));
+  EXPECT_EQ(CountOp(f, Opcode::kMax), 1u);
+}
+
+TEST(ConstantFold, EqualTargetBranchBecomesJump) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId next = b.CreateBlock("next");
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  const ValueId p = b.Compare(Opcode::kSetLt, d, f.AddConstInt(Type::kI32, 3));
+  b.Branch(p, next, next);  // degenerate: both arms identical
+  b.SetInsertBlock(next);
+  b.Ret();
+  EXPECT_TRUE(MakeConstantFoldPass()->Run(f));
+  EXPECT_EQ(f.block(entry).terminator.kind, TerminatorKind::kJump);
+  OptimizeO3(f);
+  EXPECT_EQ(f.InstructionCount(), 1u);  // the dead load and compare vanish: ret
+}
+
+TEST(PassManager, ReachesFixpointOnO3Pipeline) {
+  Function f("k");
+  IrBuilder b(f);
+  const ValueId in = f.AddParam(Type::kPtr, "in");
+  const ValueId out = f.AddParam(Type::kPtr, "out");
+  const BlockId entry = b.CreateBlock("entry");
+  b.SetInsertBlock(entry);
+  const ValueId d = b.Load(Type::kI32, in);
+  b.Store(out, d);
+  b.Ret();
+  PassManager pm = PassManager::StandardO3();
+  const int iterations = pm.RunToFixpoint(f);
+  EXPECT_LE(iterations, 2);
+  f.Verify();
+}
+
+}  // namespace
+}  // namespace kf::ir

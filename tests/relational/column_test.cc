@@ -1,0 +1,86 @@
+#include "relational/column.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kf::relational {
+namespace {
+
+TEST(Value, ConstructorsAndAccessors) {
+  const Value i32 = Value::Int32(-7);
+  EXPECT_EQ(i32.type, DataType::kInt32);
+  EXPECT_EQ(i32.as_int(), -7);
+  EXPECT_DOUBLE_EQ(i32.as_double(), -7.0);
+  EXPECT_TRUE(i32.as_bool());
+
+  const Value f = Value::Float64(2.5);
+  EXPECT_TRUE(f.is_float());
+  EXPECT_EQ(f.as_int(), 2);
+  EXPECT_FALSE(Value::Int64(0).as_bool());
+}
+
+TEST(Value, NumericComparisonAcrossTypes) {
+  EXPECT_TRUE(Value::Int32(3) == Value::Int64(3));
+  EXPECT_TRUE(Value::Int32(3) == Value::Float64(3.0));
+  EXPECT_TRUE(Value::Int32(2) < Value::Float64(2.5));
+  EXPECT_TRUE(Value::Float64(2.5) < Value::Int64(3));
+  EXPECT_TRUE(Value::Int64(5) >= Value::Int32(5));
+  EXPECT_TRUE(Value::Int64(5) != Value::Float64(5.5));
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  ValueHash h;
+  EXPECT_EQ(h(Value::Int32(42)), h(Value::Int64(42)));
+  EXPECT_EQ(h(Value::Int64(42)), h(Value::Float64(42.0)));
+}
+
+TEST(Column, TypedAppendAndGet) {
+  Column c(DataType::kInt32);
+  c.Append(Value::Int32(1));
+  c.Append(Value::Int64(2));  // converted
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Get(0).as_int(), 1);
+  EXPECT_EQ(c.Get(1).as_int(), 2);
+  EXPECT_EQ(c.Get(1).type, DataType::kInt32);
+}
+
+TEST(Column, ByteSizeTracksWidth) {
+  Column i32(DataType::kInt32);
+  Column f64(DataType::kFloat64);
+  for (int i = 0; i < 10; ++i) {
+    i32.Append(Value::Int32(i));
+    f64.Append(Value::Float64(i));
+  }
+  EXPECT_EQ(i32.byte_size(), 40u);
+  EXPECT_EQ(f64.byte_size(), 80u);
+}
+
+TEST(Column, TypedAccessThrowsOnMismatch) {
+  Column c(DataType::kInt32);
+  EXPECT_NO_THROW(c.AsInt32());
+  EXPECT_THROW(c.AsInt64(), Error);
+  EXPECT_THROW(c.AsFloat64(), Error);
+}
+
+TEST(Column, DirectVectorAccessIsLive) {
+  Column c(DataType::kFloat64);
+  c.AsFloat64().push_back(1.5);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.Get(0).as_double(), 1.5);
+}
+
+TEST(Column, ClearEmpties) {
+  Column c(DataType::kInt64);
+  c.Append(Value::Int64(1));
+  c.Clear();
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Column, GetOutOfRangeThrows) {
+  Column c(DataType::kInt32);
+  EXPECT_THROW(c.Get(0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace kf::relational

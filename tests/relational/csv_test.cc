@@ -1,0 +1,74 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace kf::relational {
+namespace {
+
+Table SampleTable() {
+  Table t(Schema{{"id", DataType::kInt64},
+                 {"flag", DataType::kInt32},
+                 {"price", DataType::kFloat64}});
+  t.AppendRow({Value::Int64(1), Value::Int32(0), Value::Float64(9.5)});
+  t.AppendRow({Value::Int64(-2), Value::Int32(1), Value::Float64(0.125)});
+  return t;
+}
+
+TEST(Csv, RoundTripPreservesSchemaAndRows) {
+  const Table original = SampleTable();
+  const Table parsed = FromCsv(ToCsv(original));
+  EXPECT_EQ(parsed.schema().ToString(), original.schema().ToString());
+  EXPECT_TRUE(SameRowMultiset(parsed, original));
+}
+
+TEST(Csv, HeaderCarriesTypes) {
+  const std::string csv = ToCsv(SampleTable());
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "id:i64,flag:i32,price:f64");
+}
+
+TEST(Csv, RoundTripsDoublesExactly) {
+  Table t(Schema{{"x", DataType::kFloat64}});
+  t.AppendRow({Value::Float64(0.1 + 0.2)});  // needs 17 significant digits
+  const Table parsed = FromCsv(ToCsv(t));
+  EXPECT_EQ(parsed.column(0).Get(0).as_double(), 0.1 + 0.2);
+}
+
+TEST(Csv, RandomTablesRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Table t(Schema{{"a", DataType::kInt32}, {"b", DataType::kFloat64}});
+    const int rows = static_cast<int>(rng.UniformInt(0, 200));
+    for (int r = 0; r < rows; ++r) {
+      t.AppendRow({Value::Int32(static_cast<std::int32_t>(rng.UniformInt(-1000, 1000))),
+                   Value::Float64(rng.UniformDouble(-5, 5))});
+    }
+    EXPECT_TRUE(SameRowMultiset(FromCsv(ToCsv(t)), t)) << "trial " << trial;
+  }
+}
+
+TEST(Csv, EmptyTableRoundTrips) {
+  Table t(Schema{{"only", DataType::kInt64}});
+  const Table parsed = FromCsv(ToCsv(t));
+  EXPECT_EQ(parsed.row_count(), 0u);
+  EXPECT_EQ(parsed.schema().field(0).name, "only");
+}
+
+TEST(Csv, MalformedInputsThrow) {
+  EXPECT_THROW(FromCsv(""), kf::Error);                         // no header
+  EXPECT_THROW(FromCsv("a:i32,b\n1,2\n"), kf::Error);           // missing type
+  EXPECT_THROW(FromCsv("a:i128\n1\n"), kf::Error);              // unknown type
+  EXPECT_THROW(FromCsv("a:i32,b:i32\n1\n"), kf::Error);         // ragged row
+  EXPECT_THROW(FromCsv("a:i32\nxyz\n"), kf::Error);             // bad integer
+  EXPECT_THROW(FromCsv("a:f64\n1.5zz\n"), kf::Error);           // trailing junk
+}
+
+TEST(Csv, BlankLinesIgnored) {
+  const Table parsed = FromCsv("a:i32\n1\n\n2\n");
+  EXPECT_EQ(parsed.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace kf::relational

@@ -1,0 +1,98 @@
+#include "relational/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kf::relational {
+namespace {
+
+Row SampleRow() { return {Value::Int32(10), Value::Float64(0.5), Value::Int64(-3)}; }
+
+TEST(Expr, FieldAndConstEval) {
+  EXPECT_EQ(EvalExpr(Expr::FieldRef(0), SampleRow()).as_int(), 10);
+  EXPECT_DOUBLE_EQ(EvalExpr(Expr::FieldRef(1), SampleRow()).as_double(), 0.5);
+  EXPECT_EQ(EvalExpr(Expr::Lit(7), SampleRow()).as_int(), 7);
+}
+
+TEST(Expr, IntegerArithmeticStaysIntegral) {
+  const Value v = EvalExpr(Expr::Add(Expr::FieldRef(0), Expr::Lit(5)), SampleRow());
+  EXPECT_FALSE(v.is_float());
+  EXPECT_EQ(v.as_int(), 15);
+}
+
+TEST(Expr, MixedArithmeticPromotesToDouble) {
+  const Value v = EvalExpr(Expr::Mul(Expr::FieldRef(0), Expr::FieldRef(1)), SampleRow());
+  EXPECT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.as_double(), 5.0);
+}
+
+TEST(Expr, DivisionAlwaysDouble) {
+  const Value v = EvalExpr(Expr::Div(Expr::Lit(1), Expr::Lit(2)), SampleRow());
+  EXPECT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.as_double(), 0.5);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  EXPECT_THROW(EvalExpr(Expr::Div(Expr::Lit(1), Expr::Lit(0)), SampleRow()), Error);
+}
+
+TEST(Expr, Comparisons) {
+  const Row row = SampleRow();
+  EXPECT_TRUE(EvalExpr(Expr::Lt(Expr::FieldRef(2), Expr::Lit(0)), row).as_bool());
+  EXPECT_TRUE(EvalExpr(Expr::Ge(Expr::FieldRef(0), Expr::Lit(10)), row).as_bool());
+  EXPECT_FALSE(EvalExpr(Expr::Eq(Expr::FieldRef(0), Expr::Lit(11)), row).as_bool());
+  EXPECT_TRUE(EvalExpr(Expr::Ne(Expr::FieldRef(1), Expr::Lit(0)), row).as_bool());
+}
+
+TEST(Expr, LogicShortCircuits) {
+  const Row row = SampleRow();
+  // The right side would divide by zero; && must not evaluate it.
+  const Expr guarded = Expr::And(Expr::Lt(Expr::FieldRef(0), Expr::Lit(0)),
+                                 Expr::Lt(Expr::Div(Expr::Lit(1), Expr::Lit(0)), Expr::Lit(1)));
+  EXPECT_FALSE(EvalExpr(guarded, row).as_bool());
+  const Expr or_guarded = Expr::Or(Expr::Gt(Expr::FieldRef(0), Expr::Lit(0)),
+                                   Expr::Lt(Expr::Div(Expr::Lit(1), Expr::Lit(0)), Expr::Lit(1)));
+  EXPECT_TRUE(EvalExpr(or_guarded, row).as_bool());
+}
+
+TEST(Expr, NotNegates) {
+  EXPECT_FALSE(EvalExpr(Expr::Not(Expr::Lit(1)), SampleRow()).as_bool());
+  EXPECT_TRUE(EvalExpr(Expr::Not(Expr::Lit(0)), SampleRow()).as_bool());
+}
+
+TEST(Expr, FieldOutOfRangeThrows) {
+  EXPECT_THROW(EvalExpr(Expr::FieldRef(9), SampleRow()), Error);
+}
+
+TEST(Expr, OpsCountGrowsWithTreeSize) {
+  const Expr small = Expr::Lt(Expr::FieldRef(0), Expr::Lit(5));
+  const Expr big = Expr::And(small, Expr::Gt(Expr::FieldRef(1), Expr::Lit(2)));
+  EXPECT_GT(ExprOps(big), ExprOps(small));
+}
+
+TEST(Expr, RegisterEstimateSethiUllman) {
+  // A single leaf needs one register.
+  EXPECT_EQ(ExprRegisters(Expr::FieldRef(0)), 1);
+  // A balanced tree of two leaves needs two.
+  EXPECT_EQ(ExprRegisters(Expr::Add(Expr::FieldRef(0), Expr::FieldRef(1))), 2);
+  // A deeper balanced tree needs three.
+  EXPECT_EQ(ExprRegisters(Expr::Add(Expr::Add(Expr::FieldRef(0), Expr::FieldRef(1)),
+                                    Expr::Add(Expr::FieldRef(2), Expr::FieldRef(3)))),
+            3);
+}
+
+TEST(Expr, MaxFieldScansTree) {
+  EXPECT_EQ(ExprMaxField(Expr::Lit(1)), -1);
+  EXPECT_EQ(ExprMaxField(Expr::Mul(Expr::FieldRef(3),
+                                   Expr::Sub(Expr::Lit(1), Expr::FieldRef(7)))),
+            7);
+}
+
+TEST(Expr, ToStringReadable) {
+  const Expr e = Expr::Lt(Expr::FieldRef(0), Expr::Lit(5));
+  EXPECT_EQ(e.ToString(), "($0 < 5)");
+}
+
+}  // namespace
+}  // namespace kf::relational

@@ -1,0 +1,228 @@
+// Exercises every RA operator, starting with the exact examples of paper
+// Table I (letters dictionary-encoded: a=1, b=2, c=3, f=6; True=1, False=0).
+#include "relational/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kf::relational {
+namespace {
+
+Schema KV() { return Schema{{"key", DataType::kInt64}, {"val", DataType::kInt64}}; }
+
+Table MakeKV(std::initializer_list<std::pair<int, int>> rows) {
+  Table t(KV());
+  for (auto [k, v] : rows) t.AppendRow({Value::Int64(k), Value::Int64(v)});
+  return t;
+}
+
+constexpr int kA = 1, kB = 2, kC = 3, kF = 6;
+
+TEST(TableI, Union) {
+  const Table x = MakeKV({{3, kA}, {4, kA}, {2, kB}});
+  const Table y = MakeKV({{0, kA}, {2, kB}});
+  const Table result = ApplyOperator(OperatorDesc::Union(), x, &y);
+  EXPECT_TRUE(SameRowMultiset(result, MakeKV({{3, kA}, {4, kA}, {2, kB}, {0, kA}})));
+}
+
+TEST(TableI, Intersection) {
+  const Table x = MakeKV({{3, kA}, {4, kA}, {2, kB}});
+  const Table y = MakeKV({{0, kA}, {2, kB}});
+  const Table result = ApplyOperator(OperatorDesc::Intersect(), x, &y);
+  EXPECT_TRUE(SameRowMultiset(result, MakeKV({{2, kB}})));
+}
+
+TEST(TableI, Product) {
+  const Table x = MakeKV({{3, kA}, {4, kA}});
+  const Table y = MakeKV({{1, 2}});  // (True, 2)
+  const Table result = ApplyOperator(OperatorDesc::Product(), x, &y);
+  ASSERT_EQ(result.row_count(), 2u);
+  ASSERT_EQ(result.column_count(), 4u);
+  Table expected(Schema{{"key", DataType::kInt64},
+                        {"val", DataType::kInt64},
+                        {"key", DataType::kInt64},
+                        {"val", DataType::kInt64}});
+  expected.AppendRow({Value::Int64(3), Value::Int64(kA), Value::Int64(1), Value::Int64(2)});
+  expected.AppendRow({Value::Int64(4), Value::Int64(kA), Value::Int64(1), Value::Int64(2)});
+  EXPECT_TRUE(SameRowMultiset(result, expected));
+}
+
+TEST(TableI, Difference) {
+  const Table x = MakeKV({{3, kA}, {4, kA}, {2, kB}});
+  const Table y = MakeKV({{4, kA}, {3, kA}});
+  const Table result = ApplyOperator(OperatorDesc::Difference(), x, &y);
+  EXPECT_TRUE(SameRowMultiset(result, MakeKV({{2, kB}})));
+}
+
+TEST(TableI, Join) {
+  const Table x = MakeKV({{3, kA}, {4, kA}, {2, kB}});
+  const Table y = MakeKV({{2, kF}, {3, kC}});
+  const Table result = ApplyOperator(OperatorDesc::Join(), x, &y);
+  Table expected(Schema{{"key", DataType::kInt64},
+                        {"val", DataType::kInt64},
+                        {"val", DataType::kInt64}});
+  expected.AppendRow({Value::Int64(3), Value::Int64(kA), Value::Int64(kC)});
+  expected.AppendRow({Value::Int64(2), Value::Int64(kB), Value::Int64(kF)});
+  EXPECT_TRUE(SameRowMultiset(result, expected));
+}
+
+Table ThreeCol() {
+  Table t(Schema{{"key", DataType::kInt64},
+                 {"flag", DataType::kInt64},
+                 {"val", DataType::kInt64}});
+  t.AppendRow({Value::Int64(3), Value::Int64(1), Value::Int64(kA)});
+  t.AppendRow({Value::Int64(4), Value::Int64(1), Value::Int64(kA)});
+  t.AppendRow({Value::Int64(2), Value::Int64(0), Value::Int64(kB)});
+  return t;
+}
+
+TEST(TableI, Project) {
+  const Table result = ApplyOperator(OperatorDesc::Project({0, 2}), ThreeCol());
+  EXPECT_TRUE(SameRowMultiset(result, MakeKV({{3, kA}, {4, kA}, {2, kB}})));
+}
+
+TEST(TableI, Select) {
+  const Table result = ApplyOperator(
+      OperatorDesc::Select(Expr::Eq(Expr::FieldRef(0), Expr::Lit(2))), ThreeCol());
+  ASSERT_EQ(result.row_count(), 1u);
+  const Row row = result.GetRow(0);
+  EXPECT_EQ(row[0].as_int(), 2);
+  EXPECT_EQ(row[1].as_int(), 0);
+  EXPECT_EQ(row[2].as_int(), kB);
+}
+
+// --- Beyond Table I ---------------------------------------------------------
+
+TEST(Operators, SelectPreservesInputOrder) {
+  const Table t = MakeKV({{5, 1}, {1, 2}, {4, 3}, {0, 4}});
+  const Table result = ApplyOperator(
+      OperatorDesc::Select(Expr::Ge(Expr::FieldRef(0), Expr::Lit(4))), t);
+  ASSERT_EQ(result.row_count(), 2u);
+  EXPECT_EQ(result.GetRow(0)[1].as_int(), 1);
+  EXPECT_EQ(result.GetRow(1)[1].as_int(), 3);
+}
+
+TEST(Operators, JoinExpandsDuplicateKeys) {
+  const Table left = MakeKV({{1, 10}, {1, 11}});
+  const Table right = MakeKV({{1, 20}, {1, 21}});
+  const Table result = ApplyOperator(OperatorDesc::Join(), left, &right);
+  EXPECT_EQ(result.row_count(), 4u);  // 2 x 2 matches
+}
+
+TEST(Operators, JoinOnNonDefaultKeys) {
+  Table left(Schema{{"a", DataType::kInt64}, {"k", DataType::kInt64}});
+  left.AppendRow({Value::Int64(100), Value::Int64(7)});
+  Table right(Schema{{"b", DataType::kInt64}, {"k", DataType::kInt64}});
+  right.AppendRow({Value::Int64(200), Value::Int64(7)});
+  const Table result = ApplyOperator(OperatorDesc::Join(1, 1), left, &right);
+  ASSERT_EQ(result.row_count(), 1u);
+  const Row row = result.GetRow(0);
+  EXPECT_EQ(row[0].as_int(), 100);
+  EXPECT_EQ(row[1].as_int(), 7);
+  EXPECT_EQ(row[2].as_int(), 200);
+}
+
+TEST(Operators, AggregateGroupedSums) {
+  Table t(Schema{{"g", DataType::kInt32}, {"x", DataType::kFloat64}});
+  t.AppendRow({Value::Int32(1), Value::Float64(1.0)});
+  t.AppendRow({Value::Int32(2), Value::Float64(5.0)});
+  t.AppendRow({Value::Int32(1), Value::Float64(2.0)});
+  const Table result = ApplyOperator(
+      OperatorDesc::Aggregate({0},
+                              {AggregateSpec{AggregateSpec::Func::kSum, 1, "sum"},
+                               AggregateSpec{AggregateSpec::Func::kCount, 0, "n"},
+                               AggregateSpec{AggregateSpec::Func::kMin, 1, "lo"},
+                               AggregateSpec{AggregateSpec::Func::kMax, 1, "hi"},
+                               AggregateSpec{AggregateSpec::Func::kAvg, 1, "mean"}}),
+      t);
+  ASSERT_EQ(result.row_count(), 2u);
+  // Group 1: sum 3, count 2, min 1, max 2, avg 1.5.
+  bool found = false;
+  for (const Row& row : result.Rows()) {
+    if (row[0].as_int() == 1) {
+      found = true;
+      EXPECT_DOUBLE_EQ(row[1].as_double(), 3.0);
+      EXPECT_EQ(row[2].as_int(), 2);
+      EXPECT_DOUBLE_EQ(row[3].as_double(), 1.0);
+      EXPECT_DOUBLE_EQ(row[4].as_double(), 2.0);
+      EXPECT_DOUBLE_EQ(row[5].as_double(), 1.5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Operators, AggregateWithoutGroupByIsGlobal) {
+  Table t(Schema{{"x", DataType::kInt32}});
+  for (int i = 1; i <= 5; ++i) t.AppendRow({Value::Int32(i)});
+  const Table result = ApplyOperator(
+      OperatorDesc::Aggregate({}, {AggregateSpec{AggregateSpec::Func::kSum, 0, "sum"}}),
+      t);
+  ASSERT_EQ(result.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(result.GetRow(0)[0].as_double(), 15.0);
+}
+
+TEST(Operators, ArithAppendsComputedColumn) {
+  Table t(Schema{{"p", DataType::kFloat64}, {"d", DataType::kFloat64}});
+  t.AppendRow({Value::Float64(100.0), Value::Float64(0.1)});
+  const Table result = ApplyOperator(
+      OperatorDesc::Arith(
+          Expr::Mul(Expr::FieldRef(0), Expr::Sub(Expr::LitF(1.0), Expr::FieldRef(1))),
+          "disc_price"),
+      t);
+  ASSERT_EQ(result.column_count(), 3u);
+  EXPECT_DOUBLE_EQ(result.GetRow(0)[2].as_double(), 90.0);
+  EXPECT_EQ(result.schema().field(2).name, "disc_price");
+}
+
+TEST(Operators, SortIsStableLexicographic) {
+  Table t(Schema{{"a", DataType::kInt32}, {"b", DataType::kInt32},
+                 {"tag", DataType::kInt32}});
+  t.AppendRow({Value::Int32(2), Value::Int32(1), Value::Int32(0)});
+  t.AppendRow({Value::Int32(1), Value::Int32(2), Value::Int32(1)});
+  t.AppendRow({Value::Int32(1), Value::Int32(1), Value::Int32(2)});
+  t.AppendRow({Value::Int32(1), Value::Int32(1), Value::Int32(3)});
+  const Table result = ApplyOperator(OperatorDesc::Sort({0, 1}), t);
+  EXPECT_EQ(result.GetRow(0)[2].as_int(), 2);  // (1,1) first occurrence
+  EXPECT_EQ(result.GetRow(1)[2].as_int(), 3);  // stable: second (1,1)
+  EXPECT_EQ(result.GetRow(2)[2].as_int(), 1);  // (1,2)
+  EXPECT_EQ(result.GetRow(3)[2].as_int(), 0);  // (2,1)
+}
+
+TEST(Operators, UniqueDropsDuplicates) {
+  const Table t = MakeKV({{1, 1}, {1, 1}, {2, 2}, {1, 1}});
+  const Table result = ApplyOperator(OperatorDesc::Unique(), t);
+  EXPECT_TRUE(SameRowMultiset(result, MakeKV({{1, 1}, {2, 2}})));
+}
+
+TEST(Operators, EmptyInputsFlowThrough) {
+  const Table empty = MakeKV({});
+  EXPECT_EQ(ApplyOperator(OperatorDesc::Select(Expr::Lit(1)), empty).row_count(), 0u);
+  EXPECT_EQ(ApplyOperator(OperatorDesc::Sort({0}), empty).row_count(), 0u);
+  const Table y = MakeKV({{1, 1}});
+  EXPECT_EQ(ApplyOperator(OperatorDesc::Join(), empty, &y).row_count(), 0u);
+  EXPECT_EQ(ApplyOperator(OperatorDesc::Union(), empty, &y).row_count(), 1u);
+}
+
+TEST(Operators, SchemaValidation) {
+  const Table x = MakeKV({{1, 1}});
+  Table three(Schema{{"a", DataType::kInt64},
+                     {"b", DataType::kInt64},
+                     {"c", DataType::kInt64}});
+  EXPECT_THROW(ApplyOperator(OperatorDesc::Union(), x, &three), Error);
+  EXPECT_THROW(ApplyOperator(OperatorDesc::Project({5}), x), Error);
+  EXPECT_THROW(ApplyOperator(OperatorDesc::Join(), x, nullptr), Error);
+  EXPECT_THROW(ApplyOperator(OperatorDesc::Select(Expr::Lit(1)), x, &x), Error);
+}
+
+TEST(Operators, OutputSchemaJoinDropsRightKey) {
+  const Schema left{{"k", DataType::kInt64}, {"v", DataType::kInt64}};
+  const Schema right{{"k", DataType::kInt64}, {"w", DataType::kFloat64}};
+  const Schema out = OutputSchema(OperatorDesc::Join(), left, &right);
+  ASSERT_EQ(out.field_count(), 3u);
+  EXPECT_EQ(out.field(2).name, "w");
+  EXPECT_EQ(out.field(2).type, DataType::kFloat64);
+}
+
+}  // namespace
+}  // namespace kf::relational

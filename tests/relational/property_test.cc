@@ -1,0 +1,150 @@
+// Property-based cross-checks: the hash-based operator implementations in
+// operators.cc against the naive sort/nested-loop reference implementations,
+// over randomized relations, plus algebraic identities of the RA operators.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "relational/reference.h"
+
+namespace kf::relational {
+namespace {
+
+Table RandomTable(Rng& rng, std::size_t rows, int key_range, int val_range) {
+  Table t(Schema{{"k", DataType::kInt64}, {"v", DataType::kInt64}});
+  for (std::size_t r = 0; r < rows; ++r) {
+    t.AppendRow({Value::Int64(rng.UniformInt(0, key_range)),
+                 Value::Int64(rng.UniformInt(0, val_range))});
+  }
+  return t;
+}
+
+class BinaryOpProperty : public ::testing::TestWithParam<OpKind> {};
+
+TEST_P(BinaryOpProperty, HashImplementationMatchesNaiveReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Table left = RandomTable(rng, rng.UniformInt(0, 60), 8, 3);
+    const Table right = RandomTable(rng, rng.UniformInt(0, 60), 8, 3);
+    OperatorDesc op;
+    op.kind = GetParam();
+    const Table a = ApplyOperator(op, left, &right);
+    const Table b = reference::Apply(op, left, &right);
+    EXPECT_TRUE(SameRowMultiset(a, b))
+        << "trial " << trial << " kind " << ToString(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SetAndJoinOps, BinaryOpProperty,
+                         ::testing::Values(OpKind::kUnion, OpKind::kIntersect,
+                                           OpKind::kDifference, OpKind::kJoin,
+                                           OpKind::kProduct),
+                         [](const auto& param_info) { return ToString(param_info.param); });
+
+TEST(UnaryOpProperty, SelectMatchesReference) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Table t = RandomTable(rng, rng.UniformInt(0, 100), 10, 10);
+    const OperatorDesc op = OperatorDesc::Select(
+        Expr::And(Expr::Lt(Expr::FieldRef(0), Expr::Lit(rng.UniformInt(0, 10))),
+                  Expr::Ge(Expr::FieldRef(1), Expr::Lit(rng.UniformInt(0, 10)))));
+    EXPECT_TRUE(SameRowMultiset(ApplyOperator(op, t), reference::Apply(op, t)));
+  }
+}
+
+TEST(UnaryOpProperty, UniqueMatchesReference) {
+  Rng rng(102);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Table t = RandomTable(rng, 80, 4, 2);  // many duplicates
+    const OperatorDesc op = OperatorDesc::Unique();
+    EXPECT_TRUE(SameRowMultiset(ApplyOperator(op, t), reference::Apply(op, t)));
+  }
+}
+
+// --- Algebraic identities ----------------------------------------------------
+
+TEST(Algebra, UnionIsCommutative) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Table x = RandomTable(rng, 30, 6, 3);
+    const Table y = RandomTable(rng, 30, 6, 3);
+    const OperatorDesc u = OperatorDesc::Union();
+    EXPECT_TRUE(SameRowMultiset(ApplyOperator(u, x, &y), ApplyOperator(u, y, &x)));
+  }
+}
+
+TEST(Algebra, IntersectionIsCommutative) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Table x = RandomTable(rng, 40, 5, 2);
+    const Table y = RandomTable(rng, 40, 5, 2);
+    const OperatorDesc op = OperatorDesc::Intersect();
+    EXPECT_TRUE(SameRowMultiset(ApplyOperator(op, x, &y), ApplyOperator(op, y, &x)));
+  }
+}
+
+TEST(Algebra, DifferenceThenIntersectionIsEmpty) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Table x = RandomTable(rng, 40, 5, 2);
+    const Table y = RandomTable(rng, 40, 5, 2);
+    const Table diff = ApplyOperator(OperatorDesc::Difference(), x, &y);
+    const Table overlap = ApplyOperator(OperatorDesc::Intersect(), diff, &y);
+    EXPECT_EQ(overlap.row_count(), 0u);
+  }
+}
+
+TEST(Algebra, SelectConjunctionEqualsChainedSelects) {
+  // The algebraic fact kernel fusion of SELECT chains relies on.
+  Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Table t = RandomTable(rng, 100, 20, 20);
+    const Expr p1 = Expr::Lt(Expr::FieldRef(0), Expr::Lit(12));
+    const Expr p2 = Expr::Gt(Expr::FieldRef(1), Expr::Lit(5));
+    const Table chained = ApplyOperator(
+        OperatorDesc::Select(p2), ApplyOperator(OperatorDesc::Select(p1), t));
+    const Table conjunct =
+        ApplyOperator(OperatorDesc::Select(Expr::And(p1, p2)), t);
+    EXPECT_TRUE(SameRowMultiset(chained, conjunct));
+  }
+}
+
+TEST(Algebra, SelectCommutesWithSort) {
+  Rng rng(11);
+  const Table t = RandomTable(rng, 60, 10, 10);
+  const Expr p = Expr::Le(Expr::FieldRef(1), Expr::Lit(5));
+  const Table sort_then_select = ApplyOperator(
+      OperatorDesc::Select(p), ApplyOperator(OperatorDesc::Sort({0}), t));
+  const Table select_then_sort = ApplyOperator(
+      OperatorDesc::Sort({0}), ApplyOperator(OperatorDesc::Select(p), t));
+  EXPECT_TRUE(SameRowMultiset(sort_then_select, select_then_sort));
+}
+
+TEST(Algebra, ProjectAfterProductEqualsSides) {
+  Rng rng(12);
+  const Table x = RandomTable(rng, 10, 5, 5);
+  const Table y = RandomTable(rng, 8, 5, 5);
+  const Table prod = ApplyOperator(OperatorDesc::Product(), x, &y);
+  EXPECT_EQ(prod.row_count(), x.row_count() * y.row_count());
+  const Table left_again = ApplyOperator(OperatorDesc::Project({0, 1}), prod);
+  // Every x row appears y.row_count() times.
+  const Table expected = ApplyOperator(OperatorDesc::Unique(), left_again);
+  const Table x_unique = ApplyOperator(OperatorDesc::Unique(), x);
+  EXPECT_TRUE(SameRowMultiset(expected, x_unique));
+}
+
+TEST(Algebra, SortPreservesMultiset) {
+  Rng rng(13);
+  const Table t = RandomTable(rng, 100, 50, 50);
+  const Table sorted = ApplyOperator(OperatorDesc::Sort({0, 1}), t);
+  EXPECT_TRUE(SameRowMultiset(t, sorted));
+  // And it is actually ordered.
+  for (std::size_t r = 1; r < sorted.row_count(); ++r) {
+    const Row a = sorted.GetRow(r - 1);
+    const Row b = sorted.GetRow(r);
+    const bool le = a[0] < b[0] || (a[0] == b[0] && !(b[1] < a[1]));
+    EXPECT_TRUE(le) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace kf::relational

@@ -1,0 +1,115 @@
+#include "relational/staged_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace kf::relational {
+namespace {
+
+std::vector<AggregateInput> RandomInput(Rng& rng, std::size_t n, std::int64_t groups) {
+  std::vector<AggregateInput> input(n);
+  for (auto& in : input) {
+    in.group = rng.UniformInt(0, groups - 1);
+    in.value = rng.UniformDouble(-10.0, 10.0);
+  }
+  return input;
+}
+
+// Scalar reference.
+std::map<std::int64_t, GroupedSum> Naive(std::span<const AggregateInput> input) {
+  std::map<std::int64_t, GroupedSum> out;
+  for (const AggregateInput& in : input) {
+    auto [it, inserted] = out.try_emplace(in.group);
+    GroupedSum& acc = it->second;
+    if (inserted) {
+      acc.group = in.group;
+      acc.min_value = in.value;
+      acc.max_value = in.value;
+    } else {
+      acc.min_value = std::min(acc.min_value, in.value);
+      acc.max_value = std::max(acc.max_value, in.value);
+    }
+    acc.sum += in.value;
+    ++acc.count;
+  }
+  return out;
+}
+
+TEST(StagedGroupedAggregate, MatchesNaiveReference) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto input = RandomInput(rng, 5000, 16);
+    const auto result = StagedGroupedAggregate(input, 16);
+    const auto reference = Naive(input);
+    ASSERT_EQ(result.size(), reference.size());
+    for (const GroupedSum& acc : result) {
+      const GroupedSum& ref = reference.at(acc.group);
+      EXPECT_NEAR(acc.sum, ref.sum, 1e-9 * std::abs(ref.sum) + 1e-9);
+      EXPECT_EQ(acc.count, ref.count);
+      EXPECT_DOUBLE_EQ(acc.min_value, ref.min_value);
+      EXPECT_DOUBLE_EQ(acc.max_value, ref.max_value);
+    }
+  }
+}
+
+TEST(StagedGroupedAggregate, OutputSortedByGroup) {
+  Rng rng(2);
+  const auto input = RandomInput(rng, 2000, 50);
+  const auto result = StagedGroupedAggregate(input, 8);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LT(result[i - 1].group, result[i].group);
+  }
+}
+
+TEST(StagedGroupedAggregate, EmptyInput) {
+  EXPECT_TRUE(StagedGroupedAggregate({}, 8).empty());
+}
+
+TEST(StagedGroupedAggregate, SingleGroup) {
+  std::vector<AggregateInput> input;
+  for (int i = 1; i <= 100; ++i) {
+    input.push_back(AggregateInput{7, static_cast<double>(i)});
+  }
+  const auto result = StagedGroupedAggregate(input, 16);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_DOUBLE_EQ(result[0].sum, 5050.0);
+  EXPECT_EQ(result[0].count, 100);
+  EXPECT_DOUBLE_EQ(result[0].min_value, 1.0);
+  EXPECT_DOUBLE_EQ(result[0].max_value, 100.0);
+  EXPECT_DOUBLE_EQ(result[0].mean(), 50.5);
+}
+
+TEST(StagedGroupedAggregate, ChunkCountInvariance) {
+  Rng rng(3);
+  const auto input = RandomInput(rng, 3000, 10);
+  const auto reference = StagedGroupedAggregate(input, 1);
+  for (int chunks : {2, 7, 64, 448}) {
+    const auto result = StagedGroupedAggregate(input, chunks);
+    ASSERT_EQ(result.size(), reference.size()) << chunks;
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].group, reference[i].group);
+      EXPECT_NEAR(result[i].sum, reference[i].sum, 1e-9);
+      EXPECT_EQ(result[i].count, reference[i].count);
+    }
+  }
+}
+
+TEST(StagedGroupedAggregate, ParallelMatchesSerial) {
+  Rng rng(4);
+  const auto input = RandomInput(rng, 100000, 32);
+  ThreadPool pool(4);
+  const auto serial = StagedGroupedAggregate(input, 64);
+  const auto parallel = StagedGroupedAggregate(input, 64, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].group, parallel[i].group);
+    EXPECT_NEAR(serial[i].sum, parallel[i].sum, 1e-6);
+    EXPECT_EQ(serial[i].count, parallel[i].count);
+  }
+}
+
+}  // namespace
+}  // namespace kf::relational

@@ -1,0 +1,112 @@
+#include "relational/staged_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+
+namespace kf::relational {
+namespace {
+
+std::vector<JoinPair> RandomPairs(Rng& rng, std::size_t n, std::int64_t key_range) {
+  std::vector<JoinPair> pairs(n);
+  for (auto& p : pairs) {
+    p.key = rng.UniformInt(0, key_range);
+    p.value = rng.UniformInt(-100, 100);
+  }
+  return pairs;
+}
+
+// Naive nested-loop reference.
+std::vector<JoinedRow> NaiveJoin(std::span<const JoinPair> left,
+                                 std::span<const JoinPair> right) {
+  std::vector<JoinedRow> out;
+  for (const JoinPair& l : left) {
+    for (const JoinPair& r : right) {
+      if (l.key == r.key) out.push_back(JoinedRow{l.key, l.value, r.value});
+    }
+  }
+  return out;
+}
+
+bool SameMultiset(std::vector<JoinedRow> a, std::vector<JoinedRow> b) {
+  auto less = [](const JoinedRow& x, const JoinedRow& y) {
+    return std::tie(x.key, x.left_value, x.right_value) <
+           std::tie(y.key, y.left_value, y.right_value);
+  };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  return a == b;
+}
+
+TEST(StagedHashTable, BuildsAndProbes) {
+  const std::vector<JoinPair> rows = {{1, 10}, {2, 20}, {1, 11}};
+  const StagedHashTable table(rows, 2);
+  EXPECT_EQ(table.entry_count(), 3u);
+  std::vector<std::int64_t> matches;
+  EXPECT_EQ(table.Probe(1, matches), 2u);
+  std::sort(matches.begin(), matches.end());
+  EXPECT_EQ(matches, (std::vector<std::int64_t>{10, 11}));
+  matches.clear();
+  EXPECT_EQ(table.Probe(99, matches), 0u);
+}
+
+TEST(StagedHashTable, LoadFactorBounded) {
+  Rng rng(5);
+  const auto rows = RandomPairs(rng, 1000, 100);
+  const StagedHashTable table(rows, 8);
+  EXPECT_GE(table.slot_count(), 2 * rows.size());
+}
+
+TEST(StagedHashJoin, MatchesNaiveJoinOnRandomData) {
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto left = RandomPairs(rng, static_cast<std::size_t>(rng.UniformInt(0, 300)), 20);
+    const auto right = RandomPairs(rng, static_cast<std::size_t>(rng.UniformInt(0, 300)), 20);
+    EXPECT_TRUE(SameMultiset(StagedHashJoin(left, right, 8), NaiveJoin(left, right)))
+        << "trial " << trial;
+  }
+}
+
+TEST(StagedHashJoin, DuplicateKeysExpand) {
+  const std::vector<JoinPair> left = {{7, 1}, {7, 2}};
+  const std::vector<JoinPair> right = {{7, 10}, {7, 20}, {7, 30}};
+  EXPECT_EQ(StagedHashJoin(left, right, 4).size(), 6u);  // 2 x 3
+}
+
+TEST(StagedHashJoin, EmptySides) {
+  const std::vector<JoinPair> some = {{1, 1}};
+  EXPECT_TRUE(StagedHashJoin({}, some, 4).empty());
+  EXPECT_TRUE(StagedHashJoin(some, {}, 4).empty());
+}
+
+TEST(StagedHashJoin, ParallelBuildAndProbeMatchSerial) {
+  Rng rng(11);
+  const auto left = RandomPairs(rng, 50000, 500);
+  const auto right = RandomPairs(rng, 20000, 500);
+  ThreadPool pool(4);
+  EXPECT_TRUE(SameMultiset(StagedHashJoin(left, right, 64, &pool),
+                           StagedHashJoin(left, right, 64)));
+}
+
+TEST(StagedHashJoin, ChunkCountInvariance) {
+  Rng rng(13);
+  const auto left = RandomPairs(rng, 2000, 50);
+  const auto right = RandomPairs(rng, 500, 50);
+  const auto reference = StagedHashJoin(left, right, 1);
+  for (int chunks : {2, 16, 448}) {
+    EXPECT_TRUE(SameMultiset(StagedHashJoin(left, right, chunks), reference));
+  }
+}
+
+TEST(StagedHashJoin, SkewedKeysStillCorrect) {
+  // Everything hashes to the same key: worst-case probe runs.
+  std::vector<JoinPair> left(200, JoinPair{5, 1});
+  std::vector<JoinPair> right(50, JoinPair{5, 2});
+  EXPECT_EQ(StagedHashJoin(left, right, 8).size(), 200u * 50u);
+}
+
+}  // namespace
+}  // namespace kf::relational

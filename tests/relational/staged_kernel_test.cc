@@ -1,0 +1,153 @@
+// The staged SELECT (Fig 3) and the fused stage structure (Fig 6).
+#include "relational/staged_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace kf::relational {
+namespace {
+
+std::vector<std::int32_t> RandomInts(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.UniformInt(0, 1 << 30));
+  return v;
+}
+
+TEST(Partition, CoversInputExactly) {
+  const auto chunks = PartitionInput(103, 8);
+  ASSERT_EQ(chunks.size(), 8u);
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  for (const ChunkRange& c : chunks) {
+    EXPECT_EQ(c.begin, expected_begin);
+    covered += c.size();
+    expected_begin = c.end;
+  }
+  EXPECT_EQ(covered, 103u);
+  // Balanced: sizes differ by at most one.
+  std::size_t lo = chunks[0].size(), hi = chunks[0].size();
+  for (const ChunkRange& c : chunks) {
+    lo = std::min(lo, c.size());
+    hi = std::max(hi, c.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Partition, MoreChunksThanElements) {
+  const auto chunks = PartitionInput(3, 8);
+  std::size_t covered = 0;
+  for (const ChunkRange& c : chunks) covered += c.size();
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(Partition, RejectsZeroChunks) { EXPECT_THROW(PartitionInput(10, 0), kf::Error); }
+
+TEST(FilterStage, CountsMatchBuffers) {
+  const auto data = RandomInts(10000, 1);
+  const auto chunks = PartitionInput(data.size(), 16);
+  const auto result =
+      RunFilterStage(data, chunks, [](std::int32_t v) { return v % 2 == 0; });
+  ASSERT_EQ(result.buffers.size(), 16u);
+  for (std::size_t c = 0; c < result.buffers.size(); ++c) {
+    EXPECT_EQ(result.counts[c], result.buffers[c].size());
+  }
+  const std::size_t expected = static_cast<std::size_t>(
+      std::count_if(data.begin(), data.end(), [](std::int32_t v) { return v % 2 == 0; }));
+  EXPECT_EQ(result.total_matches(), expected);
+}
+
+TEST(GatherStage, ProducesDenseOrderedOutput) {
+  const auto data = RandomInts(5000, 2);
+  const auto chunks = PartitionInput(data.size(), 7);
+  const auto pred = [](std::int32_t v) { return v % 3 == 0; };
+  const auto filtered = RunFilterStage(data, chunks, pred);
+  const auto output = RunGatherStage(filtered);
+  std::vector<std::int32_t> expected;
+  std::copy_if(data.begin(), data.end(), std::back_inserter(expected), pred);
+  EXPECT_EQ(output, expected);  // gather preserves input order
+}
+
+TEST(StagedSelect, MatchesScalarFilterAcrossChunkCounts) {
+  const auto data = RandomInts(20000, 3);
+  const auto pred = [](std::int32_t v) { return v < (1 << 29); };
+  std::vector<std::int32_t> expected;
+  std::copy_if(data.begin(), data.end(), std::back_inserter(expected), pred);
+  for (int chunks : {1, 2, 13, 64, 448}) {
+    StagedSelectStats stats;
+    const auto output = StagedSelect(data, pred, chunks, nullptr, &stats);
+    EXPECT_EQ(output, expected) << chunks << " chunks";
+    EXPECT_EQ(stats.input_count, data.size());
+    EXPECT_EQ(stats.output_count, expected.size());
+  }
+}
+
+TEST(StagedSelect, ParallelExecutionMatchesSerial) {
+  const auto data = RandomInts(50000, 4);
+  const auto pred = [](std::int32_t v) { return (v & 7) != 0; };
+  ThreadPool pool(4);
+  const auto serial = StagedSelect(data, pred, 32, nullptr);
+  const auto parallel = StagedSelect(data, pred, 32, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(StagedSelect, EmptyInput) {
+  const std::vector<std::int32_t> empty;
+  const auto output = StagedSelect(empty, [](std::int32_t) { return true; }, 8);
+  EXPECT_TRUE(output.empty());
+}
+
+TEST(StagedSelect, AllOrNothingSelectivity) {
+  const auto data = RandomInts(1000, 5);
+  EXPECT_EQ(StagedSelect(data, [](std::int32_t) { return true; }, 8).size(), data.size());
+  EXPECT_TRUE(StagedSelect(data, [](std::int32_t) { return false; }, 8).empty());
+}
+
+TEST(SelectChain, FusedEqualsUnfused) {
+  // The core guarantee of kernel fusion: identical results (Fig 6 vs 2x Fig 3).
+  const auto data = RandomInts(30000, 6);
+  const std::vector<Int32Predicate> predicates = {
+      [](std::int32_t v) { return v < (1 << 29); },
+      [](std::int32_t v) { return v % 2 == 0; },
+      [](std::int32_t v) { return v % 3 != 1; },
+  };
+  std::vector<StagedSelectStats> unfused_stats;
+  const auto unfused =
+      StagedSelectChainUnfused(data, predicates, 32, nullptr, &unfused_stats);
+  StagedSelectStats fused_stats;
+  const auto fused = StagedSelectChainFused(data, predicates, 32, nullptr, &fused_stats);
+  EXPECT_EQ(unfused, fused);
+  // The unfused chain ran 3 staged selects; the fused chain one with depth 3.
+  ASSERT_EQ(unfused_stats.size(), 3u);
+  EXPECT_EQ(unfused_stats[0].input_count, data.size());
+  EXPECT_EQ(unfused_stats[2].output_count, fused.size());
+  EXPECT_EQ(fused_stats.filter_stage_count, 3);
+  EXPECT_EQ(fused_stats.input_count, data.size());
+}
+
+TEST(SelectChain, FiftyPercentChainKeepsQuarter) {
+  // Paper III-B: two 50% SELECTs keep 25% of the data.
+  const auto data = RandomInts(100000, 7);
+  const std::int32_t mid = 1 << 29;  // half of the [0, 2^30) domain
+  const std::vector<Int32Predicate> predicates = {
+      [mid](std::int32_t v) { return v < mid; },
+      [mid](std::int32_t v) { return v < mid / 2; },
+  };
+  StagedSelectStats stats;
+  const auto out = StagedSelectChainFused(data, predicates, 64, nullptr, &stats);
+  EXPECT_NEAR(static_cast<double>(out.size()) / static_cast<double>(data.size()), 0.25,
+              0.01);
+}
+
+TEST(SelectChain, EmptyPredicateListThrows) {
+  const auto data = RandomInts(10, 8);
+  EXPECT_THROW(StagedSelectChainFused(data, {}, 4), kf::Error);
+  EXPECT_THROW(StagedSelectChainUnfused(data, {}, 4), kf::Error);
+}
+
+}  // namespace
+}  // namespace kf::relational

@@ -1,0 +1,106 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kf::relational {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema{{"k", DataType::kInt64}, {"v", DataType::kFloat64}};
+}
+
+TEST(Schema, IndexOfAndRowWidth) {
+  const Schema s = TwoColSchema();
+  EXPECT_EQ(s.IndexOf("k"), 0u);
+  EXPECT_EQ(s.IndexOf("v"), 1u);
+  EXPECT_THROW(s.IndexOf("nope"), Error);
+  EXPECT_EQ(s.row_width_bytes(), 16u);
+}
+
+TEST(Table, AppendAndGetRows) {
+  Table t(TwoColSchema());
+  t.AppendRow({Value::Int64(1), Value::Float64(1.5)});
+  t.AppendRow({Value::Int64(2), Value::Float64(2.5)});
+  EXPECT_EQ(t.row_count(), 2u);
+  const Row row = t.GetRow(1);
+  EXPECT_EQ(row[0].as_int(), 2);
+  EXPECT_DOUBLE_EQ(row[1].as_double(), 2.5);
+  EXPECT_THROW(t.GetRow(2), Error);
+}
+
+TEST(Table, AppendRowValidatesArity) {
+  Table t(TwoColSchema());
+  EXPECT_THROW(t.AppendRow({Value::Int64(1)}), Error);
+}
+
+TEST(Table, ByteSizeSumsColumns) {
+  Table t(TwoColSchema());
+  for (int i = 0; i < 4; ++i) t.AppendRow({Value::Int64(i), Value::Float64(i)});
+  EXPECT_EQ(t.byte_size(), 4u * (8 + 8));
+}
+
+TEST(Table, ColumnByName) {
+  Table t(TwoColSchema());
+  t.AppendRow({Value::Int64(7), Value::Float64(0.5)});
+  EXPECT_EQ(t.column("k").Get(0).as_int(), 7);
+}
+
+TEST(Table, SyncRowCountFromColumns) {
+  Table t(Schema{{"v", DataType::kInt32}});
+  t.column(0).AsInt32() = {1, 2, 3};
+  t.SyncRowCountFromColumns();
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(Table, SyncRowCountRejectsRaggedColumns) {
+  Table t(TwoColSchema());
+  t.column(0).Append(Value::Int64(1));
+  EXPECT_THROW(t.SyncRowCountFromColumns(), Error);
+}
+
+TEST(Table, SameRowMultisetIsOrderInsensitive) {
+  Table a(TwoColSchema()), b(TwoColSchema());
+  a.AppendRow({Value::Int64(1), Value::Float64(1.0)});
+  a.AppendRow({Value::Int64(2), Value::Float64(2.0)});
+  b.AppendRow({Value::Int64(2), Value::Float64(2.0)});
+  b.AppendRow({Value::Int64(1), Value::Float64(1.0)});
+  EXPECT_TRUE(SameRowMultiset(a, b));
+}
+
+TEST(Table, SameRowMultisetCountsDuplicates) {
+  Table a(TwoColSchema()), b(TwoColSchema());
+  a.AppendRow({Value::Int64(1), Value::Float64(1.0)});
+  a.AppendRow({Value::Int64(1), Value::Float64(1.0)});
+  b.AppendRow({Value::Int64(1), Value::Float64(1.0)});
+  EXPECT_FALSE(SameRowMultiset(a, b));
+  b.AppendRow({Value::Int64(1), Value::Float64(1.0)});
+  EXPECT_TRUE(SameRowMultiset(a, b));
+}
+
+TEST(Table, ApproxSameRowMultisetToleratesUlps) {
+  Table a(TwoColSchema()), b(TwoColSchema());
+  a.AppendRow({Value::Int64(1), Value::Float64(0.1 + 0.2)});
+  b.AppendRow({Value::Int64(1), Value::Float64(0.3)});
+  EXPECT_TRUE(ApproxSameRowMultiset(a, b));
+  EXPECT_FALSE(SameRowMultiset(a, b));  // exact comparison sees the ulp
+}
+
+TEST(Table, ApproxSameRowMultisetRejectsRealDifferences) {
+  Table a(TwoColSchema()), b(TwoColSchema());
+  a.AppendRow({Value::Int64(1), Value::Float64(1.0)});
+  b.AppendRow({Value::Int64(1), Value::Float64(1.01)});
+  EXPECT_FALSE(ApproxSameRowMultiset(a, b));
+}
+
+TEST(Table, ToStringTruncates) {
+  Table t(TwoColSchema());
+  for (int i = 0; i < 30; ++i) t.AppendRow({Value::Int64(i), Value::Float64(i)});
+  const std::string s = t.ToString(5);
+  EXPECT_NE(s.find("rows=30"), std::string::npos);
+  EXPECT_NE(s.find("25 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kf::relational

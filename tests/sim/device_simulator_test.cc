@@ -1,0 +1,69 @@
+#include "sim/device_simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace kf::sim {
+namespace {
+
+TEST(DeviceSimulator, DefaultsToTeslaC2070) {
+  DeviceSimulator device;
+  EXPECT_EQ(device.spec().sm_count, 14);
+  EXPECT_EQ(device.spec().mem_capacity_bytes, GiB(6));
+  EXPECT_EQ(device.memory().capacity(), GiB(6));
+}
+
+TEST(DeviceSimulator, MakeCopyUsesPcieModel) {
+  DeviceSimulator device;
+  const CommandSpec h2d = device.MakeCopy(MiB(100), CopyDirection::kHostToDevice,
+                                          HostMemoryKind::kPinned, "upload");
+  EXPECT_EQ(h2d.kind, CommandKind::kCopyH2D);
+  EXPECT_EQ(h2d.label, "upload");
+  EXPECT_NEAR(h2d.duration,
+              device.pcie().TransferTime(MiB(100), HostMemoryKind::kPinned,
+                                         CopyDirection::kHostToDevice),
+              1e-12);
+  const CommandSpec d2h = device.MakeCopy(MiB(100), CopyDirection::kDeviceToHost,
+                                          HostMemoryKind::kPageable);
+  EXPECT_EQ(d2h.kind, CommandKind::kCopyD2H);
+  EXPECT_GT(d2h.duration, h2d.duration);  // pageable is slower
+}
+
+TEST(DeviceSimulator, MakeKernelUsesCostModel) {
+  DeviceSimulator device;
+  KernelProfile profile;
+  profile.label = "k";
+  profile.elements = 10'000'000;
+  profile.global_bytes_read = 40'000'000;
+  const CommandSpec kernel = device.MakeKernel(profile);
+  EXPECT_EQ(kernel.kind, CommandKind::kKernel);
+  const KernelCost cost = device.cost_model().Cost(profile);
+  EXPECT_DOUBLE_EQ(kernel.solo_duration, cost.solo_duration);
+  EXPECT_DOUBLE_EQ(kernel.demand, cost.demand);
+}
+
+TEST(DeviceSimulator, MakeHostWorkScalesWithBytes) {
+  DeviceSimulator device;
+  const CommandSpec small = device.MakeHostWork(MiB(1));
+  const CommandSpec large = device.MakeHostWork(MiB(100));
+  EXPECT_EQ(small.kind, CommandKind::kHostCompute);
+  EXPECT_NEAR(large.duration / small.duration, 100.0, 0.01);
+}
+
+TEST(DeviceSimulator, NewTimelineIsIndependent) {
+  DeviceSimulator device;
+  Timeline a = device.NewTimeline();
+  Timeline b = device.NewTimeline();
+  a.AddCommand(0, device.MakeHostWork(MiB(16)));
+  EXPECT_EQ(a.command_count(), 1u);
+  EXPECT_EQ(b.command_count(), 0u);
+}
+
+TEST(DeviceSimulator, CustomSpecPropagates) {
+  DeviceSimulator tiny(DeviceSpec::TinyTestDevice());
+  EXPECT_EQ(tiny.memory().capacity(), MiB(64));
+  EXPECT_LT(tiny.spec().sustained_mem_bytes_per_second(),
+            DeviceSimulator().spec().sustained_mem_bytes_per_second());
+}
+
+}  // namespace
+}  // namespace kf::sim

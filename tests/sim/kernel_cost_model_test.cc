@@ -1,0 +1,127 @@
+#include "sim/kernel_cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace kf::sim {
+namespace {
+
+KernelProfile StreamingProfile(std::uint64_t elements) {
+  KernelProfile p;
+  p.label = "streaming";
+  p.elements = elements;
+  p.ops_per_element = 8.0;
+  p.global_bytes_read = elements * 4;
+  p.global_bytes_written = elements * 2;
+  return p;
+}
+
+TEST(KernelCostModel, MemoryBoundKernelScalesWithTraffic) {
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  const KernelCost small = model.Cost(StreamingProfile(1'000'000));
+  const KernelCost large = model.Cost(StreamingProfile(10'000'000));
+  // 10x the data: close to 10x the memory time.
+  EXPECT_NEAR(large.memory_time / small.memory_time, 10.0, 0.01);
+  EXPECT_GT(large.solo_duration, small.solo_duration);
+}
+
+TEST(KernelCostModel, SoloDurationIncludesLaunchOverhead) {
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  KernelProfile p = StreamingProfile(0);
+  p.global_bytes_read = 0;
+  p.global_bytes_written = 0;
+  const KernelCost cost = model.Cost(p);
+  EXPECT_GE(cost.solo_duration, model.spec().kernel_launch_overhead);
+}
+
+TEST(KernelCostModel, MultipleLaunchesCostMore) {
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  KernelProfile one = StreamingProfile(1'000'000);
+  KernelProfile two = one;
+  two.launches = 2;
+  EXPECT_NEAR(model.Cost(two).solo_duration - model.Cost(one).solo_duration,
+              model.spec().kernel_launch_overhead, 1e-9);
+}
+
+TEST(KernelCostModel, HalfGeometryHalvesDemand) {
+  // Fig 12's "no stream (new)": half the CTAs and threads -> the launch can
+  // no longer saturate the machine.
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  KernelProfile full = StreamingProfile(100'000'000);
+  full.cta_count = 448;
+  full.threads_per_cta = 256;
+  KernelProfile half = full;
+  half.cta_count = 224;
+  half.threads_per_cta = 128;
+  const KernelCost full_cost = model.Cost(full);
+  const KernelCost half_cost = model.Cost(half);
+  EXPECT_DOUBLE_EQ(full_cost.demand, 1.0);
+  // 8 resident CTAs/SM x 128 threads = 1024 of 1536 -> ~2/3 demand.
+  EXPECT_NEAR(half_cost.demand, 2.0 / 3.0, 0.05);
+  EXPECT_GT(half_cost.solo_duration, 1.4 * full_cost.solo_duration);
+}
+
+TEST(KernelCostModel, RegisterPressureReducesOccupancy) {
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  KernelProfile light = StreamingProfile(10'000'000);
+  light.registers_per_thread = 16;
+  KernelProfile heavy = light;
+  heavy.registers_per_thread = 60;
+  EXPECT_GT(model.Cost(light).occupancy, model.Cost(heavy).occupancy);
+  EXPECT_GT(model.Cost(heavy).solo_duration, model.Cost(light).solo_duration);
+}
+
+TEST(KernelCostModel, SpillsChargeExtraTraffic) {
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  KernelProfile at_limit = StreamingProfile(10'000'000);
+  at_limit.registers_per_thread = KernelCostModel::kMaxRegistersPerThread;
+  KernelProfile spilling = at_limit;
+  spilling.registers_per_thread = KernelCostModel::kMaxRegistersPerThread + 8;
+  EXPECT_GT(model.Cost(spilling).memory_time, model.Cost(at_limit).memory_time);
+}
+
+TEST(KernelCostModel, ComputeBoundWhenOpsDominate) {
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  KernelProfile p = StreamingProfile(10'000'000);
+  p.ops_per_element = 4000.0;
+  const KernelCost cost = model.Cost(p);
+  EXPECT_GT(cost.compute_time, cost.memory_time);
+}
+
+TEST(KernelCostModel, SelectThroughputInPaperBallpark) {
+  // Fig 4(a): the staged SELECT sustains roughly 15-25 GB/s of input at 50%
+  // selectivity (PCIe excluded). Filter + gather of N ints at 50%.
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  const std::uint64_t n = 100'000'000;
+  KernelProfile filter;
+  filter.elements = n;
+  filter.ops_per_element = 9.0;
+  filter.global_bytes_read = n * 4;
+  filter.global_bytes_written = n * 2;  // 50% buffered
+  filter.memory_access_efficiency = 0.55;
+  KernelProfile gather;
+  gather.elements = n / 2;
+  gather.ops_per_element = 2.0;
+  gather.global_bytes_read = n * 2;
+  gather.global_bytes_written = n * 2;
+  gather.memory_access_efficiency = 0.70;
+  const SimTime total = model.Cost(filter).solo_duration + model.Cost(gather).solo_duration;
+  const double gbs = ThroughputGBs(n * 4, total);
+  EXPECT_GT(gbs, 12.0);
+  EXPECT_LT(gbs, 30.0);
+}
+
+TEST(KernelCostModel, RejectsInvalidGeometry) {
+  KernelCostModel model(DeviceSpec::TeslaC2070());
+  KernelProfile p = StreamingProfile(1000);
+  p.cta_count = 0;
+  EXPECT_THROW(model.Cost(p), Error);
+  p = StreamingProfile(1000);
+  p.threads_per_cta = 4096;  // above the Fermi limit
+  EXPECT_THROW(model.Cost(p), Error);
+}
+
+}  // namespace
+}  // namespace kf::sim

@@ -1,0 +1,88 @@
+#include "sim/pcie_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace kf::sim {
+namespace {
+
+TEST(PcieModel, PinnedBeatsPageableAtModerateSizes) {
+  PcieModel model;
+  const std::uint64_t bytes = MiB(64);
+  for (auto dir : {CopyDirection::kHostToDevice, CopyDirection::kDeviceToHost}) {
+    EXPECT_GT(model.EffectiveBandwidth(bytes, HostMemoryKind::kPinned, dir),
+              model.EffectiveBandwidth(bytes, HostMemoryKind::kPageable, dir));
+  }
+}
+
+TEST(PcieModel, BandwidthRampsUpWithTransferSize) {
+  PcieModel model;
+  double last = 0.0;
+  for (std::uint64_t bytes : {KiB(4), KiB(64), MiB(1), MiB(16), MiB(128)}) {
+    const double bw = model.EffectiveBandwidth(bytes, HostMemoryKind::kPageable,
+                                               CopyDirection::kHostToDevice);
+    EXPECT_GT(bw, last) << "at " << bytes << " bytes";
+    last = bw;
+  }
+}
+
+TEST(PcieModel, EffectiveBandwidthBelowTheoreticalPeak) {
+  PcieModel model;
+  const double peak_pcie2 = 8.0 * kGB;
+  for (auto kind : {HostMemoryKind::kPinned, HostMemoryKind::kPageable}) {
+    for (auto dir : {CopyDirection::kHostToDevice, CopyDirection::kDeviceToHost}) {
+      EXPECT_LT(model.EffectiveBandwidth(GiB(1), kind, dir), peak_pcie2);
+    }
+  }
+}
+
+TEST(PcieModel, PinnedAdvantageShrinksForHugeTransfers) {
+  // Fig 4(b): "when the data size becomes large, its advantage reduces".
+  PcieModel model;
+  auto advantage = [&](std::uint64_t bytes) {
+    return model.EffectiveBandwidth(bytes, HostMemoryKind::kPinned,
+                                    CopyDirection::kHostToDevice) /
+           model.EffectiveBandwidth(bytes, HostMemoryKind::kPageable,
+                                    CopyDirection::kHostToDevice);
+  };
+  EXPECT_GT(advantage(MiB(64)), advantage(GiB(2)));
+}
+
+TEST(PcieModel, TransferTimeIncludesLatency) {
+  PcieModel model;
+  EXPECT_GE(model.TransferTime(0, HostMemoryKind::kPinned, CopyDirection::kHostToDevice),
+            model.config().latency);
+  // Tiny transfer is latency-dominated.
+  const SimTime tiny =
+      model.TransferTime(64, HostMemoryKind::kPinned, CopyDirection::kHostToDevice);
+  EXPECT_LT(tiny, 2.5 * model.config().latency);
+}
+
+TEST(PcieModel, TransferTimeMonotonicInSize) {
+  PcieModel model;
+  SimTime last = 0.0;
+  for (std::uint64_t bytes : {KiB(1), MiB(1), MiB(100), GiB(1)}) {
+    const SimTime t =
+        model.TransferTime(bytes, HostMemoryKind::kPageable, CopyDirection::kDeviceToHost);
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(PcieModel, MeasuredCurveMatchesPaperBallpark) {
+  // Paper Fig 4(b): pinned ~5-6.5 GB/s, pageable ~2.5-3.5 GB/s in steady state.
+  PcieModel model;
+  const std::uint64_t bytes = 400ull * 1000 * 1000;  // 100M ints
+  const double pinned = model.EffectiveBandwidth(bytes, HostMemoryKind::kPinned,
+                                                 CopyDirection::kHostToDevice) / kGB;
+  const double pageable = model.EffectiveBandwidth(bytes, HostMemoryKind::kPageable,
+                                                   CopyDirection::kHostToDevice) / kGB;
+  EXPECT_GT(pinned, 4.0);
+  EXPECT_LT(pinned, 7.0);
+  EXPECT_GT(pageable, 2.0);
+  EXPECT_LT(pageable, 4.0);
+}
+
+}  // namespace
+}  // namespace kf::sim

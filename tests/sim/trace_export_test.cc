@@ -1,0 +1,63 @@
+#include "sim/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kf::sim {
+namespace {
+
+TEST(TraceExport, EmitsOneSlicePerCommand) {
+  Timeline t(DeviceSpec::TeslaC2070());
+  std::vector<TraceCommand> meta;
+  CommandSpec up;
+  up.kind = CommandKind::kCopyH2D;
+  up.duration = 0.001;
+  up.label = "upload";
+  t.AddCommand(0, up);
+  meta.push_back({CommandKind::kCopyH2D, "upload"});
+  CommandSpec kernel;
+  kernel.kind = CommandKind::kKernel;
+  kernel.solo_duration = 0.002;
+  kernel.label = "select";
+  t.AddCommand(0, kernel);
+  meta.push_back({CommandKind::kKernel, "select"});
+
+  const std::string json = ToChromeTrace(t.Run(), meta);
+  EXPECT_NE(json.find("\"upload\""), std::string::npos);
+  EXPECT_NE(json.find("\"select\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("H2D copy engine"), std::string::npos);
+  // Durations in microseconds: 1000us and 2000us.
+  EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000.000"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesLabels) {
+  Timeline t(DeviceSpec::TeslaC2070());
+  CommandSpec cmd;
+  cmd.kind = CommandKind::kHostCompute;
+  cmd.duration = 0.001;
+  t.AddCommand(0, cmd);
+  const std::string json =
+      ToChromeTrace(t.Run(), {{CommandKind::kHostCompute, "with \"quotes\"\n"}});
+  EXPECT_NE(json.find("with \\\"quotes\\\"\\n"), std::string::npos);
+}
+
+TEST(TraceExport, MismatchedMetadataThrows) {
+  Timeline t(DeviceSpec::TeslaC2070());
+  CommandSpec cmd;
+  cmd.kind = CommandKind::kKernel;
+  cmd.solo_duration = 0.001;
+  t.AddCommand(0, cmd);
+  EXPECT_THROW(ToChromeTrace(t.Run(), {}), kf::Error);
+}
+
+TEST(TraceExport, EmptyTimeline) {
+  Timeline t(DeviceSpec::TeslaC2070());
+  const std::string json = ToChromeTrace(t.Run(), {});
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kf::sim

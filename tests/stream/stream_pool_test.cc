@@ -1,0 +1,138 @@
+#include "stream/stream_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kf::stream {
+namespace {
+
+sim::CommandSpec Kernel(SimTime solo, double demand = 1.0) {
+  sim::CommandSpec c;
+  c.kind = sim::CommandKind::kKernel;
+  c.solo_duration = solo;
+  c.demand = demand;
+  return c;
+}
+
+class StreamPoolTest : public ::testing::Test {
+ protected:
+  sim::DeviceSimulator device_;
+};
+
+TEST_F(StreamPoolTest, GetAvailableStreamPrefersUnused) {
+  StreamPool pool(device_, 3);
+  EXPECT_EQ(pool.GetAvailableStream(), 0);
+  EXPECT_EQ(pool.GetAvailableStream(), 1);
+  EXPECT_EQ(pool.GetAvailableStream(), 2);
+  // All in use: returns the least-loaded one.
+  const StreamHandle again = pool.GetAvailableStream();
+  EXPECT_GE(again, 0);
+  EXPECT_LT(again, 3);
+}
+
+TEST_F(StreamPoolTest, CommandsInOneStreamSerialize) {
+  StreamPool pool(device_, 2);
+  const StreamHandle s = pool.GetAvailableStream();
+  pool.SetStreamCommand(s, PoolCommand{Kernel(1.0), {}});
+  pool.SetStreamCommand(s, PoolCommand{Kernel(1.0), {}});
+  pool.StartStreams();
+  EXPECT_NEAR(pool.WaitAll().makespan, 2.0, 1e-9);
+}
+
+TEST_F(StreamPoolTest, HostActionsRunAtStart) {
+  StreamPool pool(device_, 2);
+  const StreamHandle s = pool.GetAvailableStream();
+  int order = 0, first = -1, second = -1;
+  pool.SetStreamCommand(s, PoolCommand{Kernel(1.0), [&] { first = order++; }});
+  pool.SetStreamCommand(s, PoolCommand{Kernel(1.0), [&] { second = order++; }});
+  pool.StartStreams();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(StreamPoolTest, SelectWaitOrdersAcrossStreams) {
+  StreamPool pool(device_, 2);
+  const StreamHandle a = pool.GetAvailableStream();
+  const StreamHandle b = pool.GetAvailableStream();
+  pool.SetStreamCommand(a, PoolCommand{Kernel(1.0, 0.25), {}});
+  // b's next command waits on a's last command (Table IV selectWait).
+  pool.SelectWait(b, a);
+  pool.SetStreamCommand(b, PoolCommand{Kernel(1.0, 0.25), {}});
+  pool.StartStreams();
+  // Without the wait the two low-demand kernels would overlap (~1.0).
+  EXPECT_NEAR(pool.WaitAll().makespan, 2.0, 1e-9);
+}
+
+TEST_F(StreamPoolTest, WithoutSelectWaitLowDemandKernelsOverlap) {
+  StreamPool pool(device_, 2);
+  const StreamHandle a = pool.GetAvailableStream();
+  const StreamHandle b = pool.GetAvailableStream();
+  pool.SetStreamCommand(a, PoolCommand{Kernel(1.0, 0.25), {}});
+  pool.SetStreamCommand(b, PoolCommand{Kernel(1.0, 0.25), {}});
+  pool.StartStreams();
+  EXPECT_LT(pool.WaitAll().makespan, 1.2);
+}
+
+TEST_F(StreamPoolTest, SelectWaitValidation) {
+  StreamPool pool(device_, 2);
+  const StreamHandle a = pool.GetAvailableStream();
+  const StreamHandle b = pool.GetAvailableStream();
+  EXPECT_THROW(pool.SelectWait(a, a), kf::Error);   // self-wait
+  EXPECT_THROW(pool.SelectWait(a, b), kf::Error);   // b has no commands yet
+  EXPECT_THROW(pool.SelectWait(9, a), kf::Error);   // bad handle
+}
+
+TEST_F(StreamPoolTest, WaitAllBeforeStartThrows) {
+  StreamPool pool(device_, 1);
+  EXPECT_THROW(pool.WaitAll(), kf::Error);
+}
+
+TEST_F(StreamPoolTest, DoubleStartThrows) {
+  StreamPool pool(device_, 1);
+  pool.SetStreamCommand(pool.GetAvailableStream(), PoolCommand{Kernel(0.1), {}});
+  pool.StartStreams();
+  EXPECT_THROW(pool.StartStreams(), kf::Error);
+}
+
+TEST_F(StreamPoolTest, TerminateResetsForReuse) {
+  StreamPool pool(device_, 2);
+  const StreamHandle s = pool.GetAvailableStream();
+  pool.SetStreamCommand(s, PoolCommand{Kernel(0.5), {}});
+  pool.StartStreams();
+  EXPECT_TRUE(pool.started());
+  pool.Terminate();
+  EXPECT_FALSE(pool.started());
+  // Fresh lease and fresh commands work after terminate.
+  const StreamHandle s2 = pool.GetAvailableStream();
+  pool.SetStreamCommand(s2, PoolCommand{Kernel(0.25), {}});
+  pool.StartStreams();
+  EXPECT_NEAR(pool.WaitAll().makespan, 0.25, 1e-9);
+}
+
+TEST_F(StreamPoolTest, ThreeStreamFissionPipelineOverlaps) {
+  // The canonical fission schedule (Fig 13) through the Table IV API.
+  StreamPool pool(device_, 3);
+  std::vector<StreamHandle> handles = {pool.GetAvailableStream(),
+                                       pool.GetAvailableStream(),
+                                       pool.GetAvailableStream()};
+  const int segments = 9;
+  for (int s = 0; s < segments; ++s) {
+    const StreamHandle h = handles[static_cast<std::size_t>(s) % 3];
+    sim::CommandSpec up;
+    up.kind = sim::CommandKind::kCopyH2D;
+    up.duration = 1.0;
+    pool.SetStreamCommand(h, PoolCommand{up, {}});
+    pool.SetStreamCommand(h, PoolCommand{Kernel(1.0), {}});
+    sim::CommandSpec down;
+    down.kind = sim::CommandKind::kCopyD2H;
+    down.duration = 1.0;
+    pool.SetStreamCommand(h, PoolCommand{down, {}});
+  }
+  pool.StartStreams();
+  const SimTime makespan = pool.WaitAll().makespan;
+  EXPECT_NEAR(makespan, segments + 2.0, 0.1);  // vs 3*segments serialized
+}
+
+}  // namespace
+}  // namespace kf::stream

@@ -1,0 +1,91 @@
+#include "tpch/q6.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_executor.h"
+
+namespace kf::tpch {
+namespace {
+
+using core::ExecutorOptions;
+using core::Strategy;
+
+TpchData SmallData() {
+  TpchConfig config;
+  config.order_count = 2000;
+  config.supplier_count = 50;
+  return MakeTpchData(config);
+}
+
+TEST(Q6, WholePlanFusesIntoOneKernel) {
+  // Q6 is the upper bound for fusion: no JOIN build sides, no SORT — the
+  // planner must produce exactly one cluster covering all five operators.
+  const TpchData data = SmallData();
+  const QueryPlan plan = BuildQ6Plan(data);
+  const core::FusionPlan fusion = PlanFusion(plan.graph);
+  ASSERT_EQ(fusion.clusters.size(), 1u);
+  EXPECT_EQ(fusion.clusters[0].nodes.size(), 5u);
+  EXPECT_TRUE(fusion.clusters[0].fused());
+  EXPECT_EQ(fusion.clusters[0].outputs, std::vector<core::NodeId>{plan.sink});
+}
+
+class Q6Execution : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(Q6Execution, MatchesScalarReference) {
+  const TpchData data = SmallData();
+  const QueryPlan plan = BuildQ6Plan(data);
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  ExecutorOptions options;
+  options.strategy = GetParam();
+  options.chunk_count = 8;
+  const auto report = executor.Execute(plan.graph, plan.sources, options);
+  ASSERT_EQ(report.sink_results.count(plan.sink), 1u);
+  EXPECT_TRUE(relational::ApproxSameRowMultiset(report.sink_results.at(plan.sink),
+                                                ReferenceQ6(data.lineitem), 1e-9))
+      << "strategy " << ToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, Q6Execution,
+                         ::testing::Values(Strategy::kSerial, Strategy::kFused,
+                                           Strategy::kFission,
+                                           Strategy::kFusedFission),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case Strategy::kSerial: return "Serial";
+                             case Strategy::kFused: return "Fused";
+                             case Strategy::kFission: return "Fission";
+                             default: return "FusedFission";
+                           }
+                         });
+
+TEST(Q6, FusionGainExceedsQ1s) {
+  // With nothing unfusable, Q6's fusion speedup must beat Q1's.
+  const TpchData data = SmallData();
+  const QueryPlan q6 = BuildQ6Plan(data);
+  const QueryPlan q1 = BuildQ1Plan(data);
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  auto gain = [&](const QueryPlan& plan) {
+    ExecutorOptions serial;
+    serial.strategy = Strategy::kSerial;
+    serial.chunk_count = 8;
+    serial.fusion.register_budget = 63;
+    ExecutorOptions fused = serial;
+    fused.strategy = Strategy::kFused;
+    return executor.Execute(plan.graph, plan.sources, serial).compute_time /
+           executor.Execute(plan.graph, plan.sources, fused).compute_time;
+  };
+  EXPECT_GT(gain(q6), gain(q1));
+  EXPECT_GT(gain(q6), 2.0);
+}
+
+TEST(Q6, ReferenceRevenueIsPositive) {
+  const TpchData data = SmallData();
+  const relational::Table result = ReferenceQ6(data.lineitem);
+  ASSERT_EQ(result.row_count(), 1u);
+  EXPECT_GT(result.GetRow(0)[0].as_double(), 0.0);
+}
+
+}  // namespace
+}  // namespace kf::tpch
