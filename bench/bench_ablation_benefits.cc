@@ -10,17 +10,18 @@
 #include "ir/kernel_gen.h"
 #include "ir/passes.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::IntermediatePolicy;
   using core::Strategy;
+  Init(argc, argv, "ablation_benefits");
   PrintHeader("Ablation: the six benefits of kernel fusion (Fig 7)",
               "each mechanism isolated on two back-to-back 50% SELECTs");
 
   sim::DeviceSimulator device;
   core::QueryExecutor executor(device);
-  const std::uint64_t n = 200'000'000;
+  const std::uint64_t n = Scaled(200'000'000);
   core::SelectChain chain = core::MakeSelectChain(n, std::vector<double>{0.5, 0.5});
 
   const auto with_rt =
@@ -104,5 +105,18 @@ int main() {
 
   table.Print();
   PrintSummaryLine("every Fig 7 mechanism is active and measurable in the model");
-  return 0;
+  Summary("pcie_bytes_reduction_pct", (1.0 - fused_bytes / rt_bytes) * 100);
+  Summary("gpu_traffic_reduction_pct",
+          (1.0 - static_cast<double>(fused_traffic) /
+                     static_cast<double>(unfused_traffic)) *
+              100);
+  Summary("launch_reduction_pct",
+          (1.0 - static_cast<double>(fused_launches) /
+                     static_cast<double>(unfused_launches)) *
+              100);
+  Summary("instruction_reduction_pct",
+          (1.0 - static_cast<double>(fused_ir.InstructionCount()) /
+                     static_cast<double>(unfused_instrs)) *
+              100);
+  return Finish();
 }

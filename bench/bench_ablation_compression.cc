@@ -9,10 +9,11 @@
 #include "common/random.h"
 #include "relational/compression.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "ablation_compression");
   PrintHeader("Ablation: compression vs kernel fusion for PCIe traffic",
               "related work [25]; both attack Fig 1's bottleneck");
 
@@ -29,7 +30,7 @@ int main() {
 
   sim::DeviceSimulator device;
   core::QueryExecutor executor(device);
-  const std::uint64_t n = 200'000'000;
+  const std::uint64_t n = Scaled(200'000'000);
   core::SelectChain chain = core::MakeSelectChain(n, std::vector<double>{0.5, 0.5});
 
   // Baselines from the executor.
@@ -57,9 +58,12 @@ int main() {
   };
 
   TablePrinter table({"Configuration", "Makespan", "vs serial"});
+  double config_index = 0;
   auto add = [&](const char* name, SimTime t) {
     table.AddRow({name, FormatTime(t),
                   TablePrinter::Num(serial.makespan / t, 2) + "x"});
+    Record("speedup_vs_serial", "x", config_index, serial.makespan / t);
+    ++config_index;
   };
   add("serial, uncompressed", serial.makespan);
   add("serial + compression", with_compression(serial));
@@ -72,5 +76,8 @@ int main() {
                    "removes the *intermediate* traffic — composing them "
                    "stacks the wins, supporting the paper's claim that its "
                    "compiler approach is complementary to [25]");
-  return 0;
+  Summary("compression_ratio", ratio);
+  Summary("fused_plus_compression_speedup",
+          serial.makespan / with_compression(fused));
+  return Finish();
 }

@@ -43,13 +43,14 @@ core::OpGraph StatsQuery(std::uint64_t rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "ablation_cross_query");
   PrintHeader("Ablation: kernel fusion across queries",
               "paper Section III-A — shared-scan fusion of independent queries");
 
-  const std::uint64_t rows = 200'000'000;
+  const std::uint64_t rows = Scaled(200'000'000);
   const core::OpGraph filter_query = FilterQuery(rows);
   const core::OpGraph stats_query = StatsQuery(rows);
   const core::MergeResult merged = MergeGraphs(filter_query, stats_query);
@@ -109,5 +110,16 @@ int main() {
                                                       separate_b.h2d_bytes)) * 100,
                        1) +
                    "% of the PCIe upload bytes");
-  return 0;
+  Summary("time_saved_pct",
+          (1.0 - together.makespan /
+                     (separate_a.makespan + separate_b.makespan)) *
+              100);
+  Summary("h2d_bytes_saved_pct",
+          (1.0 - static_cast<double>(together.h2d_bytes) /
+                     static_cast<double>(separate_a.h2d_bytes +
+                                         separate_b.h2d_bytes)) *
+              100);
+  Summary("merged_cluster_count", static_cast<double>(plan.clusters.size()),
+          obs::Direction::kTwoSided);
+  return Finish();
 }

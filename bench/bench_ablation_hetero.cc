@@ -5,9 +5,10 @@
 #include "bench/bench_util.h"
 #include "core/hetero.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "ablation_hetero");
   PrintHeader("Ablation: CPU-or-GPU placement of fused kernels",
               "paper Section III-C closing paragraph (Ocelot translation)");
 
@@ -30,6 +31,8 @@ int main() {
         scheduler.Decide(chain.graph, plan.clusters[0], sizes);
     table.AddRow({Millions(n), FormatTime(d.host_time), FormatTime(d.device_time),
                   ToString(d.placement)});
+    Record("host_time", "s", static_cast<double>(n), d.host_time);
+    Record("device_time", "s", static_cast<double>(n), d.device_time);
     if (crossover == 0 && d.placement == core::Placement::kDevice) crossover = n;
   }
   table.Print();
@@ -38,5 +41,7 @@ int main() {
                    "outweigh its 10x streaming advantage");
   PrintSummaryLine("this is the fully-utilize-both-processors decision the "
                    "paper leaves as future work, made concrete");
-  return 0;
+  Summary("device_crossover_elements", static_cast<double>(crossover),
+          obs::Direction::kTwoSided, "elements");
+  return Finish();
 }

@@ -7,10 +7,11 @@
 // fission schedules on two back-to-back 50% SELECTs.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "ablation_pinned_memory");
   PrintHeader("Ablation: pinned vs pageable staging memory",
               "paper Section IV-B — fission requires pinned buffers");
 
@@ -19,8 +20,8 @@ int main() {
 
   TablePrinter table({"Elements", "Strategy", "pinned", "pageable",
                       "pinned gain"});
-  for (std::uint64_t n :
-       {std::uint64_t{100'000'000}, std::uint64_t{1'000'000'000}}) {
+  double fission_gain_large = 0;
+  for (std::uint64_t n : {Scaled(100'000'000), Scaled(1'000'000'000)}) {
     core::SelectChain chain = core::MakeSelectChain(n, std::vector<double>{0.5, 0.5});
     for (Strategy s : {Strategy::kSerial, Strategy::kFusedFission}) {
       const auto pinned = RunChain(executor, chain, s,
@@ -33,6 +34,11 @@ int main() {
                     FormatGBs(pinned.ThroughputGBs(chain.input_bytes())),
                     FormatGBs(pageable.ThroughputGBs(chain.input_bytes())),
                     TablePrinter::Num(pageable.makespan / pinned.makespan, 2) + "x"});
+      Record(std::string("pinned_gain_") + ToString(s), "x",
+             static_cast<double>(n), pageable.makespan / pinned.makespan);
+      if (s == Strategy::kFusedFission) {
+        fission_gain_large = pageable.makespan / pinned.makespan;
+      }
     }
   }
   table.Print();
@@ -42,5 +48,6 @@ int main() {
                    "memory' in numbers");
   PrintSummaryLine("the cost is outside the model: pinned pages are stolen "
                    "from the host OS (the paper's stated drawback)");
-  return 0;
+  Summary("fission_pinned_gain", fission_gain_large);
+  return Finish();
 }

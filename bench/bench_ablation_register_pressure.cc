@@ -6,9 +6,10 @@
 #include "bench/bench_util.h"
 #include "tpch/q1.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "ablation_register_pressure");
   PrintHeader("Ablation: register-pressure budget in the fusion planner",
               "paper Section III-C cost function");
 
@@ -17,7 +18,7 @@ int main() {
 
   // Deep chain: 12 selects over 200M elements.
   const std::vector<double> sels(12, 0.9);
-  core::SelectChain chain = core::MakeSelectChain(200'000'000, sels);
+  core::SelectChain chain = core::MakeSelectChain(Scaled(200'000'000), sels);
 
   std::cout << "-- 12-deep SELECT chain, 200M elements --\n";
   TablePrinter table({"Budget", "Clusters", "Max cluster regs", "Compute time",
@@ -36,6 +37,9 @@ int main() {
     table.AddRow({std::to_string(budget), std::to_string(plan.clusters.size()),
                   std::to_string(max_regs), FormatTime(report.compute_time),
                   FormatTime(report.makespan)});
+    Record("chain_clusters", "clusters", static_cast<double>(budget),
+           static_cast<double>(plan.clusters.size()));
+    Record("chain_makespan", "s", static_cast<double>(budget), report.makespan);
   }
   table.Print();
   PrintSummaryLine("small budgets fragment the chain (more kernels, more "
@@ -44,11 +48,12 @@ int main() {
 
   // Q1's SELECT+6-JOIN block needs a budget that admits all seven operators.
   tpch::TpchConfig config;
-  config.order_count = 4000;
+  config.order_count = std::max(500, static_cast<int>(4000 * Scale()));
   const tpch::TpchData data = MakeTpchData(config);
   tpch::QueryPlan plan = BuildQ1Plan(data);
   std::cout << "\n-- TPC-H Q1 plan --\n";
   TablePrinter q1_table({"Budget", "Clusters", "Biggest fused block"});
+  std::size_t biggest_at_63 = 0;
   for (int budget : {16, 32, 48, 63, 96}) {
     core::FusionOptions options;
     options.register_budget = budget;
@@ -59,9 +64,14 @@ int main() {
     }
     q1_table.AddRow({std::to_string(budget), std::to_string(fusion.clusters.size()),
                      std::to_string(biggest)});
+    Record("q1_biggest_block", "ops", static_cast<double>(budget),
+           static_cast<double>(biggest));
+    if (budget == 63) biggest_at_63 = biggest;
   }
   q1_table.Print();
   PrintSummaryLine("the paper's SELECT+6-JOIN fusion appears once the budget "
                    "covers the seven-operator block");
-  return 0;
+  Summary("q1_biggest_block_at_63", static_cast<double>(biggest_at_63),
+          obs::Direction::kTwoSided, "ops");
+  return Finish();
 }

@@ -3,16 +3,18 @@
 // transfer latency and per-launch overhead.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "ablation_segment_size");
   PrintHeader("Ablation: fission segment count",
               "pipeline fill/drain vs per-segment overheads");
 
   sim::DeviceSimulator device;
   core::QueryExecutor executor(device);
 
-  for (std::uint64_t n : {std::uint64_t{200'000'000}, std::uint64_t{2'000'000'000}}) {
+  double last_best_segments = 0;
+  for (std::uint64_t n : {Scaled(200'000'000), Scaled(2'000'000'000)}) {
     core::SelectChain chain = core::MakeSelectChain(n, std::vector<double>{0.5, 0.5});
     std::cout << "-- " << Millions(n) << " elements ("
               << FormatBytes(chain.input_bytes()) << " input) --\n";
@@ -28,6 +30,8 @@ int main() {
       const double gbs = report.ThroughputGBs(chain.input_bytes());
       table.AddRow({std::to_string(segments), FormatTime(report.makespan),
                     FormatGBs(gbs)});
+      Record("throughput_" + Millions(n), "GB/s", static_cast<double>(segments),
+             gbs);
       if (gbs > best) {
         best = gbs;
         best_segments = segments;
@@ -36,8 +40,11 @@ int main() {
     table.Print();
     PrintSummaryLine("best at " + std::to_string(best_segments) +
                      " segments for this size\n");
+    last_best_segments = best_segments;
   }
   PrintSummaryLine("the optimum shifts up with data size: larger inputs "
                    "amortize per-segment overheads over more overlap");
-  return 0;
+  Summary("best_segments_large_input", last_best_segments,
+          obs::Direction::kTwoSided, "segments");
+  return Finish();
 }

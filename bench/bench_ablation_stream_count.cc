@@ -3,22 +3,24 @@
 // fully utilize its concurrency capacity"; more streams add nothing.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "ablation_stream_count");
   PrintHeader("Ablation: streams used by the fission pipeline",
               "paper Section IV-B: 3 streams saturate a 2-copy-engine device");
 
   sim::DeviceSimulator device;
   core::QueryExecutor executor(device);
   core::SelectChain chain =
-      core::MakeSelectChain(2'000'000'000ull, std::vector<double>{0.5, 0.5});
+      core::MakeSelectChain(Scaled(2'000'000'000ull), std::vector<double>{0.5, 0.5});
 
   TablePrinter table({"Streams", "Makespan", "Throughput", "vs serial"});
   core::ExecutorOptions serial_options;
   serial_options.strategy = core::Strategy::kSerial;
   const double serial =
       executor.EstimateOnly(chain.graph, chain.expected_rows, serial_options).makespan;
+  double gain_at_3 = 0;
   for (int streams : {1, 2, 3, 4, 6, 8}) {
     core::ExecutorOptions options;
     options.strategy = core::Strategy::kFusedFission;
@@ -29,10 +31,14 @@ int main() {
     table.AddRow({std::to_string(streams), FormatTime(report.makespan),
                   FormatGBs(report.ThroughputGBs(chain.input_bytes())),
                   TablePrinter::Num(serial / report.makespan, 2) + "x"});
+    Record("speedup_vs_serial", "x", static_cast<double>(streams),
+           serial / report.makespan);
+    if (streams == 3) gain_at_3 = serial / report.makespan;
   }
   table.Print();
   PrintSummaryLine("one stream = no overlap; two streams overlap one copy "
                    "direction; three saturate both DMA engines + compute; "
                    "beyond three the curve is flat (paper: same)");
-  return 0;
+  Summary("speedup_at_3_streams", gain_at_3);
+  return Finish();
 }

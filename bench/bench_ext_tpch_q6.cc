@@ -12,16 +12,17 @@
 #include "tpch/q21.h"
 #include "tpch/q6.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "ext_tpch_q6");
   PrintHeader("Extension: TPC-H Q6 — the fully fusable query",
               "upper bound of the Fig 18 fusable-fraction trend");
 
   tpch::TpchConfig config;
-  config.order_count = 20000;
-  config.supplier_count = 500;
+  config.order_count = std::max(500, static_cast<int>(20000 * Scale()));
+  config.supplier_count = std::max(100, static_cast<int>(500 * Scale()));
   const tpch::TpchData data = MakeTpchData(config);
   const double factor = 6'000'000.0 / static_cast<double>(data.lineitem.row_count());
 
@@ -70,5 +71,9 @@ int main() {
                    "necessary but not sufficient for big gains.");
   std::cout << "\nGraphviz of the fused Q6 plan (dot -Tpdf):\n"
             << ToDot(q6.graph, q6_fusion);
-  return 0;
+  Summary("q6_total_speedup", q6_total);
+  Summary("q1_total_speedup", q1_total);
+  Summary("q21_total_speedup", q21_total);
+  Summary("q6_compute_speedup", q6_compute);
+  return Finish();
 }

@@ -107,15 +107,18 @@ std::vector<Pattern> BuildPatterns() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "fig02_patterns");
   PrintHeader("Fig 2: common operator combinations to fuse",
               "every pattern must be discovered by the fusion planner");
 
   sim::DeviceSimulator device;
   core::QueryExecutor executor(device);
   TablePrinter table({"Pattern", "Ops", "Clusters", "Fused", "Kernel-time gain"});
+  double pattern_index = 0;
+  std::size_t fused_total = 0;
   for (Pattern& pattern : BuildPatterns()) {
     const core::FusionPlan plan = PlanFusion(pattern.graph);
     std::size_t op_count = 0;
@@ -134,9 +137,15 @@ int main() {
                   TablePrinter::Num(
                       unfused_report.compute_time / fused_report.compute_time, 2) +
                       "x"});
+    Record("kernel_time_gain", "x", pattern_index,
+           unfused_report.compute_time / fused_report.compute_time);
+    fused_total += plan.fused_cluster_count();
+    ++pattern_index;
   }
   table.Print();
   PrintSummaryLine("all eight TPC-H patterns fuse as the paper describes "
                    "(pattern f's build-side select stays a separate kernel)");
-  return 0;
+  Summary("fused_clusters_total", static_cast<double>(fused_total),
+          obs::Direction::kTwoSided);
+  return Finish();
 }

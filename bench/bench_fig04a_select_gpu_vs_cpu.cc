@@ -3,9 +3,10 @@
 #include "bench/bench_util.h"
 #include "cpu/cpu_select.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "fig04a_select_gpu_vs_cpu");
   PrintHeader("Fig 4(a): SELECT throughput, GPU vs CPU",
               "GPU ~2.9x/8.8x/8.4x faster at 10/50/90% selectivity; lower "
               "selectivity -> higher throughput on both");
@@ -28,11 +29,15 @@ int main() {
       // PCIe excluded, as in the paper's figure: kernel time only.
       gpu[s] = ThroughputGBs(chain.input_bytes(), report.compute_time);
       row.push_back(TablePrinter::Num(gpu[s], 2));
+      Record("gpu_" + TablePrinter::Num(s * 100, 0) + "pct", "GB/s",
+             static_cast<double>(n), gpu[s]);
     }
     for (double s : selectivities) {
       const double cpu_gbs = cpu_model.ThroughputGBs(n, s);
       row.push_back(TablePrinter::Num(cpu_gbs, 2));
       speedup_sum[s] += gpu[s] / cpu_gbs;
+      Record("cpu_" + TablePrinter::Num(s * 100, 0) + "pct", "GB/s",
+             static_cast<double>(n), cpu_gbs);
     }
     table.AddRow(std::move(row));
     ++rows;
@@ -45,6 +50,8 @@ int main() {
                      TablePrinter::Num(speedup_sum[s] / rows, 2) +
                      "x (paper: " +
                      (s == 0.10 ? "2.88x" : s == 0.50 ? "8.80x" : "8.35x") + ")");
+    Summary("gpu_cpu_speedup_" + TablePrinter::Num(s * 100, 0) + "pct",
+            speedup_sum[s] / rows);
   }
-  return 0;
+  return Finish();
 }

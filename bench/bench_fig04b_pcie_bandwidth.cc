@@ -2,11 +2,12 @@
 #include "bench/bench_util.h"
 #include "sim/pcie_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using sim::CopyDirection;
   using sim::HostMemoryKind;
+  Init(argc, argv, "fig04b_pcie_bandwidth");
   PrintHeader("Fig 4(b): PCIe 2.0 bandwidth measurement",
               "bandwidthTest-style curves; pinned > pageable, ramp-up with "
               "size, pinned advantage shrinking at large sizes");
@@ -19,14 +20,18 @@ int main() {
         std::uint64_t{100'000'000}, std::uint64_t{200'000'000},
         std::uint64_t{400'000'000}}) {
     const std::uint64_t bytes = elements * 4;
-    auto bw = [&](HostMemoryKind kind, CopyDirection dir) {
-      return TablePrinter::Num(model.EffectiveBandwidth(bytes, kind, dir) / kGB, 2);
+    auto bw = [&](HostMemoryKind kind, CopyDirection dir, const char* series) {
+      const double gbs = model.EffectiveBandwidth(bytes, kind, dir) / kGB;
+      Record(series, "GB/s", static_cast<double>(elements), gbs);
+      return TablePrinter::Num(gbs, 2);
     };
-    table.AddRow({Millions(elements), FormatBytes(bytes),
-                  bw(HostMemoryKind::kPinned, CopyDirection::kHostToDevice),
-                  bw(HostMemoryKind::kPageable, CopyDirection::kHostToDevice),
-                  bw(HostMemoryKind::kPinned, CopyDirection::kDeviceToHost),
-                  bw(HostMemoryKind::kPageable, CopyDirection::kDeviceToHost)});
+    table.AddRow(
+        {Millions(elements), FormatBytes(bytes),
+         bw(HostMemoryKind::kPinned, CopyDirection::kHostToDevice, "write_pinned"),
+         bw(HostMemoryKind::kPageable, CopyDirection::kHostToDevice, "write_pageable"),
+         bw(HostMemoryKind::kPinned, CopyDirection::kDeviceToHost, "read_pinned"),
+         bw(HostMemoryKind::kPageable, CopyDirection::kDeviceToHost,
+            "read_pageable")});
   }
   table.Print();
 
@@ -44,5 +49,7 @@ int main() {
   PrintSummaryLine("pinned advantage " + TablePrinter::Num(small_adv, 2) +
                    "x at 64 MiB vs " + TablePrinter::Num(big_adv, 2) +
                    "x at 1.6 GB (paper: advantage reduces at large sizes)");
-  return 0;
+  Summary("pinned_advantage_64mib", small_adv);
+  Summary("pinned_advantage_1600mb", big_adv);
+  return Finish();
 }

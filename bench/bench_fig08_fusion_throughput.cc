@@ -2,11 +2,12 @@
 // with-round-trip / without-round-trip / fused; (b) compute-only comparison.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::IntermediatePolicy;
   using core::Strategy;
+  Init(argc, argv, "fig08_fusion_throughput");
   PrintHeader("Fig 8: kernel fusion on back-to-back SELECTs",
               "paper: fused +49.9% over with-round-trip, +6.2% over "
               "without-round-trip; compute-only +79.9%");
@@ -32,6 +33,9 @@ int main() {
     const double t_wrt = ChainThroughput(with_rt, chain);
     const double t_wort = ChainThroughput(without_rt, chain);
     const double t_fused = ChainThroughput(fused, chain);
+    Record("with_round_trip", "GB/s", static_cast<double>(n), t_wrt);
+    Record("without_round_trip", "GB/s", static_cast<double>(n), t_wort);
+    Record("fused", "GB/s", static_cast<double>(n), t_fused);
     table.AddRow({Millions(n), TablePrinter::Num(t_wrt, 3),
                   TablePrinter::Num(t_wort, 3), TablePrinter::Num(t_fused, 3),
                   TablePrinter::Num(t_fused / t_wrt, 2) + "x",
@@ -52,5 +56,8 @@ int main() {
   PrintSummaryLine("Fig 8(b) compute-only: fused " +
                    TablePrinter::Num((compute_gain / rows - 1) * 100, 1) +
                    "% better (paper: +79.9%)");
-  return 0;
+  Summary("fused_vs_with_round_trip_pct", (gain_wrt / rows - 1) * 100);
+  Summary("fused_vs_without_round_trip_pct", (gain_wort / rows - 1) * 100);
+  Summary("compute_only_gain_pct", (compute_gain / rows - 1) * 100);
+  return Finish();
 }

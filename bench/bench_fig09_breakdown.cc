@@ -3,11 +3,12 @@
 // the with-round-trip total of each size.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::IntermediatePolicy;
   using core::Strategy;
+  Init(argc, argv, "fig09_breakdown");
   PrintHeader("Fig 9: execution-time breakdown, two 50% SELECTs",
               "paper: PCIe dominates; the round trip is ~54% of the "
               "with-round-trip total and fusion eliminates it");
@@ -37,6 +38,10 @@ int main() {
                     TablePrinter::Num(r.round_trip_time / base, 3),
                     TablePrinter::Num(r.compute_time / base, 3),
                     TablePrinter::Num(r.makespan / base, 3)});
+      Record(std::string(name) == "w/ round trip"    ? "with_round_trip_norm"
+             : std::string(name) == "w/o round trip" ? "without_round_trip_norm"
+                                                     : "fused_norm",
+             "x", static_cast<double>(n), r.makespan / base);
     };
     add("w/ round trip", with_rt);
     add("w/o round trip", without_rt);
@@ -50,5 +55,7 @@ int main() {
                    "% (paper: 54.0%)");
   PrintSummaryLine("input/output share identical across methods; fusion removes "
                    "the round trip entirely (paper: same)");
-  return 0;
+  Summary("round_trip_share_pct", 100 * rt_share_sum / sizes,
+          obs::Direction::kTwoSided);
+  return Finish();
 }

@@ -4,9 +4,10 @@
 #include "bench/bench_util.h"
 #include "core/operator_cost.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "fig10_stage_breakdown");
   PrintHeader("Fig 10: per-kernel breakdown of the compute part",
               "paper: fused filter 1.57x faster than the two filters, fused "
               "gather 3.03x faster than the two gathers");
@@ -51,6 +52,8 @@ int main() {
                   norm(fg)});
     filter_gain += (f1 + f2) / ff;
     gather_gain += (g1 + g2) / fg;
+    Record("fused_filter_speedup", "x", static_cast<double>(n), (f1 + f2) / ff);
+    Record("fused_gather_speedup", "x", static_cast<double>(n), (g1 + g2) / fg);
     ++rows;
   }
   table.Print();
@@ -59,5 +62,7 @@ int main() {
                    TablePrinter::Num(filter_gain / rows, 2) + "x (paper: 1.57x)");
   PrintSummaryLine("fused gather speedup over separate gathers: " +
                    TablePrinter::Num(gather_gain / rows, 2) + "x (paper: 3.03x)");
-  return 0;
+  Summary("fused_filter_speedup", filter_gain / rows);
+  Summary("fused_gather_speedup", gather_gain / rows);
+  return Finish();
 }

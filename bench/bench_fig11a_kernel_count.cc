@@ -3,10 +3,11 @@
 // (GPU computation only, as in the paper's figure).
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "fig11a_kernel_count");
   PrintHeader("Fig 11(a): sensitivity to the number of kernels fused",
               "paper: fusing 3 SELECTs -> 2.35x, fusing 2 -> 1.80x");
 
@@ -32,6 +33,10 @@ int main() {
                   TablePrinter::Num(f2, 2), TablePrinter::Num(u2, 2)});
     gain3 += f3 / u3;
     gain2 += f2 / u2;
+    Record("fusion3", "GB/s", static_cast<double>(n), f3);
+    Record("no_fusion3", "GB/s", static_cast<double>(n), u3);
+    Record("fusion2", "GB/s", static_cast<double>(n), f2);
+    Record("no_fusion2", "GB/s", static_cast<double>(n), u2);
     ++rows;
   }
   table.Print();
@@ -41,5 +46,7 @@ int main() {
   PrintSummaryLine("fusing 2 SELECTs: " + TablePrinter::Num(gain2 / rows, 2) +
                    "x over unfused (paper: 1.80x)");
   PrintSummaryLine("more kernels fused -> larger benefit (paper: same trend)");
-  return 0;
+  Summary("fusion3_gain", gain3 / rows);
+  Summary("fusion2_gain", gain2 / rows);
+  return Finish();
 }

@@ -2,10 +2,11 @@
 // back-to-back SELECTs at 10% and 90% per-step selectivity.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "fig11b_selectivity");
   PrintHeader("Fig 11(b): sensitivity to the data selection rate",
               "paper: the benefit of fusion grows with the fraction selected "
               "(more data movement to optimize away)");
@@ -31,6 +32,10 @@ int main() {
                   TablePrinter::Num(f90, 2), TablePrinter::Num(u90, 2)});
     gain10 += f10 / u10;
     gain90 += f90 / u90;
+    Record("fusion_10pct", "GB/s", static_cast<double>(n), f10);
+    Record("no_fusion_10pct", "GB/s", static_cast<double>(n), u10);
+    Record("fusion_90pct", "GB/s", static_cast<double>(n), f90);
+    Record("no_fusion_90pct", "GB/s", static_cast<double>(n), u90);
     ++rows;
   }
   table.Print();
@@ -40,5 +45,7 @@ int main() {
   PrintSummaryLine("fusion gain at 90% selectivity: " +
                    TablePrinter::Num(gain90 / rows, 2) + "x");
   PrintSummaryLine("higher selection rate -> larger fusion benefit (paper: same)");
-  return 0;
+  Summary("fusion_gain_10pct", gain10 / rows);
+  Summary("fusion_gain_90pct", gain90 / rows);
+  return Finish();
 }

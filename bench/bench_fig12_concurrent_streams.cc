@@ -59,9 +59,10 @@ std::vector<sim::KernelProfile> SelectProfiles(const core::OperatorCostModel& mo
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "fig12_concurrent_streams");
   PrintHeader("Fig 12: concurrently executing two SELECTs",
               "paper: 'stream' wins only below ~8M elements; above that a "
               "single fully-provisioned kernel ('old') is best and the "
@@ -100,6 +101,9 @@ int main() {
       const double t_stream = bytes / RunKernels(device, stream_run) / kGB;
       table.AddRow({Millions(n), TablePrinter::Num(t_stream, 2),
                     TablePrinter::Num(t_new, 2), TablePrinter::Num(t_old, 2)});
+      Record("stream", "GB/s", static_cast<double>(n), t_stream);
+      Record("no_stream_new", "GB/s", static_cast<double>(n), t_new);
+      Record("no_stream_old", "GB/s", static_cast<double>(n), t_old);
       if (crossover == 0 && t_stream < t_old) crossover = n;
     }
     table.Print();
@@ -113,5 +117,7 @@ int main() {
   } else {
     PrintSummaryLine("old overtakes stream beyond the sweep (paper: ~8M)");
   }
-  return 0;
+  Summary("crossover_elements", static_cast<double>(crossover),
+          obs::Direction::kTwoSided, "elements");
+  return Finish();
 }

@@ -2,10 +2,11 @@
 // memory: the pipelined 3-stream schedule vs serial segmented execution.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "fig14_fission");
   PrintHeader("Fig 14: kernel fission, one 50% SELECT, data >> GPU memory",
               "paper: fission throughput +36.9% over the serial baseline");
 
@@ -21,6 +22,8 @@ int main() {
     const auto fission = RunChain(executor, chain, Strategy::kFission);
     const double t_serial = ChainThroughput(serial, chain);
     const double t_fission = ChainThroughput(fission, chain);
+    Record("fission", "GB/s", static_cast<double>(n), t_fission);
+    Record("no_fission", "GB/s", static_cast<double>(n), t_serial);
     table.AddRow({Millions(n), FormatBytes(chain.input_bytes()),
                   TablePrinter::Num(t_fission, 3), TablePrinter::Num(t_serial, 3),
                   TablePrinter::Num((t_fission / t_serial - 1) * 100, 1) + "%"});
@@ -34,5 +37,6 @@ int main() {
                    "% (paper: +36.9%)");
   PrintSummaryLine("execution time approaches max(H2D, compute, D2H) = the "
                    "input transfer, as the paper predicts for SELECT");
-  return 0;
+  Summary("fission_gain_pct", (gain_sum / rows - 1) * 100);
+  return Finish();
 }

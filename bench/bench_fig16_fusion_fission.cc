@@ -2,10 +2,11 @@
 // fission vs fusion+fission.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "fig16_fusion_fission");
   PrintHeader("Fig 16: combining kernel fusion and kernel fission",
               "paper: fusion+fission +41.4% over serial, +31.3% over fusion "
               "only, +10.1% over fission only");
@@ -30,6 +31,11 @@ int main() {
     vs_serial += gbs[Strategy::kFusedFission] / gbs[Strategy::kSerial];
     vs_fusion += gbs[Strategy::kFusedFission] / gbs[Strategy::kFused];
     vs_fission += gbs[Strategy::kFusedFission] / gbs[Strategy::kFission];
+    Record("fusion_fission", "GB/s", static_cast<double>(n),
+           gbs[Strategy::kFusedFission]);
+    Record("fission", "GB/s", static_cast<double>(n), gbs[Strategy::kFission]);
+    Record("fusion", "GB/s", static_cast<double>(n), gbs[Strategy::kFused]);
+    Record("serial", "GB/s", static_cast<double>(n), gbs[Strategy::kSerial]);
     ++rows;
   }
   table.Print();
@@ -43,5 +49,8 @@ int main() {
   PrintSummaryLine("fusion+fission vs fission only: +" +
                    TablePrinter::Num((vs_fission / rows - 1) * 100, 1) +
                    "% (paper: +10.1%)");
-  return 0;
+  Summary("vs_serial_pct", (vs_serial / rows - 1) * 100);
+  Summary("vs_fusion_pct", (vs_fusion / rows - 1) * 100);
+  Summary("vs_fission_pct", (vs_fission / rows - 1) * 100);
+  return Finish();
 }

@@ -3,10 +3,11 @@
 #include "bench/bench_util.h"
 #include "tpch/q1.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "fig18a_tpch_q1");
   PrintHeader("Fig 18(a): TPC-H Q1",
               "paper: fusion 1.25x, fission another ~1%, 26.5% total; fused "
               "SELECT+6-JOIN block alone 3.18x; SORT ~71% of baseline time");
@@ -14,8 +15,8 @@ int main() {
   // Functional pilot at a tractable size; production scale modeled by
   // scaling the realized per-node cardinalities to ~6M lineitems (TPC-H SF1).
   tpch::TpchConfig config;
-  config.order_count = 20000;
-  config.supplier_count = 500;
+  config.order_count = std::max(500, static_cast<int>(20000 * Scale()));
+  config.supplier_count = std::max(100, static_cast<int>(500 * Scale()));
   const tpch::TpchData data = MakeTpchData(config);
   tpch::QueryPlan plan = BuildQ1Plan(data);
   const double factor = 6'000'000.0 / static_cast<double>(data.lineitem.row_count());
@@ -51,6 +52,16 @@ int main() {
   PrintSummaryLine("fusion+fission total improvement: " +
                    TablePrinter::Num((1 - both.makespan / serial.makespan) * 100, 1) +
                    "% (paper: 26.5%)");
+  Record("normalized_time", "x", 0, 1.0);
+  Record("normalized_time", "x", 1, fused.makespan / serial.makespan);
+  Record("normalized_time", "x", 2, both.makespan / serial.makespan);
+  Summary("fusion_speedup", serial.makespan / fused.makespan);
+  Summary("fusion_fission_improvement_pct",
+          (1 - both.makespan / serial.makespan) * 100);
+  Summary("serial_kernel_launches", static_cast<double>(serial.kernel_launches),
+          obs::Direction::kTwoSided);
+  Summary("fused_kernel_launches", static_cast<double>(fused.kernel_launches),
+          obs::Direction::kLowerIsBetter);
 
   // The fusable block alone: SELECT + 6 JOINs (cluster 0), serial vs fused
   // kernel times.
@@ -86,6 +97,7 @@ int main() {
   PrintSummaryLine("fused SELECT+6-JOIN block alone: " +
                    TablePrinter::Num(unfused_block / fused_block, 2) +
                    "x (paper: 3.18x)");
+  Summary("fused_block_speedup", unfused_block / fused_block);
 
   // How much of the baseline is the unfusable SORT?
   double sort_time = 0;
@@ -112,5 +124,5 @@ int main() {
                    FormatTime(timing.compute), std::to_string(timing.launches)});
   }
   blocks.Print();
-  return 0;
+  return Finish();
 }

@@ -3,17 +3,18 @@
 #include "bench/bench_util.h"
 #include "tpch/q21.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
   using core::Strategy;
+  Init(argc, argv, "fig18b_tpch_q21");
   PrintHeader("Fig 18(b): TPC-H Q21",
               "paper: 13.2% total improvement — smaller than Q1 because the "
               "SORTs bound what fusion can reach; fusable block alone 1.22x");
 
   tpch::TpchConfig config;
-  config.order_count = 20000;
-  config.supplier_count = 500;
+  config.order_count = std::max(500, static_cast<int>(20000 * Scale()));
+  config.supplier_count = std::max(100, static_cast<int>(500 * Scale()));
   const tpch::TpchData data = MakeTpchData(config);
   tpch::QueryPlan plan = BuildQ21Plan(data);
   const double factor = 6'000'000.0 / static_cast<double>(data.lineitem.row_count());
@@ -32,15 +33,16 @@ int main() {
   const auto both = run(Strategy::kFusedFission);
 
   TablePrinter table({"Variant", "Normalized time", "Compute", "PCIe", "Launches"});
-  auto add = [&](const char* name, const core::ExecutionReport& r) {
+  auto add = [&](const char* name, double x, const core::ExecutionReport& r) {
     table.AddRow({name, TablePrinter::Num(r.makespan / serial.makespan, 3),
                   FormatTime(r.compute_time),
                   FormatTime(r.input_output_time + r.round_trip_time),
                   std::to_string(r.kernel_launches)});
+    Record("normalized_time", "x", x, r.makespan / serial.makespan);
   };
-  add("Not optimized", serial);
-  add("Fusion", fused);
-  add("Fusion + Fission", both);
+  add("Not optimized", 0, serial);
+  add("Fusion", 1, fused);
+  add("Fusion + Fission", 2, both);
   table.Print();
 
   PrintSummaryLine("fusion+fission total improvement: " +
@@ -84,5 +86,10 @@ int main() {
   PrintSummaryLine("fusion plan: " + std::to_string(fusion_plan.clusters.size()) +
                    " clusters, " + std::to_string(fusion_plan.fused_cluster_count()) +
                    " fused — the SORT/AGGREGATE boundaries cap the benefit");
-  return 0;
+  Summary("total_improvement_pct", (1 - both.makespan / serial.makespan) * 100);
+  Summary("fused_block_speedup", unfused_blocks / fused_blocks);
+  Summary("fused_cluster_count",
+          static_cast<double>(fusion_plan.fused_cluster_count()),
+          obs::Direction::kTwoSided);
+  return Finish();
 }

@@ -5,6 +5,9 @@
 // figures come from the simulated device, not from these timings.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/random.h"
 #include "core/fused_pipeline.h"
 #include "core/select_chain.h"
@@ -160,4 +163,34 @@ BENCHMARK(BM_DecompressBitPack);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Accept the shared `--json <path>` flag by translating it into
+// google-benchmark's own JSON reporter flags. The output follows
+// google-benchmark's schema (wall-clock timings are machine-dependent and
+// never regression-gated), so no kf-bench-v1 envelope is produced here.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> translated;
+  translated.reserve(args.size() + 1);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      translated.push_back("--benchmark_out=" + args[i + 1]);
+      translated.push_back("--benchmark_out_format=json");
+      ++i;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      ++i;  // accepted for interface parity; wall-clock sizes are fixed
+    } else {
+      translated.push_back(args[i]);
+    }
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(translated.size());
+  for (std::string& arg : translated) bench_argv.push_back(arg.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

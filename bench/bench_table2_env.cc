@@ -3,9 +3,10 @@
 #include "bench/bench_util.h"
 #include "sim/device_simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kf;
   using namespace kf::bench;
+  Init(argc, argv, "table2_env");
   sim::DeviceSimulator device;
   const sim::DeviceSpec& spec = device.spec();
   PrintHeader("Table II: Experiment Environment", "paper Table II");
@@ -32,5 +33,11 @@ int main() {
   table.AddRow({"OS / toolchain", "Ubuntu 10.04, GCC 4.4.3, NVCC 4.0",
                 "simulated device, C++20 host build"});
   table.Print();
-  return 0;
+  Summary("sm_count", static_cast<double>(spec.sm_count),
+          obs::Direction::kTwoSided);
+  Summary("copy_engines", static_cast<double>(spec.copy_engine_count),
+          obs::Direction::kTwoSided);
+  Summary("mem_bandwidth_gbs", spec.mem_bandwidth_gbs,
+          obs::Direction::kTwoSided, "GB/s");
+  return Finish();
 }

@@ -4,32 +4,201 @@
 // figure reports, computed from the simulated device (see DESIGN.md §6 for
 // the timing methodology). Headline comparisons against the paper's numbers
 // are summarized at the end of each binary and collected in EXPERIMENTS.md.
+//
+// Besides the human-readable tables, every harness supports machine-readable
+// output for CI (see docs/observability.md):
+//   --json <path>   write the run as a kf-bench-v1 JSON document (series,
+//                   summary metrics, and a dump of the metrics registry)
+//   --scale <f>     scale the element-count sweeps by `f` (CI smoke runs use
+//                   small scales; summaries stay deterministic)
+// Harnesses call Init(argc, argv, name) first, Record()/Summary() as they
+// compute, and `return Finish();` last.
 #ifndef KF_BENCH_BENCH_UTIL_H_
 #define KF_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "core/query_executor.h"
 #include "core/select_chain.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/regression.h"
 
 namespace kf::bench {
 
+// State of the running harness: CLI options plus the series and summary
+// metrics recorded so far. One per process.
+struct Session {
+  std::string benchmark;    // e.g. "fig14_fission"
+  std::string json_path;    // empty: no JSON output
+  double scale = 1.0;       // sweep scale factor (--scale)
+
+  struct Series {
+    std::string name;
+    std::string unit;
+    std::vector<std::pair<double, double>> points;  // (x, y)
+  };
+  struct SummaryMetric {
+    std::string name;
+    double value = 0.0;
+    obs::Direction direction = obs::Direction::kHigherIsBetter;
+    std::string unit;
+  };
+  std::vector<Series> series;
+  std::vector<SummaryMetric> summaries;
+};
+
+inline Session& CurrentSession() {
+  static Session session;
+  return session;
+}
+
+// Parses harness CLI flags. Unknown flags are an error so CI typos fail
+// loudly. Exits (success) on --help.
+inline void Init(int argc, char** argv, const std::string& benchmark) {
+  Session& session = CurrentSession();
+  session.benchmark = benchmark;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      KF_REQUIRE(i + 1 < argc) << flag << " requires a value";
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      session.json_path = value("--json");
+    } else if (arg == "--scale") {
+      session.scale = std::stod(value("--scale"));
+      KF_REQUIRE(session.scale > 0) << "--scale must be positive";
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_" << benchmark
+                << " [--json <path>] [--scale <factor>]\n"
+                   "  --json <path>    write a kf-bench-v1 JSON document\n"
+                   "  --scale <f>      scale element-count sweeps by f\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument '" << arg << "' (try --help)\n";
+      std::exit(2);
+    }
+  }
+}
+
+// Sweep scale factor set with --scale (1.0 by default).
+inline double Scale() { return CurrentSession().scale; }
+
+// Applies the session scale to an element count (never below 4096 so staged
+// kernels keep a sane chunking).
+inline std::uint64_t Scaled(std::uint64_t elements) {
+  const double scaled = static_cast<double>(elements) * Scale();
+  return std::max<std::uint64_t>(4096, static_cast<std::uint64_t>(scaled));
+}
+
+// Records one point of a named series (gated by bench_compare, two-sided).
+inline void Record(const std::string& series_name, const std::string& unit, double x,
+                   double y) {
+  Session& session = CurrentSession();
+  for (auto& series : session.series) {
+    if (series.name == series_name) {
+      series.points.emplace_back(x, y);
+      return;
+    }
+  }
+  session.series.push_back(Session::Series{series_name, unit, {{x, y}}});
+}
+
+// Records a named headline number (gated by bench_compare in `direction`).
+inline void Summary(const std::string& name, double value,
+                    obs::Direction direction = obs::Direction::kHigherIsBetter,
+                    const std::string& unit = "") {
+  CurrentSession().summaries.push_back(
+      Session::SummaryMetric{name, value, direction, unit});
+}
+
+// Serializes the session as a kf-bench-v1 document:
+//   {"schema": "kf-bench-v1", "benchmark": ..., "scale": ...,
+//    "series": [{"name", "unit", "points": [[x, y], ...]}, ...],
+//    "summaries": [{"name", "value", "direction", "unit"}, ...],
+//    "metrics": <registry dump>}
+inline obs::Json SessionToJson(const Session& session,
+                               const obs::MetricsRegistry& registry) {
+  obs::Json doc = obs::Json::MakeObject();
+  doc["schema"] = obs::Json("kf-bench-v1");
+  doc["benchmark"] = obs::Json(session.benchmark);
+  doc["scale"] = obs::Json(session.scale);
+  obs::Json series_list = obs::Json::MakeArray();
+  for (const auto& series : session.series) {
+    obs::Json entry = obs::Json::MakeObject();
+    entry["name"] = obs::Json(series.name);
+    entry["unit"] = obs::Json(series.unit);
+    obs::Json points = obs::Json::MakeArray();
+    for (const auto& [x, y] : series.points) {
+      points.push_back(obs::Json(obs::Json::Array{obs::Json(x), obs::Json(y)}));
+    }
+    entry["points"] = std::move(points);
+    series_list.push_back(std::move(entry));
+  }
+  doc["series"] = std::move(series_list);
+  obs::Json summaries = obs::Json::MakeArray();
+  for (const auto& summary : session.summaries) {
+    obs::Json entry = obs::Json::MakeObject();
+    entry["name"] = obs::Json(summary.name);
+    entry["value"] = obs::Json(summary.value);
+    entry["direction"] = obs::Json(obs::ToString(summary.direction));
+    entry["unit"] = obs::Json(summary.unit);
+    summaries.push_back(std::move(entry));
+  }
+  doc["summaries"] = std::move(summaries);
+  doc["metrics"] = registry.ToJson();
+  return doc;
+}
+
+// Writes the JSON document if --json was given. Returns the process exit
+// code (nonzero when the file cannot be written).
+inline int Finish() {
+  Session& session = CurrentSession();
+  if (session.json_path.empty()) return 0;
+  const obs::Json doc = SessionToJson(session, obs::MetricsRegistry::Default());
+  std::ofstream out(session.json_path);
+  if (!out) {
+    std::cerr << "cannot write JSON output to '" << session.json_path << "'\n";
+    return 1;
+  }
+  out << doc.Dump(2);
+  out.close();
+  std::cout << "\n[json written to " << session.json_path << "]\n";
+  return out.fail() ? 1 : 0;
+}
+
 // The element-count sweep the paper uses for the in-memory experiments
 // (Figs 4, 8, 11, 12): tens to hundreds of millions of 32-bit integers.
+// Scaled by --scale.
 inline std::vector<std::uint64_t> PaperSweep() {
-  return {4'194'304, 33'554'432, 104'857'600, 205'520'896, 415'236'096};
+  std::vector<std::uint64_t> sweep;
+  for (std::uint64_t n :
+       {4'194'304ull, 33'554'432ull, 104'857'600ull, 205'520'896ull, 415'236'096ull}) {
+    sweep.push_back(Scaled(n));
+  }
+  return sweep;
 }
 
 // The large-data sweep for the fission experiments (Figs 14, 16): 0.5-4
-// billion elements, beyond the 6 GB device memory.
+// billion elements, beyond the 6 GB device memory. Scaled by --scale.
 inline std::vector<std::uint64_t> LargeSweep() {
-  return {500'000'000, 1'000'000'000, 2'000'000'000, 3'000'000'000, 4'000'000'000};
+  std::vector<std::uint64_t> sweep;
+  for (std::uint64_t n : {500'000'000ull, 1'000'000'000ull, 2'000'000'000ull,
+                          3'000'000'000ull, 4'000'000'000ull}) {
+    sweep.push_back(Scaled(n));
+  }
+  return sweep;
 }
 
 inline std::string Millions(std::uint64_t elements) {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run clang-format over every tracked C++ file.
+#
+#   scripts/format.sh          rewrite files in place
+#   scripts/format.sh --check  dry run, nonzero exit on any diff (CI mode)
+#
+# Uses the repo's .clang-format. Override the binary with CLANG_FORMAT=...
+set -euo pipefail
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format.sh: '$CLANG_FORMAT' not found; install clang-format or set CLANG_FORMAT=<binary>" >&2
+  exit 127
+fi
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+MODE_ARGS=(-i)
+if [[ "${1:-}" == "--check" ]]; then
+  MODE_ARGS=(--dry-run -Werror)
+fi
+
+git ls-files '*.cc' '*.h' | xargs "$CLANG_FORMAT" "${MODE_ARGS[@]}"

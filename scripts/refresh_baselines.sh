@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in bench baselines used by the CI bench-smoke job.
+#
+# Usage: scripts/refresh_baselines.sh [build-dir]
+#
+# The scales here MUST match the ones used by the bench-smoke job in
+# .github/workflows/ci.yml — the simulation is deterministic, so a baseline
+# regenerated at the same scale reproduces exactly on any machine.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="$REPO_ROOT/bench/baselines"
+mkdir -p "$OUT_DIR"
+
+run() {
+  local bench="$1" scale="$2"
+  echo "== $bench (scale $scale) =="
+  "$REPO_ROOT/$BUILD_DIR/bench/$bench" \
+    --json "$OUT_DIR/BENCH_${bench#bench_}.json" --scale "$scale" >/dev/null
+}
+
+run bench_fig08_fusion_throughput 0.02
+run bench_fig14_fission 0.02
+run bench_fig18a_tpch_q1 0.05
+
+echo "baselines written to $OUT_DIR"

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/metrics_registry.h"
 
 namespace kf::core {
 
@@ -140,6 +141,16 @@ FusionPlan PlanFusion(const OpGraph& graph, const FusionOptions& options) {
       if (escapes) cluster.outputs.push_back(member);
     }
     KF_REQUIRE(!cluster.outputs.empty()) << "cluster with no outputs";
+  }
+
+  obs::MetricsRegistry& m =
+      options.metrics != nullptr ? *options.metrics : obs::MetricsRegistry::Default();
+  m.GetCounter("planner.plans").Increment();
+  m.GetCounter("planner.clusters").Increment(plan.clusters.size());
+  m.GetCounter("planner.fused_clusters").Increment(plan.fused_cluster_count());
+  for (const FusionCluster& cluster : plan.clusters) {
+    m.GetHistogram("planner.cluster_registers")
+        .Record(static_cast<double>(cluster.register_estimate));
   }
   return plan;
 }

@@ -21,6 +21,10 @@
 #include "core/dependence.h"
 #include "core/op_graph.h"
 
+namespace kf::obs {
+class MetricsRegistry;
+}
+
 namespace kf::core {
 
 struct FusionCluster {
@@ -49,6 +53,9 @@ struct FusionOptions {
   // Baseline register cost of the staged-kernel skeleton (partition
   // cursors, buffer indices).
   int base_registers = 10;
+  // Registry that PlanFusion records planner counters into; nullptr means
+  // the process-wide default registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 FusionPlan PlanFusion(const OpGraph& graph, const FusionOptions& options = {});

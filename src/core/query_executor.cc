@@ -92,12 +92,18 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   // than the device streams through the whole chain segment-wise. Only the
   // round-trip regime — intermediates evicted to host after every operator —
   // needs ungrouped clusters. ---------------------------------------------------
+  obs::MetricsRegistry& metrics =
+      options.metrics != nullptr ? *options.metrics : obs::MetricsRegistry::Default();
+
   FusionOptions fusion_options = options.fusion;
   fusion_options.enabled =
       fuse || fission || options.intermediates == IntermediatePolicy::kKeepOnDevice;
+  if (fusion_options.metrics == nullptr) fusion_options.metrics = &metrics;
   const FusionPlan plan = PlanFusion(graph, fusion_options);
 
   ExecutionReport report;
+  report.cluster_count = plan.clusters.size();
+  report.fused_cluster_count = plan.fused_cluster_count();
 
   // --- Functional pass: materialize source/cluster-output tables and record
   // realized row counts. -------------------------------------------------------
@@ -166,7 +172,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   auto node_bytes = [&](NodeId id) -> std::uint64_t { return rows.at(id) * row_bytes(id); };
 
   // --- Timeline construction over the Stream Pool. ---------------------------
-  stream::StreamPool streams(device_, std::max(1, options.stream_count));
+  stream::StreamPool streams(device_, std::max(1, options.stream_count), &metrics);
   std::vector<stream::StreamHandle> handles;
   for (int s = 0; s < options.stream_count; ++s) {
     handles.push_back(streams.GetAvailableStream());
@@ -247,6 +253,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
           << "device OOM allocating " << bytes << " bytes for '" << label
           << "' with nothing spillable (" << memory.used() << "/" << memory.capacity()
           << " in use)";
+      ++report.spill_count;
       spill_to_host(victim, Category::kRoundTrip);
     }
     return memory.Allocate(bytes, label);
@@ -591,6 +598,43 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       }
     }
   }
+
+  // --- Record the run into the metrics registry, labeled by strategy. Counters
+  // accumulate across runs; gauges hold the most recent run; histograms keep
+  // every simulated duration. -------------------------------------------------
+  const obs::Labels by_strategy{{"strategy", ToString(options.strategy)}};
+  metrics.GetCounter("executor.runs", by_strategy).Increment();
+  metrics.GetCounter("executor.kernel_launches", by_strategy)
+      .Increment(report.kernel_launches);
+  metrics.GetCounter("executor.h2d_bytes", by_strategy).Increment(report.h2d_bytes);
+  metrics.GetCounter("executor.d2h_bytes", by_strategy).Increment(report.d2h_bytes);
+  metrics.GetCounter("executor.spills", by_strategy).Increment(report.spill_count);
+  metrics.GetCounter("executor.clusters", by_strategy).Increment(report.cluster_count);
+  metrics.GetCounter("executor.fused_clusters", by_strategy)
+      .Increment(report.fused_cluster_count);
+  metrics.GetHistogram("executor.makespan_seconds", by_strategy)
+      .Record(report.makespan);
+  auto record_stage = [&](const char* stage, SimTime duration) {
+    obs::Labels labels = by_strategy;
+    labels.emplace_back("stage", stage);
+    metrics.GetHistogram("executor.stage_seconds", labels).Record(duration);
+  };
+  record_stage("input_output", report.input_output_time);
+  record_stage("round_trip", report.round_trip_time);
+  record_stage("compute", report.compute_time);
+  record_stage("host_gather", report.host_gather_time);
+  auto record_busy = [&](const char* engine, SimTime busy) {
+    obs::Labels labels = by_strategy;
+    labels.emplace_back("engine", engine);
+    metrics.GetGauge("executor.engine_busy_seconds", labels).Set(busy);
+  };
+  record_busy("h2d", report.timeline.h2d_busy);
+  record_busy("d2h", report.timeline.d2h_busy);
+  record_busy("compute", report.timeline.compute_busy);
+  record_busy("host", report.timeline.host_busy);
+  metrics.GetGauge("executor.peak_device_bytes", by_strategy)
+      .Set(static_cast<double>(report.peak_device_bytes));
+
   return report;
 }
 

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
 #include "core/fused_pipeline.h"
 #include "core/fusion_planner.h"
 #include "core/op_graph.h"
@@ -72,6 +73,12 @@ struct ExecutorOptions {
   // Fraction of device memory a single resident working set may use before
   // segmentation kicks in.
   double device_memory_budget = 0.45;
+
+  // Registry every run records into (launches, transfer bytes, engine busy
+  // time, spill events, cluster counts, per-stage timings), labeled by
+  // strategy. nullptr means the process-wide default registry; pass a
+  // private registry for isolated measurement.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ExecutionReport {
@@ -88,6 +95,15 @@ struct ExecutionReport {
   std::uint64_t d2h_bytes = 0;
   std::uint64_t peak_device_bytes = 0;
   std::size_t kernel_launches = 0;
+
+  // Capacity-pressure evictions: resident intermediates forced back to host
+  // memory because an allocation did not fit (the involuntary round trips of
+  // Fig 7(a); policy-driven round trips are not counted here).
+  std::size_t spill_count = 0;
+
+  // Fusion plan shape this run executed with.
+  std::size_t cluster_count = 0;
+  std::size_t fused_cluster_count = 0;
 
   // Per-cluster kernel-time breakdown (execution order): where the compute
   // time goes — e.g. Q1's SORT share, or the fused block's contribution.

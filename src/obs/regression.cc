@@ -1,0 +1,148 @@
+#include "obs/regression.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace kf::obs {
+
+const char* ToString(Direction direction) {
+  switch (direction) {
+    case Direction::kHigherIsBetter: return "higher";
+    case Direction::kLowerIsBetter: return "lower";
+    case Direction::kTwoSided: return "none";
+  }
+  return "?";
+}
+
+Direction ParseDirection(const std::string& text) {
+  if (text == "higher") return Direction::kHigherIsBetter;
+  if (text == "lower") return Direction::kLowerIsBetter;
+  if (text == "none") return Direction::kTwoSided;
+  KF_REQUIRE(false) << "bad direction '" << text
+                    << "' (expected higher, lower, or none)";
+  return Direction::kTwoSided;
+}
+
+double ToleranceSpec::ToleranceFor(const std::string& name) const {
+  auto it = per_metric.find(name);
+  return it == per_metric.end() ? default_tolerance : it->second;
+}
+
+double MetricDelta::RelativeChange() const {
+  if (baseline == 0.0) return run == 0.0 ? 0.0 : std::copysign(1.0, run);
+  return (run - baseline) / std::abs(baseline);
+}
+
+namespace {
+
+void CheckSchema(const Json& doc, const char* which) {
+  KF_REQUIRE(doc.is_object()) << which << " document is not a JSON object";
+  const Json* schema = doc.Find("schema");
+  KF_REQUIRE(schema != nullptr && schema->is_string() &&
+             schema->str() == "kf-bench-v1")
+      << which << " document is not a kf-bench-v1 benchmark file";
+}
+
+bool Regressed(double baseline, double run, double tolerance, Direction direction) {
+  const double slack = tolerance * std::abs(baseline);
+  switch (direction) {
+    case Direction::kHigherIsBetter: return run < baseline - slack;
+    case Direction::kLowerIsBetter: return run > baseline + slack;
+    case Direction::kTwoSided: return std::abs(run - baseline) > slack;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::map<std::string, std::pair<double, Direction>> GatedValues(const Json& doc) {
+  CheckSchema(doc, "bench");
+  std::map<std::string, std::pair<double, Direction>> values;
+  if (const Json* summaries = doc.Find("summaries")) {
+    for (const Json& summary : summaries->array()) {
+      const std::string name = "summary/" + summary.at("name").str();
+      const Direction direction = ParseDirection(summary.at("direction").str());
+      KF_REQUIRE(values.count(name) == 0) << "duplicate gated value '" << name << "'";
+      values[name] = {summary.at("value").number(), direction};
+    }
+  }
+  if (const Json* series_list = doc.Find("series")) {
+    for (const Json& series : series_list->array()) {
+      const std::string& series_name = series.at("name").str();
+      for (const Json& point : series.at("points").array()) {
+        KF_REQUIRE(point.is_array() && point.size() == 2)
+            << "series '" << series_name << "' point is not an [x, y] pair";
+        const std::string name =
+            "series/" + series_name + "[" + Json(point.at(0).number()).Dump() + "]";
+        KF_REQUIRE(values.count(name) == 0)
+            << "duplicate gated value '" << name << "'";
+        values[name] = {point.at(1).number(), Direction::kTwoSided};
+      }
+    }
+  }
+  return values;
+}
+
+CompareResult CompareBenchRuns(const Json& baseline, const Json& run,
+                               const ToleranceSpec& tolerances) {
+  CheckSchema(baseline, "baseline");
+  CheckSchema(run, "run");
+  const auto baseline_values = GatedValues(baseline);
+  const auto run_values = GatedValues(run);
+
+  CompareResult result;
+  for (const auto& [name, base] : baseline_values) {
+    MetricDelta delta;
+    delta.name = name;
+    delta.baseline = base.first;
+    delta.direction = base.second;
+    delta.tolerance = tolerances.ToleranceFor(name);
+    auto it = run_values.find(name);
+    if (it == run_values.end()) {
+      delta.missing = true;
+      delta.regressed = true;
+      ++result.missing_count;
+      ++result.regression_count;
+    } else {
+      delta.run = it->second.first;
+      delta.regressed =
+          Regressed(delta.baseline, delta.run, delta.tolerance, delta.direction);
+      if (delta.regressed) ++result.regression_count;
+    }
+    result.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, value] : run_values) {
+    (void)value;
+    if (baseline_values.count(name) == 0) result.new_metrics.push_back(name);
+  }
+  return result;
+}
+
+std::string FormatReport(const CompareResult& result, bool verbose) {
+  std::ostringstream os;
+  for (const MetricDelta& delta : result.deltas) {
+    if (!verbose && !delta.regressed) continue;
+    os << (delta.regressed ? "REGRESSION  " : "ok          ") << delta.name;
+    if (delta.missing) {
+      os << "  missing from run (baseline " << delta.baseline << ")";
+    } else {
+      os << "  baseline " << delta.baseline << "  run " << delta.run << "  ("
+         << (delta.RelativeChange() >= 0 ? "+" : "")
+         << delta.RelativeChange() * 100.0 << "%, tol "
+         << delta.tolerance * 100.0 << "%, " << ToString(delta.direction)
+         << "-is-better)";
+    }
+    os << "\n";
+  }
+  for (const std::string& name : result.new_metrics) {
+    os << "note        " << name << "  new in run (not gated)\n";
+  }
+  os << (result.ok() ? "PASS" : "FAIL") << ": " << result.deltas.size()
+     << " gated value(s), " << result.regression_count << " regression(s), "
+     << result.missing_count << " missing\n";
+  return os.str();
+}
+
+}  // namespace kf::obs

@@ -1,0 +1,82 @@
+// Regression comparison between two benchmark JSON documents.
+//
+// A benchmark run (see bench/bench_util.h) serializes gated values in two
+// places: `summaries` (named headline numbers with an explicit goodness
+// direction) and `series` (per-sweep-point curves). This module diffs a run
+// against a committed baseline with per-metric relative tolerances and
+// reports which values regressed — the core of the `tools/bench_compare`
+// CLI that CI's bench-smoke job exits nonzero on.
+//
+// Registry metrics (`metrics` in the document) are informational only and
+// are never gated: they include wall-clock histograms that vary run to run,
+// while the simulated series/summaries are deterministic.
+#ifndef KF_OBS_REGRESSION_H_
+#define KF_OBS_REGRESSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace kf::obs {
+
+// Which direction of change is a regression for a gated value.
+//   kHigherIsBetter — regression when run < baseline * (1 - tolerance)
+//   kLowerIsBetter  — regression when run > baseline * (1 + tolerance)
+//   kTwoSided       — regression when |run - baseline| > tolerance * |baseline|
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kTwoSided };
+
+const char* ToString(Direction direction);
+// Parses "higher" / "lower" / "none"; throws kf::Error otherwise.
+Direction ParseDirection(const std::string& text);
+
+struct ToleranceSpec {
+  // Relative tolerance applied to every gated value without an override.
+  double default_tolerance = 0.05;
+  // Per-metric overrides keyed by gated-value name (exact match).
+  std::map<std::string, double> per_metric;
+
+  double ToleranceFor(const std::string& name) const;
+};
+
+// One gated value's comparison outcome.
+struct MetricDelta {
+  std::string name;
+  double baseline = 0.0;
+  double run = 0.0;
+  double tolerance = 0.0;
+  Direction direction = Direction::kTwoSided;
+  bool missing = false;    // present in baseline, absent in run
+  bool regressed = false;  // outside tolerance in the bad direction (or missing)
+
+  // Signed relative change, (run - baseline) / |baseline|; 0 when the
+  // baseline is 0 and the run matches it exactly.
+  double RelativeChange() const;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;        // baseline order (summaries, then series)
+  std::vector<std::string> new_metrics;   // in run but not baseline (not gated)
+  std::size_t regression_count = 0;
+  std::size_t missing_count = 0;
+
+  bool ok() const { return regression_count == 0; }
+};
+
+// Extracts the gated values of a bench document: every summary as
+// `summary/<name>` (with its recorded direction) and every series point as
+// `series/<name>[<x>]` (two-sided). Throws kf::Error on schema violations.
+std::map<std::string, std::pair<double, Direction>> GatedValues(const Json& doc);
+
+// Compares `run` against `baseline`. Both must be bench documents produced
+// by the harness (`schema: "kf-bench-v1"`).
+CompareResult CompareBenchRuns(const Json& baseline, const Json& run,
+                               const ToleranceSpec& tolerances);
+
+// Renders a human-readable report of the comparison.
+std::string FormatReport(const CompareResult& result, bool verbose);
+
+}  // namespace kf::obs
+
+#endif  // KF_OBS_REGRESSION_H_

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics_registry.h"
 #include "sim/device_spec.h"
 #include "sim/kernel_cost_model.h"
 #include "sim/memory_model.h"
@@ -33,6 +34,13 @@ class DeviceSimulator {
   DeviceMemoryModel& memory() { return memory_; }
   const DeviceMemoryModel& memory() const { return memory_; }
 
+  // Where command-construction counters are recorded (`sim.commands_built`,
+  // `sim.copy_bytes`). Defaults to the process-wide registry.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry& metrics() const {
+    return metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::Default();
+  }
+
   // Creates a fresh timeline bound to this device.
   Timeline NewTimeline() const { return Timeline(spec_); }
 
@@ -44,6 +52,9 @@ class DeviceSimulator {
                                                          : CommandKind::kCopyD2H;
     cmd.duration = pcie_.TransferTime(bytes, kind, direction);
     cmd.label = std::move(label);
+    const char* dir = direction == CopyDirection::kHostToDevice ? "h2d" : "d2h";
+    metrics().GetCounter("sim.commands_built", {{"kind", dir}}).Increment();
+    metrics().GetCounter("sim.copy_bytes", {{"direction", dir}}).Increment(bytes);
     return cmd;
   }
 
@@ -55,6 +66,7 @@ class DeviceSimulator {
     cmd.solo_duration = cost.solo_duration;
     cmd.demand = cost.demand;
     cmd.label = profile.label;
+    metrics().GetCounter("sim.commands_built", {{"kind", "kernel"}}).Increment();
     return cmd;
   }
 
@@ -66,6 +78,7 @@ class DeviceSimulator {
     cmd.duration = static_cast<double>(bytes_touched) /
                    (spec_.host_mem_bandwidth_gbs * kGB);
     cmd.label = std::move(label);
+    metrics().GetCounter("sim.commands_built", {{"kind", "host"}}).Increment();
     return cmd;
   }
 
@@ -74,6 +87,7 @@ class DeviceSimulator {
   PcieModel pcie_;
   KernelCostModel cost_model_;
   DeviceMemoryModel memory_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace kf::sim

@@ -94,7 +94,9 @@ class Timeline {
   // slightly worse concurrently than back-to-back, as in Fig 12.
   static constexpr double kCoResidencyPenalty = 0.06;
 
-  const DeviceSpec& spec_;
+  // By value: a Timeline outlives temporaries like
+  // `Timeline(DeviceSpec::TeslaC2070())`, so a reference would dangle.
+  DeviceSpec spec_;
   std::vector<Entry> commands_;
 };
 

@@ -7,8 +7,9 @@
 
 namespace kf::stream {
 
-StreamPool::StreamPool(const sim::DeviceSimulator& device, int stream_count)
-    : device_(device) {
+StreamPool::StreamPool(const sim::DeviceSimulator& device, int stream_count,
+                       obs::MetricsRegistry* metrics)
+    : device_(device), metrics_(metrics) {
   KF_REQUIRE(stream_count > 0) << "stream pool needs at least one stream";
   streams_.resize(static_cast<std::size_t>(stream_count));
 }
@@ -71,6 +72,26 @@ void StreamPool::StartStreams() {
     timeline.AddCommand(command_stream_[i], commands_[i].spec);
   }
   stats_ = timeline.Run();
+
+  // Record the run into the registry: command mix, simulated makespan, and
+  // how busy each hardware engine was (gauges hold the most recent run).
+  obs::MetricsRegistry& m =
+      metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::Default();
+  m.GetCounter("stream_pool.runs").Increment();
+  for (const auto& command : commands_) {
+    m.GetCounter("stream_pool.commands",
+                 {{"kind", sim::ToString(command.spec.kind)}})
+        .Increment();
+  }
+  m.GetHistogram("stream_pool.makespan_seconds").Record(stats_->makespan);
+  m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "h2d"}})
+      .Set(stats_->h2d_busy);
+  m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "d2h"}})
+      .Set(stats_->d2h_busy);
+  m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "compute"}})
+      .Set(stats_->compute_busy);
+  m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "host"}})
+      .Set(stats_->host_busy);
 }
 
 const sim::TimelineStats& StreamPool::WaitAll() const {

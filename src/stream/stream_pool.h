@@ -44,8 +44,11 @@ class StreamPool {
  public:
   // `stream_count` defaults to 3: enough to saturate a device with two copy
   // engines plus compute (paper: "at least three streams are needed to fully
-  // utilize its concurrency capacity").
-  explicit StreamPool(const sim::DeviceSimulator& device, int stream_count = 3);
+  // utilize its concurrency capacity"). `metrics` is where StartStreams
+  // records pool counters and engine-busy gauges; nullptr means the
+  // process-wide default registry.
+  explicit StreamPool(const sim::DeviceSimulator& device, int stream_count = 3,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   int stream_count() const { return static_cast<int>(streams_.size()); }
 
@@ -80,6 +83,7 @@ class StreamPool {
   };
 
   const sim::DeviceSimulator& device_;
+  obs::MetricsRegistry* metrics_;
   std::vector<StreamState> streams_;
   std::vector<PoolCommand> commands_;             // issue order
   std::vector<sim::StreamId> command_stream_;     // parallel to commands_

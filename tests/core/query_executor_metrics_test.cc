@@ -1,0 +1,175 @@
+// The executor's observability contract: every strategy records its run into
+// the metrics registry, and the registry's numbers agree with the
+// ExecutionReport the caller gets back.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/query_executor.h"
+#include "core/select_chain.h"
+#include "obs/metrics_registry.h"
+#include "relational/operators.h"
+
+namespace kf::core {
+namespace {
+
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+
+std::string Key(const std::string& name, Strategy strategy) {
+  return name + "{strategy=" + ToString(strategy) + "}";
+}
+
+std::string BusyKey(Strategy strategy, const std::string& engine) {
+  return "executor.engine_busy_seconds{strategy=" + std::string(ToString(strategy)) +
+         ",engine=" + engine + "}";
+}
+
+class QueryExecutorMetricsTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(QueryExecutorMetricsTest, RegistryAgreesWithExecutionReport) {
+  const Strategy strategy = GetParam();
+  sim::DeviceSimulator device;
+  QueryExecutor executor(device);
+  SelectChain chain = MakeSelectChain(8'000'000, std::vector<double>{0.5, 0.5});
+
+  obs::MetricsRegistry registry;
+  ExecutorOptions options;
+  options.strategy = strategy;
+  options.metrics = &registry;
+  const ExecutionReport report =
+      executor.EstimateOnly(chain.graph, chain.expected_rows, options);
+
+  EXPECT_EQ(registry.CounterValue(Key("executor.runs", strategy)), 1u);
+  EXPECT_EQ(registry.CounterValue(Key("executor.kernel_launches", strategy)),
+            report.kernel_launches);
+  EXPECT_EQ(registry.CounterValue(Key("executor.h2d_bytes", strategy)),
+            report.h2d_bytes);
+  EXPECT_EQ(registry.CounterValue(Key("executor.d2h_bytes", strategy)),
+            report.d2h_bytes);
+  EXPECT_EQ(registry.CounterValue(Key("executor.spills", strategy)),
+            report.spill_count);
+  EXPECT_EQ(registry.CounterValue(Key("executor.clusters", strategy)),
+            report.cluster_count);
+  EXPECT_EQ(registry.CounterValue(Key("executor.fused_clusters", strategy)),
+            report.fused_cluster_count);
+
+  EXPECT_DOUBLE_EQ(registry.GaugeValue(BusyKey(strategy, "h2d")),
+                   report.timeline.h2d_busy);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue(BusyKey(strategy, "d2h")),
+                   report.timeline.d2h_busy);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue(BusyKey(strategy, "compute")),
+                   report.timeline.compute_busy);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue(BusyKey(strategy, "host")),
+                   report.timeline.host_busy);
+  EXPECT_DOUBLE_EQ(
+      registry.GaugeValue(Key("executor.peak_device_bytes", strategy)),
+      static_cast<double>(report.peak_device_bytes));
+
+  const obs::DurationHistogram* makespans =
+      registry.FindHistogram(Key("executor.makespan_seconds", strategy));
+  ASSERT_NE(makespans, nullptr);
+  EXPECT_EQ(makespans->count(), 1u);
+  EXPECT_DOUBLE_EQ(makespans->sum(), report.makespan);
+
+  // The plan shape is real: every strategy plans at least one cluster, and
+  // the fused strategies fuse the two-SELECT chain into one.
+  EXPECT_GT(report.cluster_count, 0u);
+  if (strategy == Strategy::kFused || strategy == Strategy::kFusedFission) {
+    EXPECT_GE(report.fused_cluster_count, 1u);
+  }
+}
+
+TEST_P(QueryExecutorMetricsTest, CountersAccumulateAcrossRuns) {
+  const Strategy strategy = GetParam();
+  sim::DeviceSimulator device;
+  QueryExecutor executor(device);
+  SelectChain chain = MakeSelectChain(4'000'000, std::vector<double>{0.5});
+
+  obs::MetricsRegistry registry;
+  ExecutorOptions options;
+  options.strategy = strategy;
+  options.metrics = &registry;
+  const ExecutionReport first =
+      executor.EstimateOnly(chain.graph, chain.expected_rows, options);
+  const ExecutionReport second =
+      executor.EstimateOnly(chain.graph, chain.expected_rows, options);
+
+  EXPECT_EQ(registry.CounterValue(Key("executor.runs", strategy)), 2u);
+  EXPECT_EQ(registry.CounterValue(Key("executor.kernel_launches", strategy)),
+            first.kernel_launches + second.kernel_launches);
+  const obs::DurationHistogram* makespans =
+      registry.FindHistogram(Key("executor.makespan_seconds", strategy));
+  ASSERT_NE(makespans, nullptr);
+  EXPECT_EQ(makespans->count(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, QueryExecutorMetricsTest,
+                         ::testing::Values(Strategy::kSerial, Strategy::kFused,
+                                           Strategy::kFission,
+                                           Strategy::kFusedFission),
+                         [](const ::testing::TestParamInfo<Strategy>& param) {
+                           switch (param.param) {
+                             case Strategy::kSerial: return "Serial";
+                             case Strategy::kFused: return "Fused";
+                             case Strategy::kFission: return "Fission";
+                             case Strategy::kFusedFission: return "FusedFission";
+                           }
+                           return "Unknown";
+                         });
+
+// The retention-heavy graph of executor_spill_test on a tiny device: the
+// forced evictions must surface both in the report and in the registry.
+TEST(QueryExecutorMetrics, SpillCountReachesRegistry) {
+  sim::DeviceSimulator tiny(sim::DeviceSpec::TinyTestDevice());
+  QueryExecutor executor(tiny);
+  const std::uint64_t rows = 5'000'000;
+
+  OpGraph graph;
+  const NodeId src = graph.AddSource("in", Schema{{"v", DataType::kInt32}}, rows);
+  std::vector<NodeId> branches;
+  for (int i = 1; i <= 3; ++i) {
+    const NodeId sorted = graph.AddOperator(
+        OperatorDesc::Sort({0}, "sort" + std::to_string(i)), src);
+    branches.push_back(graph.AddOperator(
+        OperatorDesc::Select(Expr::Ge(Expr::FieldRef(0), Expr::Lit(i - 1)),
+                             "sel" + std::to_string(i)),
+        sorted));
+  }
+  const NodeId inner = graph.AddOperator(OperatorDesc::Union("union_inner"),
+                                         branches[1], branches[2]);
+  graph.AddOperator(OperatorDesc::Union("union_outer"), branches[0], inner);
+
+  obs::MetricsRegistry registry;
+  ExecutorOptions options;
+  options.strategy = Strategy::kSerial;
+  options.metrics = &registry;
+  std::map<NodeId, std::uint64_t> counts;
+  for (NodeId id = 0; id < graph.node_count(); ++id) counts[id] = rows;
+  const ExecutionReport report = executor.EstimateOnly(graph, counts, options);
+
+  EXPECT_GT(report.spill_count, 0u);
+  EXPECT_EQ(registry.CounterValue("executor.spills{strategy=serial}"),
+            report.spill_count);
+}
+
+// Without an explicit registry the executor records into the process-wide
+// default — the bench binaries rely on this.
+TEST(QueryExecutorMetrics, DefaultRegistryIsUsedWhenUnset) {
+  sim::DeviceSimulator device;
+  QueryExecutor executor(device);
+  SelectChain chain = MakeSelectChain(4'000'000, std::vector<double>{0.5});
+
+  obs::MetricsRegistry& defaults = obs::MetricsRegistry::Default();
+  const std::uint64_t before =
+      defaults.CounterValue("executor.runs{strategy=serial}");
+  ExecutorOptions options;
+  options.strategy = Strategy::kSerial;
+  executor.EstimateOnly(chain.graph, chain.expected_rows, options);
+  EXPECT_EQ(defaults.CounterValue("executor.runs{strategy=serial}"), before + 1);
+}
+
+}  // namespace
+}  // namespace kf::core

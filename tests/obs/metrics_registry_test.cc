@@ -1,0 +1,126 @@
+// MetricsRegistry semantics: key flattening, thread-safe mutation through
+// the ThreadPool, percentile math, and the JSON round trip the bench
+// documents rely on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+
+namespace kf::obs {
+namespace {
+
+TEST(FlattenKey, RendersLabelsInCallSiteOrder) {
+  EXPECT_EQ(FlattenKey("runs", {}), "runs");
+  EXPECT_EQ(FlattenKey("x", {{"strategy", "fusion"}, {"engine", "h2d"}}),
+            "x{strategy=fusion,engine=h2d}");
+}
+
+TEST(MetricsRegistry, CounterLookupIsStableAndKeyed) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("launches", {{"strategy", "serial"}});
+  Counter& b = registry.GetCounter("launches", {{"strategy", "fusion"}});
+  a.Increment(3);
+  b.Increment();
+  EXPECT_EQ(&a, &registry.GetCounter("launches", {{"strategy", "serial"}}));
+  EXPECT_EQ(registry.CounterValue("launches{strategy=serial}"), 3u);
+  EXPECT_EQ(registry.CounterValue("launches{strategy=fusion}"), 1u);
+  EXPECT_EQ(registry.CounterValue("absent", 42u), 42u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("events");
+  Gauge& gauge = registry.GetGauge("accumulated");
+  ThreadPool pool(8);
+  constexpr std::size_t kTotal = 100'000;
+  pool.ParallelFor(kTotal, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      counter.Increment();
+      gauge.Add(1.0);
+      // Exercise the lookup-or-create path under contention too.
+      registry.GetCounter("looked-up").Increment();
+    }
+  });
+  EXPECT_EQ(counter.value(), kTotal);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kTotal));
+  EXPECT_EQ(registry.CounterValue("looked-up"), kTotal);
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramRecordsKeepEverySample) {
+  MetricsRegistry registry;
+  DurationHistogram& hist = registry.GetHistogram("latency");
+  ThreadPool pool(8);
+  constexpr std::size_t kTotal = 10'000;
+  pool.ParallelFor(kTotal, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hist.Record(static_cast<double>(i));
+    }
+  });
+  EXPECT_EQ(hist.count(), kTotal);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), static_cast<double>(kTotal - 1));
+  EXPECT_DOUBLE_EQ(hist.sum(), kTotal * (kTotal - 1) / 2.0);
+}
+
+TEST(DurationHistogram, PercentilesInterpolateLinearly) {
+  DurationHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.Percentile(50), 0.0);  // empty
+  for (double v : {10.0, 20.0, 30.0, 40.0}) hist.Record(v);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(25), 17.5);
+}
+
+TEST(MetricsRegistry, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment();
+  registry.GetGauge("g").Set(1.5);
+  registry.GetHistogram("h").Record(0.25);
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue("c", 99u), 99u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("g", -1.0), -1.0);
+  EXPECT_EQ(registry.FindHistogram("h"), nullptr);
+}
+
+TEST(MetricsRegistry, JsonRoundTripPreservesAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("launches", {{"strategy", "fusion"}}).Increment(17);
+  registry.GetGauge("busy", {{"engine", "h2d"}}).Set(0.125);
+  DurationHistogram& hist = registry.GetHistogram("makespan");
+  for (double v : {0.5, 1.5, 2.5}) hist.Record(v);
+
+  const Json dump = registry.ToJson();
+  MetricsRegistry restored = MetricsRegistry::FromJson(dump);
+
+  EXPECT_EQ(restored.CounterValue("launches{strategy=fusion}"), 17u);
+  EXPECT_DOUBLE_EQ(restored.GaugeValue("busy{engine=h2d}"), 0.125);
+  const DurationHistogram* restored_hist = restored.FindHistogram("makespan");
+  ASSERT_NE(restored_hist, nullptr);
+  EXPECT_EQ(restored_hist->count(), 3u);
+  EXPECT_DOUBLE_EQ(restored_hist->sum(), 4.5);
+  EXPECT_DOUBLE_EQ(restored_hist->Percentile(50), 1.5);
+
+  // And the dump of the restored registry is byte-identical: the documents
+  // committed as bench baselines must be stable across a round trip.
+  EXPECT_EQ(restored.ToJson().Dump(), dump.Dump());
+}
+
+TEST(MetricsRegistry, HistogramJsonReportsSummaryStatistics) {
+  MetricsRegistry registry;
+  DurationHistogram& hist = registry.GetHistogram("t");
+  for (int i = 1; i <= 100; ++i) hist.Record(static_cast<double>(i));
+  const Json dump = registry.ToJson();
+  const Json& entry = dump.at("histograms").at("t");
+  EXPECT_EQ(entry.at("count").number(), 100.0);
+  EXPECT_DOUBLE_EQ(entry.at("min").number(), 1.0);
+  EXPECT_DOUBLE_EQ(entry.at("max").number(), 100.0);
+  EXPECT_DOUBLE_EQ(entry.at("p50").number(), 50.5);
+  EXPECT_NEAR(entry.at("p99").number(), 99.01, 1e-9);
+  EXPECT_EQ(entry.at("samples").size(), 100u);
+}
+
+}  // namespace
+}  // namespace kf::obs

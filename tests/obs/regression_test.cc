@@ -1,0 +1,184 @@
+// bench_compare's threshold logic: direction semantics, tolerance overrides,
+// missing metrics, and the pass/fail exit condition.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "obs/json.h"
+#include "obs/regression.h"
+
+namespace kf::obs {
+namespace {
+
+Json BenchDoc(double summary_value, const char* direction = "higher",
+              double point_y = 2.0, bool with_series = true) {
+  Json doc = Json::MakeObject();
+  doc["schema"] = Json("kf-bench-v1");
+  doc["benchmark"] = Json("unit");
+  Json summaries = Json::MakeArray();
+  Json s = Json::MakeObject();
+  s["name"] = Json("gain");
+  s["value"] = Json(summary_value);
+  s["direction"] = Json(direction);
+  summaries.push_back(std::move(s));
+  doc["summaries"] = std::move(summaries);
+  Json series = Json::MakeArray();
+  if (with_series) {
+    Json entry = Json::MakeObject();
+    entry["name"] = Json("throughput");
+    Json points = Json::MakeArray();
+    Json point = Json::MakeArray();
+    point.push_back(Json(1000.0));
+    point.push_back(Json(point_y));
+    points.push_back(std::move(point));
+    entry["points"] = std::move(points);
+    series.push_back(std::move(entry));
+  }
+  doc["series"] = std::move(series);
+  return doc;
+}
+
+const MetricDelta* FindDelta(const CompareResult& result, const std::string& name) {
+  for (const MetricDelta& d : result.deltas) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+TEST(GatedValues, ExtractsSummariesAndSeriesPoints) {
+  const auto gated = GatedValues(BenchDoc(1.5));
+  ASSERT_EQ(gated.size(), 2u);
+  EXPECT_DOUBLE_EQ(gated.at("summary/gain").first, 1.5);
+  EXPECT_EQ(gated.at("summary/gain").second, Direction::kHigherIsBetter);
+  EXPECT_DOUBLE_EQ(gated.at("series/throughput[1000]").first, 2.0);
+  EXPECT_EQ(gated.at("series/throughput[1000]").second, Direction::kTwoSided);
+}
+
+TEST(GatedValues, RejectsWrongSchema) {
+  Json doc = BenchDoc(1.0);
+  doc["schema"] = Json("something-else");
+  EXPECT_THROW(GatedValues(doc), Error);
+}
+
+TEST(CompareBenchRuns, IdenticalRunsPass) {
+  const Json doc = BenchDoc(1.5);
+  const CompareResult result = CompareBenchRuns(doc, doc, ToleranceSpec{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.regression_count, 0u);
+  EXPECT_EQ(result.deltas.size(), 2u);
+}
+
+TEST(CompareBenchRuns, WithinToleranceDriftPasses) {
+  const CompareResult result = CompareBenchRuns(
+      BenchDoc(100.0), BenchDoc(96.0, "higher", 2.04), ToleranceSpec{});
+  EXPECT_TRUE(result.ok());  // -4% on higher-is-better, +2% two-sided: both ok
+}
+
+TEST(CompareBenchRuns, HigherIsBetterRegressesOnlyDownward) {
+  // -10% drop on a higher-is-better metric with 5% tolerance: regression.
+  const CompareResult down =
+      CompareBenchRuns(BenchDoc(100.0), BenchDoc(90.0), ToleranceSpec{});
+  EXPECT_FALSE(down.ok());
+  const MetricDelta* delta = FindDelta(down, "summary/gain");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_TRUE(delta->regressed);
+  EXPECT_NEAR(delta->RelativeChange(), -0.10, 1e-12);
+
+  // +10% improvement never regresses.
+  const CompareResult up =
+      CompareBenchRuns(BenchDoc(100.0), BenchDoc(110.0), ToleranceSpec{});
+  EXPECT_TRUE(FindDelta(up, "summary/gain") != nullptr);
+  EXPECT_FALSE(FindDelta(up, "summary/gain")->regressed);
+}
+
+TEST(CompareBenchRuns, LowerIsBetterRegressesOnlyUpward) {
+  const CompareResult up = CompareBenchRuns(BenchDoc(100.0, "lower"),
+                                            BenchDoc(110.0, "lower"),
+                                            ToleranceSpec{});
+  EXPECT_TRUE(FindDelta(up, "summary/gain")->regressed);
+  const CompareResult down = CompareBenchRuns(BenchDoc(100.0, "lower"),
+                                              BenchDoc(90.0, "lower"),
+                                              ToleranceSpec{});
+  EXPECT_FALSE(FindDelta(down, "summary/gain")->regressed);
+}
+
+TEST(CompareBenchRuns, TwoSidedRegressesBothWays) {
+  for (double run : {90.0, 110.0}) {
+    const CompareResult result = CompareBenchRuns(
+        BenchDoc(100.0, "none"), BenchDoc(run, "none"), ToleranceSpec{});
+    EXPECT_TRUE(FindDelta(result, "summary/gain")->regressed) << run;
+  }
+}
+
+TEST(CompareBenchRuns, SeriesPointsAreGatedTwoSided) {
+  // Series y moves +10% while the summary is unchanged.
+  const CompareResult result = CompareBenchRuns(
+      BenchDoc(100.0, "higher", 2.0), BenchDoc(100.0, "higher", 2.2),
+      ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(FindDelta(result, "series/throughput[1000]")->regressed);
+}
+
+TEST(CompareBenchRuns, PerMetricToleranceOverridesDefault) {
+  ToleranceSpec tolerances;
+  tolerances.default_tolerance = 0.05;
+  tolerances.per_metric["summary/gain"] = 0.25;
+  const CompareResult result = CompareBenchRuns(
+      BenchDoc(100.0), BenchDoc(80.0, "higher", 2.0), tolerances);
+  EXPECT_TRUE(result.ok());  // -20% allowed by the 25% override
+  EXPECT_DOUBLE_EQ(FindDelta(result, "summary/gain")->tolerance, 0.25);
+}
+
+TEST(CompareBenchRuns, MissingMetricIsARegression) {
+  const CompareResult result =
+      CompareBenchRuns(BenchDoc(100.0), BenchDoc(100.0, "higher", 2.0, false),
+                       ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.missing_count, 1u);
+  const MetricDelta* delta = FindDelta(result, "series/throughput[1000]");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_TRUE(delta->missing);
+  EXPECT_TRUE(delta->regressed);
+}
+
+TEST(CompareBenchRuns, NewMetricsInRunAreNotedButNotGated) {
+  const CompareResult result =
+      CompareBenchRuns(BenchDoc(100.0, "higher", 2.0, false), BenchDoc(100.0),
+                       ToleranceSpec{});
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.new_metrics.size(), 1u);
+  EXPECT_EQ(result.new_metrics[0], "series/throughput[1000]");
+}
+
+TEST(CompareBenchRuns, ZeroBaselineGatesOnExactMatch) {
+  // With baseline 0 the tolerance band collapses: equal passes, change fails.
+  const CompareResult same = CompareBenchRuns(
+      BenchDoc(0.0, "none"), BenchDoc(0.0, "none"), ToleranceSpec{});
+  EXPECT_FALSE(FindDelta(same, "summary/gain")->regressed);
+  const CompareResult moved = CompareBenchRuns(
+      BenchDoc(0.0, "none"), BenchDoc(0.5, "none"), ToleranceSpec{});
+  EXPECT_TRUE(FindDelta(moved, "summary/gain")->regressed);
+}
+
+TEST(FormatReport, ShowsRegressionsAndTally) {
+  const CompareResult result =
+      CompareBenchRuns(BenchDoc(100.0), BenchDoc(90.0), ToleranceSpec{});
+  const std::string report = FormatReport(result, /*verbose=*/false);
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(report.find("FAIL"), std::string::npos);
+  const std::string pass_report = FormatReport(
+      CompareBenchRuns(BenchDoc(100.0), BenchDoc(100.0), ToleranceSpec{}),
+      /*verbose=*/false);
+  EXPECT_NE(pass_report.find("PASS"), std::string::npos);
+}
+
+TEST(Direction, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(ParseDirection("higher"), Direction::kHigherIsBetter);
+  EXPECT_EQ(ParseDirection("lower"), Direction::kLowerIsBetter);
+  EXPECT_EQ(ParseDirection("none"), Direction::kTwoSided);
+  EXPECT_THROW(ParseDirection("sideways"), Error);
+  EXPECT_EQ(ParseDirection(ToString(Direction::kHigherIsBetter)),
+            Direction::kHigherIsBetter);
+}
+
+}  // namespace
+}  // namespace kf::obs

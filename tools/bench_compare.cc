@@ -1,0 +1,115 @@
+// bench_compare — regression gate for kf-bench-v1 JSON produced by the
+// bench binaries' --json mode.
+//
+// Usage:
+//   bench_compare <baseline.json> <run.json>
+//       [--tolerance <frac>] [--metric-tolerance <name>=<frac>]... [--verbose]
+//
+// Exit codes: 0 = within tolerance, 1 = at least one regression or missing
+// metric, 2 = usage / IO / parse error. Only summaries and series points are
+// gated; the embedded metrics-registry dump is informational (wall-clock
+// histograms are machine-dependent).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "obs/json.h"
+#include "obs/regression.h"
+
+namespace {
+
+int Usage(std::ostream& out, int code) {
+  out << "usage: bench_compare <baseline.json> <run.json>\n"
+         "           [--tolerance <frac>] [--metric-tolerance <name>=<frac>]...\n"
+         "           [--verbose]\n"
+         "\n"
+         "Compares a kf-bench-v1 run against a baseline. Summaries are gated\n"
+         "in their declared direction; series points are gated two-sided.\n"
+         "Exit 0 = pass, 1 = regression/missing metric, 2 = bad input.\n";
+  return code;
+}
+
+// Strict fraction parse: the whole token must be a non-negative number,
+// so `--tolerance banana` is an error instead of a silent 0.0.
+bool ParseFraction(const std::string& token, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || value < 0.0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+kf::obs::Json LoadDocument(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw kf::Error("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return kf::obs::Json::Parse(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, run_path;
+  kf::obs::ToleranceSpec tolerances;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--tolerance") {
+      if (++i >= argc) return Usage(std::cerr, 2);
+      if (!ParseFraction(argv[i], &tolerances.default_tolerance)) {
+        std::cerr << "bench_compare: bad --tolerance '" << argv[i]
+                  << "' (want a non-negative fraction)\n";
+        return 2;
+      }
+    } else if (arg == "--metric-tolerance") {
+      if (++i >= argc) return Usage(std::cerr, 2);
+      const std::string spec = argv[i];
+      const std::size_t eq = spec.rfind('=');
+      double fraction = 0.0;
+      if (eq == std::string::npos || eq == 0 ||
+          !ParseFraction(spec.substr(eq + 1), &fraction)) {
+        std::cerr << "bench_compare: bad --metric-tolerance '" << spec
+                  << "' (want name=frac)\n";
+        return 2;
+      }
+      tolerances.per_metric[spec.substr(0, eq)] = fraction;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bench_compare: unknown option '" << arg << "'\n";
+      return Usage(std::cerr, 2);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (run_path.empty()) {
+      run_path = arg;
+    } else {
+      return Usage(std::cerr, 2);
+    }
+  }
+  if (baseline_path.empty() || run_path.empty()) {
+    return Usage(std::cerr, 2);
+  }
+
+  try {
+    const kf::obs::Json baseline = LoadDocument(baseline_path);
+    const kf::obs::Json run = LoadDocument(run_path);
+    const kf::obs::CompareResult result =
+        kf::obs::CompareBenchRuns(baseline, run, tolerances);
+    std::cout << kf::obs::FormatReport(result, verbose);
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+}
