@@ -65,6 +65,17 @@ std::uint64_t EstimateRows(const OpGraph& graph, NodeId id,
 
 }  // namespace
 
+FusionOptions EffectiveFusionOptions(const ExecutorOptions& options) {
+  const bool fuse = options.strategy == Strategy::kFused ||
+                    options.strategy == Strategy::kFusedFission;
+  const bool fission = options.strategy == Strategy::kFission ||
+                       options.strategy == Strategy::kFusedFission;
+  FusionOptions fusion_options = options.fusion;
+  fusion_options.enabled =
+      fuse || fission || options.intermediates == IntermediatePolicy::kKeepOnDevice;
+  return fusion_options;
+}
+
 ExecutionReport QueryExecutor::Execute(const OpGraph& graph,
                                        const std::map<NodeId, Table>& sources,
                                        const ExecutorOptions& options) const {
@@ -95,11 +106,15 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   obs::MetricsRegistry& metrics =
       options.metrics != nullptr ? *options.metrics : obs::MetricsRegistry::Default();
 
-  FusionOptions fusion_options = options.fusion;
-  fusion_options.enabled =
-      fuse || fission || options.intermediates == IntermediatePolicy::kKeepOnDevice;
+  FusionOptions fusion_options = EffectiveFusionOptions(options);
   if (fusion_options.metrics == nullptr) fusion_options.metrics = &metrics;
-  const FusionPlan plan = PlanFusion(graph, fusion_options);
+  if (options.plan != nullptr) {
+    KF_REQUIRE(options.plan->cluster_of.size() == graph.node_count())
+        << "precomputed fusion plan covers " << options.plan->cluster_of.size()
+        << " nodes but the graph has " << graph.node_count();
+  }
+  const FusionPlan plan =
+      options.plan != nullptr ? *options.plan : PlanFusion(graph, fusion_options);
 
   ExecutionReport report;
   report.cluster_count = plan.clusters.size();

@@ -79,7 +79,19 @@ struct ExecutorOptions {
   // strategy. nullptr means the process-wide default registry; pass a
   // private registry for isolated measurement.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Precomputed fusion plan for this graph (e.g. from a FusionPlanCache).
+  // When set, the executor skips PlanFusion entirely; the plan must have
+  // been produced for this graph shape with EffectiveFusionOptions(*this)
+  // — the executor validates only that the node counts line up.
+  const FusionPlan* plan = nullptr;
 };
+
+// The fusion options Run() plans with: `fusion` from the options, with
+// `enabled` forced on whenever the strategy fuses or fissions (clusters are
+// also the scheduling granularity) or intermediates stay on-device. Exposed
+// so plan caches key on exactly what the executor would ask the planner.
+FusionOptions EffectiveFusionOptions(const ExecutorOptions& options);
 
 struct ExecutionReport {
   sim::TimelineStats timeline;

@@ -1,0 +1,115 @@
+// Fusion-plan caching keyed by canonicalized graph shape.
+//
+// A serving system sees the same query *templates* over and over (the same
+// TPC-H Q1 plan at different scale factors, the same dashboard query from
+// thousands of clients). Planning fusion for every arrival is wasted work:
+// the plan depends only on the graph's structure and the planner knobs, not
+// on the bound data. `FusionPlanCache` canonicalizes an operator graph into
+// an insertion-order-independent key, caches the planner's output in
+// canonical node space, and rehydrates it for any structurally-equal graph —
+// so repeated templates skip `PlanFusion` entirely.
+//
+// Canonicalization must be deterministic across runs and across insertion
+// orders: like `plan_dot`, it orders nodes by structural position — never by
+// pointer value or map iteration over addresses. Two graphs that build the
+// same DAG in different AddSource/AddOperator orders produce the same key
+// and share one cache entry (verified by regression test).
+#ifndef KF_SERVER_PLAN_CACHE_H_
+#define KF_SERVER_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/fusion_planner.h"
+#include "core/op_graph.h"
+#include "obs/metrics_registry.h"
+
+namespace kf::server {
+
+// A deterministic canonical ordering of a graph's nodes.
+//
+// Nodes are emitted in a topological order where ties among ready nodes are
+// broken by (content signature, canonical input positions) — both are pure
+// structure, so the ordering is identical for structurally-equal graphs
+// regardless of insertion order. Node labels and row hints are cosmetic and
+// excluded from signatures; predicates, keys, schemas, and source names are
+// structural and included.
+struct CanonicalGraph {
+  // Full structural serialization: one entry per canonical position, each
+  // encoding the node's content and the canonical positions of its inputs.
+  // Equal keys imply isomorphic graphs under `order`.
+  std::string key;
+  // Canonical position -> node id in the original graph.
+  std::vector<core::NodeId> order;
+  // Node id -> canonical position (inverse of `order`).
+  std::vector<std::size_t> position;
+};
+
+CanonicalGraph CanonicalizeGraph(const core::OpGraph& graph);
+
+// Renders the planner knobs that change a plan into a key fragment.
+std::string FusionOptionsKey(const core::FusionOptions& options);
+
+// A bounded, thread-safe LRU cache of fusion plans.
+//
+// Plans are stored in canonical node space and translated to/from a concrete
+// graph's node ids on insert/lookup, so one entry serves every
+// structurally-equal graph. Hits, misses, and evictions are recorded into
+// the registry (`server.plan_cache.*`).
+class FusionPlanCache {
+ public:
+  explicit FusionPlanCache(std::size_t capacity = 128,
+                           obs::MetricsRegistry* metrics = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics) {}
+
+  FusionPlanCache(const FusionPlanCache&) = delete;
+  FusionPlanCache& operator=(const FusionPlanCache&) = delete;
+
+  // Returns the fusion plan for `graph` under `options`, planning and
+  // inserting on miss. `hit` (optional) reports whether the plan came from
+  // the cache.
+  core::FusionPlan GetOrPlan(const core::OpGraph& graph,
+                             const core::FusionOptions& options,
+                             bool* hit = nullptr);
+
+  // Cache key for `graph` + `options` (exposed for tests and debugging).
+  static std::string KeyFor(const core::OpGraph& graph,
+                            const core::FusionOptions& options);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  double HitRate() const;
+
+  void Clear();
+
+ private:
+  obs::MetricsRegistry& metrics() const {
+    return metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::Default();
+  }
+
+  const std::size_t capacity_;
+  obs::MetricsRegistry* metrics_;
+
+  mutable std::mutex mutex_;
+  // LRU list, most-recent first; map values point into the list.
+  struct Entry {
+    std::string key;
+    core::FusionPlan canonical_plan;  // NodeIds are canonical positions
+  };
+  std::list<Entry> lru_;
+  std::map<std::string, std::list<Entry>::iterator> by_key_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace kf::server
+
+#endif  // KF_SERVER_PLAN_CACHE_H_

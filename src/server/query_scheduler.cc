@@ -1,0 +1,352 @@
+#include "server/query_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "core/graph_merge.h"
+
+namespace kf::server {
+
+namespace {
+
+using core::NodeId;
+using relational::Table;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Everything about ExecutorOptions that must match for two queries to share
+// one execution. The fusion knobs go through EffectiveFusionOptions so two
+// option structs that plan identically compare equal.
+std::string ExecOptionsKey(const core::ExecutorOptions& options) {
+  std::ostringstream os;
+  os << static_cast<int>(options.strategy) << '|'
+     << static_cast<int>(options.intermediates) << '|'
+     << static_cast<int>(options.host_memory) << '|' << options.fission_segments
+     << '|' << options.stream_count << '|' << options.chunk_count << '|'
+     << options.device_memory_budget << '|'
+     << FusionOptionsKey(core::EffectiveFusionOptions(options));
+  return os.str();
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(const sim::DeviceSimulator& device,
+                               SchedulerOptions options)
+    : device_(device),
+      options_(std::move(options)),
+      executor_(device_, options_.cost_model, options_.execution_pool),
+      plan_cache_(options_.plan_cache_capacity, options_.metrics),
+      started_(!options_.start_paused) {
+  if (options_.worker_count == 0) options_.worker_count = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  workers_.reserve(options_.worker_count);
+  for (std::size_t i = 0; i < options_.worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() { Shutdown(); }
+
+std::future<QueryResult> QueryScheduler::Submit(QueryRequest request) {
+  auto job = std::make_unique<Job>();
+  job->request = std::move(request);
+  std::future<QueryResult> future = job->promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_available_.wait(lock, [&] {
+      return stopping_ || queue_.size() < options_.max_queue_depth;
+    });
+    KF_REQUIRE(!stopping_) << "QueryScheduler is shut down";
+    job->sim_submit = sim_clock_;
+    job->wall_submit = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(job));
+    metrics().GetCounter("server.submitted").Increment();
+    metrics().GetGauge("server.queue_depth").Set(static_cast<double>(queue_.size()));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+std::optional<std::future<QueryResult>> QueryScheduler::TrySubmit(
+    QueryRequest request) {
+  auto job = std::make_unique<Job>();
+  job->request = std::move(request);
+  std::future<QueryResult> future = job->promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= options_.max_queue_depth) {
+      metrics().GetCounter("server.rejected").Increment();
+      return std::nullopt;
+    }
+    job->sim_submit = sim_clock_;
+    job->wall_submit = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(job));
+    metrics().GetCounter("server.submitted").Increment();
+    metrics().GetGauge("server.queue_depth").Set(static_cast<double>(queue_.size()));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void QueryScheduler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = true;
+  }
+  work_available_.notify_all();
+}
+
+void QueryScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return queue_.empty() && executing_ == 0; });
+}
+
+void QueryScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    started_ = true;  // a paused scheduler still drains its queue
+  }
+  work_available_.notify_all();
+  space_available_.notify_all();
+  admission_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+double QueryScheduler::sim_clock() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sim_clock_;
+}
+
+std::size_t QueryScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool QueryScheduler::Compatible(const QueryRequest& leader,
+                                const QueryRequest& candidate) {
+  if (leader.merge_class.empty() || leader.merge_class != candidate.merge_class) {
+    return false;
+  }
+  if (leader.options.metrics != candidate.options.metrics) return false;
+  if (ExecOptionsKey(leader.options) != ExecOptionsKey(candidate.options)) {
+    return false;
+  }
+  // Same-named sources must agree on schema (MergeGraphs would throw) and on
+  // row count (a cheap proxy for "same table"; identical contents are the
+  // merge_class contract).
+  for (NodeId lsrc : leader.graph.Sources()) {
+    const core::OpNode& lnode = leader.graph.node(lsrc);
+    for (NodeId csrc : candidate.graph.Sources()) {
+      const core::OpNode& cnode = candidate.graph.node(csrc);
+      if (lnode.name != cnode.name) continue;
+      if (lnode.schema.ToString() != cnode.schema.ToString()) return false;
+      auto lt = leader.sources.find(lsrc);
+      auto ct = candidate.sources.find(csrc);
+      if (lt != leader.sources.end() && ct != candidate.sources.end() &&
+          lt->second.row_count() != ct->second.row_count()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t QueryScheduler::EstimateBytes(const std::vector<JobPtr>& batch) {
+  // Distinct sources by name (merged batches share same-named sources) plus
+  // nothing for sinks — realized output sizes are unknown at admission time.
+  std::map<std::string, std::uint64_t> by_name;
+  for (const JobPtr& job : batch) {
+    for (const auto& [id, table] : job->request.sources) {
+      by_name[job->request.graph.node(id).name] =
+          std::max(by_name[job->request.graph.node(id).name], table.byte_size());
+    }
+  }
+  std::uint64_t total = 0;
+  for (const auto& [name, bytes] : by_name) total += bytes;
+  return total;
+}
+
+void QueryScheduler::WorkerLoop() {
+  for (;;) {
+    std::vector<JobPtr> batch;
+    std::uint64_t batch_bytes = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [&] { return (started_ && !queue_.empty()) || stopping_; });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      for (auto it = queue_.begin();
+           it != queue_.end() && batch.size() < options_.max_batch;) {
+        if (Compatible(batch.front()->request, (*it)->request)) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      metrics().GetGauge("server.queue_depth").Set(static_cast<double>(queue_.size()));
+
+      // Admission control: concurrent batches share the device's memory; a
+      // batch whose estimated footprint does not fit waits until enough
+      // in-flight work retires (an oversized batch runs when nothing else
+      // is executing, so progress is guaranteed).
+      batch_bytes = EstimateBytes(batch);
+      const auto allowance = static_cast<std::uint64_t>(
+          static_cast<double>(device_.spec().mem_capacity_bytes) *
+          options_.admission_memory_fraction);
+      admission_.wait(lock, [&] {
+        return executing_ == 0 || inflight_bytes_ + batch_bytes <= allowance;
+      });
+      inflight_bytes_ += batch_bytes;
+      ++executing_;
+      metrics().GetGauge("server.inflight_bytes")
+          .Set(static_cast<double>(inflight_bytes_));
+    }
+    space_available_.notify_all();
+
+    ExecuteBatch(std::move(batch));
+
+    bool now_idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_bytes_ -= batch_bytes;
+      --executing_;
+      metrics().GetGauge("server.inflight_bytes")
+          .Set(static_cast<double>(inflight_bytes_));
+      now_idle = queue_.empty() && executing_ == 0;
+    }
+    admission_.notify_all();
+    if (now_idle) idle_.notify_all();
+  }
+}
+
+void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch) {
+  const auto pickup = std::chrono::steady_clock::now();
+  for (const JobPtr& job : batch) {
+    const double wait =
+        std::chrono::duration<double>(pickup - job->wall_submit).count();
+    job->queue_wait = wait;
+    metrics().GetHistogram("server.queue_wait_seconds").Record(wait);
+  }
+
+  const bool merged = batch.size() > 1;
+  try {
+    // Splice the batch into one graph, remembering each query's node
+    // mapping so results can be routed back.
+    core::OpGraph merged_graph;
+    std::map<NodeId, Table> merged_sources;
+    std::vector<std::map<NodeId, NodeId>> mappings(batch.size());
+    const core::OpGraph* exec_graph = &batch.front()->request.graph;
+    const std::map<NodeId, Table>* exec_sources = &batch.front()->request.sources;
+    if (merged) {
+      merged_graph = batch.front()->request.graph;
+      for (NodeId id = 0; id < merged_graph.node_count(); ++id) {
+        mappings[0][id] = id;
+      }
+      for (std::size_t i = 1; i < batch.size(); ++i) {
+        core::MergeResult step =
+            core::MergeGraphs(merged_graph, batch[i]->request.graph);
+        for (std::size_t j = 0; j < i; ++j) {
+          for (auto& [orig, mapped] : mappings[j]) {
+            mapped = step.first_mapping.at(mapped);
+          }
+        }
+        mappings[i] = std::move(step.second_mapping);
+        merged_graph = std::move(step.graph);
+      }
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        for (const auto& [id, table] : batch[j]->request.sources) {
+          merged_sources.emplace(mappings[j].at(id), table);
+        }
+      }
+      exec_graph = &merged_graph;
+      exec_sources = &merged_sources;
+      metrics().GetCounter("server.merged_queries").Increment(batch.size());
+    }
+
+    core::ExecutorOptions options = batch.front()->request.options;
+    if (options.metrics == nullptr) options.metrics = &metrics();
+    bool cache_hit = false;
+    const core::FusionPlan plan = plan_cache_.GetOrPlan(
+        *exec_graph, core::EffectiveFusionOptions(options), &cache_hit);
+    options.plan = &plan;
+    core::ExecutionReport report =
+        executor_.Execute(*exec_graph, *exec_sources, options);
+
+    double complete = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sim_clock_ += report.makespan;
+      complete = sim_clock_;
+    }
+    metrics().GetCounter("server.batches").Increment();
+    metrics().GetHistogram("server.batch_size")
+        .Record(static_cast<double>(batch.size()));
+    metrics().GetHistogram("server.batch_makespan_seconds").Record(report.makespan);
+
+    core::ExecutionReport shared = report;
+    shared.sink_results.clear();
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      JobPtr& job = batch[j];
+      QueryResult result;
+      result.report = shared;
+      result.batch_size = batch.size();
+      result.merged = merged;
+      result.plan_cache_hit = cache_hit;
+      result.sim_submit = job->sim_submit;
+      result.sim_complete = complete;
+      result.queue_wait_seconds = job->queue_wait;
+      for (NodeId sink : job->request.graph.Sinks()) {
+        const NodeId mapped = merged ? mappings[j].at(sink) : sink;
+        auto it = report.sink_results.find(mapped);
+        if (it != report.sink_results.end()) {
+          result.results.emplace(sink, it->second);
+        } else if (job->request.graph.node(sink).is_source) {
+          // A bare source "query" — in a merged graph another query's
+          // operators may consume it, so it is no longer a merged sink.
+          result.results.emplace(sink, job->request.sources.at(sink));
+        }
+      }
+      result.wall_latency_seconds = SecondsSince(job->wall_submit);
+      metrics().GetHistogram("server.query_latency_seconds")
+          .Record(result.wall_latency_seconds);
+      metrics().GetHistogram("server.sim_latency_seconds")
+          .Record(result.sim_latency());
+      metrics().GetCounter("server.completed").Increment();
+      job->promise.set_value(std::move(result));
+    }
+  } catch (...) {
+    if (!merged) {
+      metrics().GetCounter("server.failed").Increment();
+      batch.front()->promise.set_exception(std::current_exception());
+      return;
+    }
+    // A merged execution failed (e.g. one query's sources were unbound):
+    // fall back to solo runs so one bad query cannot poison the batch.
+    metrics().GetCounter("server.merge_fallbacks").Increment();
+    for (JobPtr& job : batch) {
+      std::vector<JobPtr> solo;
+      solo.push_back(std::move(job));
+      ExecuteBatch(std::move(solo));
+    }
+  }
+}
+
+}  // namespace kf::server

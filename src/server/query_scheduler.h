@@ -1,0 +1,203 @@
+// Concurrent multi-query serving on top of QueryExecutor.
+//
+// The paper's stated ongoing work is sharing data paths *across* queries;
+// `graph_merge` implements the graph splice, and this layer makes it a
+// serving system: clients submit operator graphs asynchronously and get a
+// future; a bounded admission queue applies backpressure; worker threads
+// batch compatible in-flight queries through `MergeGraphs` so one scan of a
+// shared relation feeds every query in the batch (cross-query kernel
+// fusion); a `FusionPlanCache` keyed by canonical graph shape lets repeated
+// query templates skip the fusion planner entirely; and an admission
+// controller arbitrates the simulated device's 6 GB memory across
+// concurrent batches.
+//
+// Device-time accounting: the simulated device is one shared resource, so
+// the scheduler keeps a virtual device clock — each executed batch advances
+// it by the batch's simulated makespan, and every query records its
+// simulated submit/complete times against that clock. Batching helps
+// because a merged batch's makespan is far less than the sum of its members'
+// solo makespans (shared scans amortize PCIe transfers); wall-clock
+// concurrency additionally overlaps the host-side functional execution.
+//
+// Determinism: with `worker_count = 1` and paused start (submit everything,
+// then Start()), batching, plan-cache hits, and all simulated times are
+// fully deterministic — that is how bench_server_throughput produces its
+// CI-gated numbers. With multiple workers, batching depends on arrival
+// interleaving; results stay correct, only the grouping varies.
+#ifndef KF_SERVER_QUERY_SCHEDULER_H_
+#define KF_SERVER_QUERY_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/query_executor.h"
+#include "obs/metrics_registry.h"
+#include "server/plan_cache.h"
+#include "sim/device_simulator.h"
+
+namespace kf::server {
+
+// One query submission: a graph, its bound source tables, and executor
+// options. `merge_class` opts the query into cross-query batching: queries
+// with the same non-empty class and identical executor options may be merged
+// into one execution, and the caller guarantees that same-named sources
+// across the class are bound to identical tables (the scheduler verifies
+// schemas and row counts, not contents). An empty class never merges.
+struct QueryRequest {
+  core::OpGraph graph;
+  std::map<core::NodeId, relational::Table> sources;
+  core::ExecutorOptions options;
+  std::string merge_class;
+};
+
+// What a client's future resolves to.
+struct QueryResult {
+  // This query's sink outputs, keyed by ITS OWN graph's node ids (results of
+  // merged batches are split and remapped back before delivery).
+  std::map<core::NodeId, relational::Table> results;
+
+  // The executing run's report (shared by every query of a merged batch;
+  // sink_results are stripped — use `results`).
+  core::ExecutionReport report;
+
+  std::size_t batch_size = 1;   // queries co-executed in the same run
+  bool merged = false;          // batch_size > 1
+  bool plan_cache_hit = false;  // the run skipped PlanFusion
+
+  // Virtual-device-clock times (seconds of simulated device time).
+  double sim_submit = 0.0;
+  double sim_complete = 0.0;
+  double sim_latency() const { return sim_complete - sim_submit; }
+
+  // Host wall-clock observability.
+  double queue_wait_seconds = 0.0;  // submit -> batch pickup
+  double wall_latency_seconds = 0.0;  // submit -> future fulfilled
+};
+
+struct SchedulerOptions {
+  // Worker threads picking and executing batches. One worker serializes
+  // batch execution (deterministic); more overlap host-side work.
+  std::size_t worker_count = 2;
+
+  // Bounded admission queue: Submit blocks (backpressure) and TrySubmit
+  // rejects when `max_queue_depth` queries are waiting.
+  std::size_t max_queue_depth = 64;
+
+  // Maximum queries merged into one execution.
+  std::size_t max_batch = 8;
+
+  std::size_t plan_cache_capacity = 128;
+
+  // When true, workers do not pick up work until Start() — lets callers
+  // enqueue a whole workload first for deterministic batching.
+  bool start_paused = false;
+
+  // Fraction of device memory the admission controller hands out to
+  // concurrently executing batches (estimated by source + sink footprint).
+  // A batch larger than the whole allowance still runs — alone.
+  double admission_memory_fraction = 1.0;
+
+  // Registry for scheduler metrics (`server.*`); nullptr = process default.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  // Thread pool for intra-query functional execution (fused pipelines);
+  // nullptr = none (single-threaded cluster execution).
+  ThreadPool* execution_pool = nullptr;
+
+  core::OperatorCostModel cost_model;
+};
+
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(const sim::DeviceSimulator& device,
+                          SchedulerOptions options = SchedulerOptions());
+
+  // Drains outstanding work and joins the workers; queued queries still
+  // complete. Futures never dangle.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  // Enqueues a query. Blocks while the queue is full (backpressure); throws
+  // kf::Error after Shutdown().
+  std::future<QueryResult> Submit(QueryRequest request);
+
+  // Non-blocking admission: returns nullopt (and counts a rejection) when
+  // the queue is full.
+  std::optional<std::future<QueryResult>> TrySubmit(QueryRequest request);
+
+  // Releases paused workers (no-op when not started paused).
+  void Start();
+
+  // Blocks until the queue is empty and no batch is executing.
+  void Drain();
+
+  // Stops accepting new queries, drains, and joins workers (idempotent;
+  // also run by the destructor).
+  void Shutdown();
+
+  // Simulated device time consumed so far (sum of executed batch makespans).
+  double sim_clock() const;
+
+  std::size_t queue_depth() const;
+  const FusionPlanCache& plan_cache() const { return plan_cache_; }
+
+ private:
+  struct Job {
+    QueryRequest request;
+    std::promise<QueryResult> promise;
+    double sim_submit = 0.0;
+    double queue_wait = 0.0;
+    std::chrono::steady_clock::time_point wall_submit;
+  };
+  using JobPtr = std::unique_ptr<Job>;
+
+  void WorkerLoop();
+  // True when `candidate` can join a batch led by `leader`.
+  static bool Compatible(const QueryRequest& leader, const QueryRequest& candidate);
+  // Executes `batch` as one (possibly merged) run and fulfills its promises.
+  void ExecuteBatch(std::vector<JobPtr> batch);
+  // Estimated device footprint of a batch (sources + sinks, deduplicated
+  // shared sources by name).
+  static std::uint64_t EstimateBytes(const std::vector<JobPtr>& batch);
+
+  obs::MetricsRegistry& metrics() const {
+    return options_.metrics != nullptr ? *options_.metrics
+                                       : obs::MetricsRegistry::Default();
+  }
+
+  const sim::DeviceSimulator& device_;
+  SchedulerOptions options_;
+  core::QueryExecutor executor_;
+  FusionPlanCache plan_cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;   // workers wait for jobs/Start
+  std::condition_variable space_available_;  // submitters wait for room
+  std::condition_variable admission_;        // batches wait for device memory
+  std::condition_variable idle_;             // Drain waits here
+  std::deque<JobPtr> queue_;
+  bool started_ = true;
+  bool stopping_ = false;
+  std::size_t executing_ = 0;          // batches currently running
+  std::uint64_t inflight_bytes_ = 0;   // admission-controller ledger
+  double sim_clock_ = 0.0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kf::server
+
+#endif  // KF_SERVER_QUERY_SCHEDULER_H_

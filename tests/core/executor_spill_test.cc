@@ -91,6 +91,119 @@ TEST(ExecutorSpill, SpillingIsFunctionallyInvisible) {
       big_report.sink_results.begin()->second));
 }
 
+// --- Fission segmentation edge cases -----------------------------------
+// Degenerate inputs for the segmented pipeline: more segments than rows,
+// empty and single-element inputs, and a working set landing exactly on the
+// device-memory segmentation boundary.
+
+OpGraph SmallChainGraph() {
+  OpGraph g;
+  const NodeId src = g.AddSource("in", Schema{{"v", DataType::kInt32}}, 0);
+  const NodeId sel = g.AddOperator(
+      OperatorDesc::Select(Expr::Ge(Expr::FieldRef(0), Expr::Lit(0)), "keep"),
+      src);
+  const NodeId sorted = g.AddOperator(OperatorDesc::Sort({0}, "sort"), sel);
+  g.AddOperator(
+      OperatorDesc::Select(
+          Expr::Lt(Expr::FieldRef(0), Expr::Lit(std::int64_t{1} << 31)), "cap"),
+      sorted);
+  return g;
+}
+
+TEST(FissionEdgeCases, MoreSegmentsThanRows) {
+  // 5 rows through a 12-segment fission pipeline: most segments are empty,
+  // results must still match the serial strategy exactly.
+  sim::DeviceSimulator device;
+  QueryExecutor executor(device);
+  const OpGraph graph = SmallChainGraph();
+  const std::map<NodeId, relational::Table> sources{
+      {graph.Sources()[0], MakeUniformInt32Table(5)}};
+
+  ExecutorOptions serial;
+  serial.strategy = Strategy::kSerial;
+  const auto expected = executor.Execute(graph, sources, serial);
+
+  for (Strategy strategy : {Strategy::kFission, Strategy::kFusedFission}) {
+    ExecutorOptions options;
+    options.strategy = strategy;
+    options.fission_segments = 12;
+    const auto report = executor.Execute(graph, sources, options);
+    ASSERT_EQ(report.sink_results.size(), 1u) << ToString(strategy);
+    EXPECT_TRUE(relational::SameRowMultiset(
+        report.sink_results.begin()->second,
+        expected.sink_results.begin()->second))
+        << ToString(strategy);
+    EXPECT_GT(report.makespan, 0.0) << ToString(strategy);
+  }
+}
+
+TEST(FissionEdgeCases, EmptyInput) {
+  sim::DeviceSimulator device;
+  QueryExecutor executor(device);
+  const OpGraph graph = SmallChainGraph();
+  const std::map<NodeId, relational::Table> sources{
+      {graph.Sources()[0], MakeUniformInt32Table(0)}};
+
+  for (Strategy strategy : {Strategy::kSerial, Strategy::kFused,
+                            Strategy::kFission, Strategy::kFusedFission}) {
+    ExecutorOptions options;
+    options.strategy = strategy;
+    const auto report = executor.Execute(graph, sources, options);
+    ASSERT_EQ(report.sink_results.size(), 1u) << ToString(strategy);
+    EXPECT_EQ(report.sink_results.begin()->second.row_count(), 0u)
+        << ToString(strategy);
+  }
+}
+
+TEST(FissionEdgeCases, SingleElementInput) {
+  sim::DeviceSimulator device;
+  QueryExecutor executor(device);
+  const OpGraph graph = SmallChainGraph();
+  const relational::Table one = MakeUniformInt32Table(1);
+  const std::map<NodeId, relational::Table> sources{{graph.Sources()[0], one}};
+
+  for (Strategy strategy : {Strategy::kSerial, Strategy::kFused,
+                            Strategy::kFission, Strategy::kFusedFission}) {
+    ExecutorOptions options;
+    options.strategy = strategy;
+    options.fission_segments = 4;
+    const auto report = executor.Execute(graph, sources, options);
+    ASSERT_EQ(report.sink_results.size(), 1u) << ToString(strategy);
+    // v >= 0 keeps the uniform-domain value; the row survives both selects.
+    EXPECT_EQ(report.sink_results.begin()->second.row_count(), 1u)
+        << ToString(strategy);
+  }
+}
+
+TEST(FissionEdgeCases, SegmentBoundaryExactlyAtDeviceCapacity) {
+  // Row counts chosen so the working set lands exactly ON the segmentation
+  // threshold (budget fraction x capacity), and one row past it. Both must
+  // execute without throwing and respect the capacity invariant — the
+  // boundary is where an off-by-one in segment sizing would surface.
+  sim::DeviceSimulator tiny(sim::DeviceSpec::TinyTestDevice());
+  QueryExecutor executor(tiny);
+  OpGraph g;
+  const NodeId src = g.AddSource("in", Schema{{"v", DataType::kInt32}}, 0);
+  g.AddOperator(
+      OperatorDesc::Select(Expr::Ge(Expr::FieldRef(0), Expr::Lit(0)), "keep"),
+      src);
+
+  ExecutorOptions options;
+  options.strategy = Strategy::kFission;
+  options.device_memory_budget = 0.5;
+  // 0.5 x 64 MiB = 32 MiB; int32 rows -> exactly 8M rows on the boundary.
+  const std::uint64_t boundary_rows = (tiny.spec().mem_capacity_bytes / 2) / 4;
+
+  for (std::uint64_t rows : {boundary_rows, boundary_rows + 1}) {
+    std::map<NodeId, std::uint64_t> counts;
+    for (NodeId id = 0; id < g.node_count(); ++id) counts[id] = rows;
+    const ExecutionReport report = executor.EstimateOnly(g, counts, options);
+    EXPECT_GT(report.makespan, 0.0) << rows << " rows";
+    EXPECT_LE(report.peak_device_bytes, tiny.spec().mem_capacity_bytes)
+        << rows << " rows";
+  }
+}
+
 TEST(ExecutorSpill, ImpossibleWorkingSetThrows) {
   // A single relation larger than the tiny device with pinned inputs on
   // both sides of a sort leaves nothing to spill mid-cluster.

@@ -1,0 +1,129 @@
+// Shared random operator-graph generator for property/differential tests.
+//
+// Generates DAGs of streaming-friendly operators (SELECT, SORT, ARITH, JOIN)
+// over int64 KV relations, with bound source tables — the workload used by
+// the planner property tests, the strategy differential sweep, and the
+// scheduler stress tests. Deterministic per seed.
+#ifndef KF_TESTS_CORE_RANDOM_GRAPH_H_
+#define KF_TESTS_CORE_RANDOM_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/op_graph.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+
+namespace kf::core {
+
+// A random DAG of streaming-friendly operators over int64 KV relations.
+struct RandomQuery {
+  OpGraph graph;
+  std::map<NodeId, relational::Table> sources;
+};
+
+inline relational::Table RandomKV(Rng& rng, std::size_t rows) {
+  relational::Table t(relational::Schema{{"k", relational::DataType::kInt64},
+                                         {"v", relational::DataType::kInt64}});
+  for (std::size_t r = 0; r < rows; ++r) {
+    t.AppendRow({relational::Value::Int64(rng.UniformInt(0, 30)),
+                 relational::Value::Int64(rng.UniformInt(-50, 50))});
+  }
+  return t;
+}
+
+inline RandomQuery MakeRandomQuery(std::uint64_t seed) {
+  using relational::DataType;
+  using relational::Expr;
+  using relational::OperatorDesc;
+
+  Rng rng(seed);
+  RandomQuery q;
+  std::vector<NodeId> pool;  // nodes with 2-field schemas, usable as inputs
+
+  const int source_count = static_cast<int>(rng.UniformInt(1, 3));
+  for (int s = 0; s < source_count; ++s) {
+    const std::size_t rows = static_cast<std::size_t>(rng.UniformInt(50, 400));
+    const NodeId src = q.graph.AddSource("src" + std::to_string(s),
+                                         RandomKV(rng, 1).schema(), rows);
+    q.sources.emplace(src, RandomKV(rng, rows));
+    pool.push_back(src);
+  }
+
+  const int op_count = static_cast<int>(rng.UniformInt(2, 8));
+  for (int i = 0; i < op_count; ++i) {
+    const NodeId input = pool[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    const bool two_fields = q.graph.node(input).schema.field_count() == 2;
+    switch (rng.UniformInt(0, two_fields ? 4 : 2)) {
+      case 0:
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Select(
+                Expr::Lt(Expr::FieldRef(0), Expr::Lit(rng.UniformInt(0, 30))),
+                "sel" + std::to_string(i)),
+            input));
+        break;
+      case 1:
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Select(
+                Expr::Ge(Expr::FieldRef(static_cast<int>(
+                             rng.UniformInt(0, static_cast<std::int64_t>(
+                                                   q.graph.node(input)
+                                                       .schema.field_count()) -
+                                                   1))),
+                         Expr::Lit(rng.UniformInt(-20, 20))),
+                "sel" + std::to_string(i)),
+            input));
+        break;
+      case 2: {
+        // Sort: a barrier in the middle of the DAG.
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Sort({0}, "sort" + std::to_string(i)), input));
+        break;
+      }
+      case 3: {
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Arith(Expr::Add(Expr::FieldRef(0), Expr::FieldRef(1)),
+                                "sum" + std::to_string(i), DataType::kInt64),
+            input));
+        break;
+      }
+      case 4: {
+        // Join against a fresh small build table.
+        const std::size_t rows = static_cast<std::size_t>(rng.UniformInt(5, 40));
+        const NodeId build = q.graph.AddSource("build" + std::to_string(i),
+                                               RandomKV(rng, 1).schema(), rows);
+        q.sources.emplace(build, RandomKV(rng, rows));
+        pool.push_back(q.graph.AddOperator(
+            OperatorDesc::Join(0, 0, "join" + std::to_string(i)), input, build));
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+// Operator-at-a-time scalar reference: plain ApplyOperator over the graph in
+// topological order. Returns every node's output keyed by node id.
+inline std::map<NodeId, relational::Table> ReferenceResults(
+    const RandomQuery& q) {
+  std::map<NodeId, relational::Table> truth;
+  for (NodeId id : q.graph.TopologicalOrder()) {
+    const OpNode& node = q.graph.node(id);
+    if (node.is_source) {
+      truth.emplace(id, q.sources.at(id));
+      continue;
+    }
+    const relational::Table* right =
+        node.inputs.size() > 1 ? &truth.at(node.inputs[1]) : nullptr;
+    truth.emplace(id, relational::ApplyOperator(node.desc,
+                                                truth.at(node.inputs[0]), right));
+  }
+  return truth;
+}
+
+}  // namespace kf::core
+
+#endif  // KF_TESTS_CORE_RANDOM_GRAPH_H_

@@ -1,0 +1,160 @@
+// Differential sweep: random operator graphs executed under every
+// ExecutionStrategy — and through the QueryScheduler serving path — must
+// produce byte-identical results to the operator-at-a-time scalar reference.
+// The property tests check multiset equality; this sweep pins down row order
+// and exact values too, so a strategy that silently reorders or perturbs
+// rows fails here even when the multiset still matches.
+#include <gtest/gtest.h>
+
+#include "core/query_executor.h"
+#include "server/query_scheduler.h"
+#include "tests/core/random_graph.h"
+
+namespace kf::core {
+namespace {
+
+using relational::Row;
+using relational::Table;
+
+// Exact equality: same schema, same rows, same order, same bytes per value.
+::testing::AssertionResult ByteIdentical(const Table& actual,
+                                         const Table& expected) {
+  if (actual.schema().ToString() != expected.schema().ToString()) {
+    return ::testing::AssertionFailure()
+           << "schema mismatch: " << actual.schema().ToString() << " vs "
+           << expected.schema().ToString();
+  }
+  if (actual.row_count() != expected.row_count()) {
+    return ::testing::AssertionFailure()
+           << "row count mismatch: " << actual.row_count() << " vs "
+           << expected.row_count();
+  }
+  const std::vector<Row> a = actual.Rows();
+  const std::vector<Row> b = expected.Rows();
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t f = 0; f < a[r].size(); ++f) {
+      const relational::Value& va = a[r][f];
+      const relational::Value& vb = b[r][f];
+      // Stricter than Value::operator== (which coerces): require the same
+      // type tag and the same stored payload.
+      if (va.type != vb.type || va.i != vb.i || va.f != vb.f) {
+        return ::testing::AssertionFailure()
+               << "row " << r << " field " << f << ": " << va.ToString()
+               << " vs " << vb.ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class StrategyDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyDifferential, EveryStrategyByteIdenticalToScalarReference) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const RandomQuery q = MakeRandomQuery(
+        static_cast<std::uint64_t>(GetParam()) * 1543 + trial + 7);
+    const std::map<NodeId, Table> truth = ReferenceResults(q);
+
+    sim::DeviceSimulator device;
+    QueryExecutor executor(device);
+    for (Strategy strategy : {Strategy::kSerial, Strategy::kFused,
+                              Strategy::kFission, Strategy::kFusedFission}) {
+      for (std::size_t chunks : {std::size_t{1}, std::size_t{4}}) {
+        ExecutorOptions options;
+        options.strategy = strategy;
+        options.chunk_count = chunks;
+        const ExecutionReport report =
+            executor.Execute(q.graph, q.sources, options);
+        for (NodeId sink : q.graph.Sinks()) {
+          ASSERT_EQ(report.sink_results.count(sink), 1u)
+              << ToString(strategy) << " missing sink " << sink;
+          EXPECT_TRUE(ByteIdentical(report.sink_results.at(sink), truth.at(sink)))
+              << ToString(strategy) << " chunks=" << chunks << " sink " << sink
+              << " trial " << trial << "\ngraph:\n" << q.graph.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(StrategyDifferential, SchedulerPathByteIdenticalToScalarReference) {
+  const RandomQuery q =
+      MakeRandomQuery(static_cast<std::uint64_t>(GetParam()) * 389 + 11);
+  const std::map<NodeId, Table> truth = ReferenceResults(q);
+
+  sim::DeviceSimulator device;
+  server::SchedulerOptions sched_options;
+  sched_options.worker_count = 2;
+  obs::MetricsRegistry registry;
+  sched_options.metrics = &registry;
+  server::QueryScheduler scheduler(device, sched_options);
+
+  std::vector<std::future<server::QueryResult>> futures;
+  const std::vector<Strategy> strategies = {Strategy::kSerial, Strategy::kFused,
+                                            Strategy::kFission,
+                                            Strategy::kFusedFission};
+  for (Strategy strategy : strategies) {
+    server::QueryRequest request;
+    request.graph = q.graph;
+    request.sources = q.sources;
+    request.options.strategy = strategy;
+    request.options.chunk_count = 4;
+    futures.push_back(scheduler.Submit(std::move(request)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    server::QueryResult result = futures[i].get();
+    for (NodeId sink : q.graph.Sinks()) {
+      ASSERT_EQ(result.results.count(sink), 1u)
+          << ToString(strategies[i]) << " missing sink " << sink;
+      EXPECT_TRUE(ByteIdentical(result.results.at(sink), truth.at(sink)))
+          << "scheduler " << ToString(strategies[i]) << " sink " << sink;
+    }
+    EXPECT_GT(result.report.makespan, 0.0);
+  }
+}
+
+TEST_P(StrategyDifferential, MergedBatchByteIdenticalToScalarReference) {
+  // Two structurally different queries over the SAME sources (same seed ->
+  // same tables), merged into one execution: each must still get exactly its
+  // own reference results back.
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 7121 + 3;
+  const RandomQuery a = MakeRandomQuery(seed);
+  const RandomQuery b = MakeRandomQuery(seed);  // identical twin
+
+  sim::DeviceSimulator device;
+  server::SchedulerOptions sched_options;
+  sched_options.worker_count = 1;
+  sched_options.start_paused = true;  // both queued before the worker wakes
+  obs::MetricsRegistry registry;
+  sched_options.metrics = &registry;
+  server::QueryScheduler scheduler(device, sched_options);
+
+  auto submit = [&](const RandomQuery& q) {
+    server::QueryRequest request;
+    request.graph = q.graph;
+    request.sources = q.sources;
+    request.options.strategy = Strategy::kFused;
+    request.merge_class = "twins";
+    return scheduler.Submit(std::move(request));
+  };
+  auto fa = submit(a);
+  auto fb = submit(b);
+  scheduler.Start();
+
+  const std::map<NodeId, Table> truth = ReferenceResults(a);
+  for (auto* f : {&fa, &fb}) {
+    server::QueryResult result = f->get();
+    EXPECT_TRUE(result.merged);
+    EXPECT_EQ(result.batch_size, 2u);
+    for (NodeId sink : a.graph.Sinks()) {
+      ASSERT_EQ(result.results.count(sink), 1u) << "missing sink " << sink;
+      EXPECT_TRUE(ByteIdentical(result.results.at(sink), truth.at(sink)))
+          << "merged sink " << sink;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyDifferential, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace kf::core

@@ -1,0 +1,298 @@
+// FusionPlanCache tests, centered on the canonicalization fix: cache keys
+// must be deterministic across runs and across graph insertion orders —
+// structural position only, never node ids or pointer values. Two
+// structurally-equal graphs built in different AddSource/AddOperator orders
+// must hit the same cache entry, and a plan cached from one must rehydrate
+// correctly (right node ids) for the other.
+#include <gtest/gtest.h>
+
+#include "core/query_executor.h"
+#include "server/plan_cache.h"
+#include "tests/core/random_graph.h"
+#include "tpch/q1.h"
+
+namespace kf::server {
+namespace {
+
+using core::FusionOptions;
+using core::FusionPlan;
+using core::NodeId;
+using core::OpGraph;
+using relational::DataType;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Schema;
+
+Schema KV() {
+  return Schema{{"k", DataType::kInt64}, {"v", DataType::kInt64}};
+}
+
+// The same two-branch DAG built in two insertion orders:
+//   sink = JOIN(SELECT(lineitem), ARITH(orders))
+struct TwoBranch {
+  OpGraph graph;
+  NodeId sink = core::kNoNode;
+};
+
+TwoBranch BuildForward() {
+  TwoBranch g;
+  const NodeId lineitem = g.graph.AddSource("lineitem", KV(), 100);
+  const NodeId orders = g.graph.AddSource("orders", KV(), 50);
+  const NodeId sel = g.graph.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(10)), "sel"),
+      lineitem);
+  const NodeId arith = g.graph.AddOperator(
+      OperatorDesc::Arith(Expr::Add(Expr::FieldRef(0), Expr::FieldRef(1)),
+                          "sum", DataType::kInt64),
+      orders);
+  g.sink = g.graph.AddOperator(OperatorDesc::Join(0, 0, "join"), sel, arith);
+  return g;
+}
+
+TwoBranch BuildReversed() {
+  // Same DAG, but sources and branches added in the opposite order, with
+  // different labels (labels are cosmetic and excluded from the key).
+  TwoBranch g;
+  const NodeId orders = g.graph.AddSource("orders", KV(), 50);
+  const NodeId lineitem = g.graph.AddSource("lineitem", KV(), 100);
+  const NodeId arith = g.graph.AddOperator(
+      OperatorDesc::Arith(Expr::Add(Expr::FieldRef(0), Expr::FieldRef(1)),
+                          "sum", DataType::kInt64),
+      orders);
+  const NodeId sel = g.graph.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(10)),
+                           "filter_renamed"),
+      lineitem);
+  g.sink = g.graph.AddOperator(OperatorDesc::Join(0, 0, "probe_renamed"), sel,
+                               arith);
+  return g;
+}
+
+TEST(Canonicalization, InsertionOrderDoesNotChangeTheKey) {
+  const TwoBranch forward = BuildForward();
+  const TwoBranch reversed = BuildReversed();
+  const CanonicalGraph a = CanonicalizeGraph(forward.graph);
+  const CanonicalGraph b = CanonicalizeGraph(reversed.graph);
+  EXPECT_EQ(a.key, b.key);
+
+  // order/position are mutual inverses covering every node.
+  ASSERT_EQ(a.order.size(), forward.graph.node_count());
+  for (std::size_t pos = 0; pos < a.order.size(); ++pos) {
+    EXPECT_EQ(a.position[a.order[pos]], pos);
+  }
+
+  // Canonically-aligned nodes have identical content across the two builds.
+  for (std::size_t pos = 0; pos < a.order.size(); ++pos) {
+    const core::OpNode& na = forward.graph.node(a.order[pos]);
+    const core::OpNode& nb = reversed.graph.node(b.order[pos]);
+    EXPECT_EQ(na.is_source, nb.is_source) << "position " << pos;
+    if (na.is_source) {
+      EXPECT_EQ(na.name, nb.name) << "position " << pos;
+    }
+  }
+}
+
+TEST(Canonicalization, StructurallyDifferentGraphsGetDifferentKeys) {
+  const TwoBranch forward = BuildForward();
+  OpGraph other = forward.graph;
+  other.AddOperator(OperatorDesc::Sort({0}, "sort"), forward.sink);
+  EXPECT_NE(CanonicalizeGraph(forward.graph).key, CanonicalizeGraph(other).key);
+
+  // Changing a predicate constant changes the key too.
+  TwoBranch tweaked = BuildForward();
+  OpGraph tweaked_graph;
+  const NodeId lineitem = tweaked_graph.AddSource("lineitem", KV(), 100);
+  tweaked_graph.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(11)), "sel"),
+      lineitem);
+  OpGraph base;
+  const NodeId lineitem2 = base.AddSource("lineitem", KV(), 100);
+  base.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(10)), "sel"),
+      lineitem2);
+  EXPECT_NE(CanonicalizeGraph(tweaked_graph).key, CanonicalizeGraph(base).key);
+}
+
+TEST(Canonicalization, RowHintsAndLabelsAreCosmetic) {
+  OpGraph a;
+  const NodeId sa = a.AddSource("t", KV(), 100);
+  a.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(5)), "x"), sa);
+
+  OpGraph b;
+  const NodeId sb = b.AddSource("t", KV(), 9999);  // different row hint
+  b.AddOperator(
+      OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(5)), "y"), sb);
+
+  EXPECT_EQ(CanonicalizeGraph(a).key, CanonicalizeGraph(b).key);
+}
+
+TEST(FusionPlanCache, InsertionOrderVariantsShareOneEntry) {
+  const TwoBranch forward = BuildForward();
+  const TwoBranch reversed = BuildReversed();
+  FusionOptions options;
+  options.enabled = true;
+
+  FusionPlanCache cache(8);
+  bool hit = true;
+  const FusionPlan first = cache.GetOrPlan(forward.graph, options, &hit);
+  EXPECT_FALSE(hit);
+  const FusionPlan second = cache.GetOrPlan(reversed.graph, options, &hit);
+  EXPECT_TRUE(hit) << "structurally-equal graph built in a different "
+                      "insertion order missed the cache";
+  EXPECT_EQ(cache.size(), 1u);
+
+  // The rehydrated plan is expressed in the REVERSED graph's node ids and is
+  // a valid plan for it: every operator in exactly one cluster, no sources in
+  // clusters, primary/build inputs that exist. (PlanFusion itself may choose
+  // a different — equally valid — clustering for a different insertion
+  // order; the cache's job is a valid plan, not that exact one.)
+  ASSERT_EQ(second.cluster_of.size(), reversed.graph.node_count());
+  std::vector<int> membership(reversed.graph.node_count(), 0);
+  for (const core::FusionCluster& cluster : second.clusters) {
+    for (NodeId id : cluster.nodes) {
+      ASSERT_LT(id, reversed.graph.node_count());
+      EXPECT_FALSE(reversed.graph.node(id).is_source);
+      ++membership[id];
+    }
+    ASSERT_LT(cluster.primary_input, reversed.graph.node_count());
+    EXPECT_FALSE(cluster.outputs.empty());
+  }
+  for (NodeId id = 0; id < reversed.graph.node_count(); ++id) {
+    if (!reversed.graph.node(id).is_source) {
+      EXPECT_EQ(membership[id], 1) << "node " << id;
+    }
+  }
+
+  // Functionally: executing the reversed graph with the rehydrated plan
+  // injected produces the same rows as executing it with a fresh plan.
+  kf::Rng rng(7);
+  std::map<NodeId, relational::Table> sources;
+  for (NodeId src : reversed.graph.Sources()) {
+    sources.emplace(src, core::RandomKV(
+                             rng, reversed.graph.node(src).name == "lineitem"
+                                      ? 100
+                                      : 50));
+  }
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  core::ExecutorOptions exec_options;
+  exec_options.strategy = core::Strategy::kFused;
+  exec_options.fusion = options;
+  const core::ExecutionReport fresh_run =
+      executor.Execute(reversed.graph, sources, exec_options);
+  core::ExecutorOptions injected = exec_options;
+  injected.plan = &second;
+  const core::ExecutionReport cached_run =
+      executor.Execute(reversed.graph, sources, injected);
+  ASSERT_EQ(cached_run.sink_results.size(), fresh_run.sink_results.size());
+  for (const auto& [sink, table] : fresh_run.sink_results) {
+    EXPECT_TRUE(
+        relational::SameRowMultiset(cached_run.sink_results.at(sink), table))
+        << "sink " << sink;
+  }
+}
+
+TEST(FusionPlanCache, CachedPlanExecutesIdenticallyOnReorderedGraph) {
+  // End to end: prime the cache with the forward build, execute the reversed
+  // build with the rehydrated plan injected, compare against planning fresh.
+  const std::uint64_t seed = 2012;
+  const core::RandomQuery primer = core::MakeRandomQuery(seed);
+  const core::RandomQuery repeat = core::MakeRandomQuery(seed);
+
+  core::ExecutorOptions exec_options;
+  exec_options.strategy = core::Strategy::kFused;
+  const FusionOptions fusion_options =
+      core::EffectiveFusionOptions(exec_options);
+
+  FusionPlanCache cache(8);
+  (void)cache.GetOrPlan(primer.graph, fusion_options);
+  bool hit = false;
+  const FusionPlan cached = cache.GetOrPlan(repeat.graph, fusion_options, &hit);
+  ASSERT_TRUE(hit);
+
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  const core::ExecutionReport fresh =
+      executor.Execute(repeat.graph, repeat.sources, exec_options);
+  core::ExecutorOptions injected = exec_options;
+  injected.plan = &cached;
+  const core::ExecutionReport replayed =
+      executor.Execute(repeat.graph, repeat.sources, injected);
+
+  EXPECT_DOUBLE_EQ(replayed.makespan, fresh.makespan);
+  for (NodeId sink : repeat.graph.Sinks()) {
+    EXPECT_TRUE(relational::SameRowMultiset(replayed.sink_results.at(sink),
+                                            fresh.sink_results.at(sink)));
+  }
+}
+
+TEST(FusionPlanCache, DifferentFusionOptionsGetDifferentEntries) {
+  const TwoBranch g = BuildForward();
+  FusionOptions fused;
+  fused.enabled = true;
+  FusionOptions unfused;
+  unfused.enabled = false;
+
+  FusionPlanCache cache(8);
+  bool hit = true;
+  (void)cache.GetOrPlan(g.graph, fused, &hit);
+  EXPECT_FALSE(hit);
+  (void)cache.GetOrPlan(g.graph, unfused, &hit);
+  EXPECT_FALSE(hit) << "different planner knobs must not share a plan";
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FusionPlanCache, EvictsLeastRecentlyUsed) {
+  FusionOptions options;
+  options.enabled = true;
+  FusionPlanCache cache(2);
+
+  auto chain_of = [](int length) {
+    OpGraph g;
+    NodeId prev = g.AddSource("t", KV(), 100);
+    for (int i = 0; i < length; ++i) {
+      prev = g.AddOperator(
+          OperatorDesc::Select(Expr::Lt(Expr::FieldRef(0), Expr::Lit(i)), "s"),
+          prev);
+    }
+    return g;
+  };
+
+  const OpGraph a = chain_of(1);
+  const OpGraph b = chain_of(2);
+  const OpGraph c = chain_of(3);
+  bool hit = false;
+  (void)cache.GetOrPlan(a, options, &hit);
+  (void)cache.GetOrPlan(b, options, &hit);
+  (void)cache.GetOrPlan(a, options, &hit);  // refresh a -> b is now LRU
+  EXPECT_TRUE(hit);
+  (void)cache.GetOrPlan(c, options, &hit);  // evicts b
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.GetOrPlan(a, options, &hit);
+  EXPECT_TRUE(hit) << "recently-used entry was evicted";
+  (void)cache.GetOrPlan(b, options, &hit);
+  EXPECT_FALSE(hit) << "LRU entry survived eviction";
+}
+
+TEST(FusionPlanCache, KeyIsStableAcrossProcessRestartsByConstruction) {
+  // The key must contain no pointers, node ids, or iteration-order artifacts
+  // — re-canonicalizing the same graph many times, and canonicalizing a
+  // freshly rebuilt copy, always yields the identical string.
+  tpch::TpchConfig config;
+  config.order_count = 50;
+  config.supplier_count = 10;
+  const tpch::TpchData data = tpch::MakeTpchData(config);
+  const tpch::QueryPlan plan1 = BuildQ1Plan(data);
+  const tpch::QueryPlan plan2 = BuildQ1Plan(data);
+  const std::string key = CanonicalizeGraph(plan1.graph).key;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(CanonicalizeGraph(plan1.graph).key, key);
+  }
+  EXPECT_EQ(CanonicalizeGraph(plan2.graph).key, key);
+  EXPECT_FALSE(key.empty());
+}
+
+}  // namespace
+}  // namespace kf::server
