@@ -135,7 +135,7 @@ ir::Function LowerSelectFilter(const std::string& name, const Expr& predicate,
 ir::Function LowerFusedSelectFilters(const std::string& name,
                                      std::span<const Expr> predicates,
                                      bool materialize_constants) {
-  KF_REQUIRE(!predicates.empty()) << "no predicates to lower";
+  KF_REQUIRE_AS(::kf::InvalidArgument, !predicates.empty()) << "no predicates to lower";
   ir::Function function(name);
   ir::IrBuilder builder(function, materialize_constants);
   LowerContext ctx{&function, &builder, {}, {}};

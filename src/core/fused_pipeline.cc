@@ -160,7 +160,7 @@ ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& clust
                                 const TableLookup& table_of, int chunk_count,
                                 ThreadPool* pool) {
   KF_REQUIRE(!cluster.nodes.empty()) << "empty fusion cluster";
-  KF_REQUIRE(chunk_count > 0) << "chunk count must be positive";
+  KF_REQUIRE_AS(::kf::InvalidArgument, chunk_count > 0) << "chunk count must be positive";
 
   // --- Validate that the planner gave us a streamable cluster. -------------
   for (NodeId id : cluster.nodes) {

@@ -12,7 +12,7 @@ PlacementDecision HeterogeneousScheduler::Decide(
     const OpGraph& graph, const FusionCluster& cluster,
     const std::vector<RealizedSizes>& member_sizes, bool input_on_host,
     bool output_to_host) const {
-  KF_REQUIRE(member_sizes.size() == cluster.nodes.size())
+  KF_REQUIRE_AS(::kf::InvalidArgument, member_sizes.size() == cluster.nodes.size())
       << "sizes for " << member_sizes.size() << " members, cluster has "
       << cluster.nodes.size();
   PlacementDecision decision;

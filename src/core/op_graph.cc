@@ -24,8 +24,8 @@ NodeId OpGraph::AddSource(std::string name, relational::Schema schema,
 }
 
 NodeId OpGraph::AddOperator(relational::OperatorDesc desc, NodeId input) {
-  KF_REQUIRE(input < nodes_.size()) << "unknown input node " << input;
-  KF_REQUIRE(!desc.is_binary())
+  KF_REQUIRE_AS(::kf::InvalidArgument, input < nodes_.size()) << "unknown input node " << input;
+  KF_REQUIRE_AS(::kf::InvalidArgument, !desc.is_binary())
       << relational::ToString(desc.kind) << " needs two inputs";
   OpNode node;
   node.name = desc.label.empty() ? relational::ToString(desc.kind) : desc.label;
@@ -36,9 +36,9 @@ NodeId OpGraph::AddOperator(relational::OperatorDesc desc, NodeId input) {
 }
 
 NodeId OpGraph::AddOperator(relational::OperatorDesc desc, NodeId left, NodeId right) {
-  KF_REQUIRE(left < nodes_.size()) << "unknown left input node " << left;
-  KF_REQUIRE(right < nodes_.size()) << "unknown right input node " << right;
-  KF_REQUIRE(desc.is_binary())
+  KF_REQUIRE_AS(::kf::InvalidArgument, left < nodes_.size()) << "unknown left input node " << left;
+  KF_REQUIRE_AS(::kf::InvalidArgument, right < nodes_.size()) << "unknown right input node " << right;
+  KF_REQUIRE_AS(::kf::InvalidArgument, desc.is_binary())
       << relational::ToString(desc.kind) << " takes one input";
   OpNode node;
   node.name = desc.label.empty() ? relational::ToString(desc.kind) : desc.label;
@@ -57,7 +57,7 @@ std::vector<NodeId> OpGraph::TopologicalOrder() const {
 }
 
 std::vector<NodeId> OpGraph::Consumers(NodeId id) const {
-  KF_REQUIRE(id < nodes_.size()) << "unknown node " << id;
+  KF_REQUIRE_AS(::kf::InvalidArgument, id < nodes_.size()) << "unknown node " << id;
   std::vector<NodeId> consumers;
   for (const OpNode& node : nodes_) {
     for (NodeId input : node.inputs) {

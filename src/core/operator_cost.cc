@@ -128,7 +128,7 @@ std::vector<KernelProfile> OperatorCostModel::UnfusedProfiles(
 std::vector<KernelProfile> OperatorCostModel::FusedProfiles(
     const OpGraph& graph, const FusionCluster& cluster,
     const std::vector<RealizedSizes>& per_member) const {
-  KF_REQUIRE(per_member.size() == cluster.nodes.size())
+  KF_REQUIRE_AS(::kf::InvalidArgument, per_member.size() == cluster.nodes.size())
       << "realized sizes for " << per_member.size() << " members, cluster has "
       << cluster.nodes.size();
   KF_REQUIRE(!per_member.empty()) << "empty cluster";

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <set>
+#include <unordered_map>
 
 #include "common/error.h"
+#include "core/hetero.h"
 #include "relational/operators.h"
 #include "stream/stream_pool.h"
 
@@ -109,7 +112,8 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   FusionOptions fusion_options = EffectiveFusionOptions(options);
   if (fusion_options.metrics == nullptr) fusion_options.metrics = &metrics;
   if (options.plan != nullptr) {
-    KF_REQUIRE(options.plan->cluster_of.size() == graph.node_count())
+    KF_REQUIRE_AS(::kf::InvalidArgument,
+                  options.plan->cluster_of.size() == graph.node_count())
         << "precomputed fusion plan covers " << options.plan->cluster_of.size()
         << " nodes but the graph has " << graph.node_count();
   }
@@ -135,7 +139,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
 
   if (sources != nullptr) {
     for (NodeId src : graph.Sources()) {
-      KF_REQUIRE(sources->count(src) != 0)
+      KF_REQUIRE_AS(::kf::InvalidArgument, sources->count(src) != 0)
           << "source '" << graph.node(src).name << "' not bound";
       rows[src] = sources->at(src).row_count();
     }
@@ -187,7 +191,8 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   auto node_bytes = [&](NodeId id) -> std::uint64_t { return rows.at(id) * row_bytes(id); };
 
   // --- Timeline construction over the Stream Pool. ---------------------------
-  stream::StreamPool streams(device_, std::max(1, options.stream_count), &metrics);
+  stream::StreamPool streams(device_, std::max(1, options.stream_count), &metrics,
+                             options.fault_injector);
   std::vector<stream::StreamHandle> handles;
   for (int s = 0; s < options.stream_count; ++s) {
     handles.push_back(streams.GetAvailableStream());
@@ -201,20 +206,36 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     SimTime duration;
     std::uint64_t bytes;
     int launches;
+    int unit;  // retry unit, -1 when fault recovery is off
   };
   std::vector<TaggedCommand> tagged;
+  // Specs kept for fault recovery: a failed unit is rebuilt command-by-command
+  // on a fresh stream. Parallel to `tagged`.
+  std::vector<CommandSpec> specs;
 
+  // Retry units (see ResilienceOptions): unit -> owning cluster index.
+  std::vector<int> unit_cluster;
+  int active_unit = -1;
+  auto begin_unit = [&](int cluster_index) {
+    unit_cluster.push_back(cluster_index);
+    active_unit = static_cast<int>(unit_cluster.size()) - 1;
+  };
+
+  const bool track_units = options.fault_injector != nullptr;
   auto issue = [&](stream::StreamHandle stream, CommandSpec spec, Category category,
                    std::uint64_t bytes, int launches = 0) {
     const SimTime duration =
         spec.kind == sim::CommandKind::kKernel ? spec.solo_duration : spec.duration;
     const sim::CommandKind kind = spec.kind;
     const CommandId id = streams.SetStreamCommand(stream, stream::PoolCommand{spec, {}});
-    tagged.push_back(TaggedCommand{id, category, kind, duration, bytes, launches});
+    tagged.push_back(TaggedCommand{id, category, kind, duration, bytes, launches,
+                                   track_units ? active_unit : -1});
+    if (track_units) specs.push_back(std::move(spec));
     return id;
   };
 
   sim::DeviceMemoryModel memory(device_.spec().mem_capacity_bytes);
+  memory.set_fault_injector(options.fault_injector);
   std::map<NodeId, Residency> residency;
 
   // Pending uses: how many clusters read this node, plus one if it is a sink.
@@ -264,7 +285,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
           victim_bytes = r.bytes;
         }
       }
-      KF_REQUIRE(victim != kNoNode)
+      KF_REQUIRE_AS(::kf::CapacityExceeded, victim != kNoNode)
           << "device OOM allocating " << bytes << " bytes for '" << label
           << "' with nothing spillable (" << memory.used() << "/" << memory.capacity()
           << " in use)";
@@ -308,7 +329,26 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       static_cast<double>(device_.spec().mem_capacity_bytes) *
       options.device_memory_budget);
 
-  for (const FusionCluster& cluster : plan.clusters) {
+  // Host-side cost of each cluster, needed when a cluster may run on the CPU:
+  // every cluster under force_host, and any persistently failing cluster when
+  // an injector is attached (graceful degradation).
+  std::optional<HeterogeneousScheduler> hetero;
+  if (options.fault_injector != nullptr || options.force_host) {
+    hetero.emplace(device_, cost_model_);
+  }
+  std::vector<SimTime> cluster_host_time(plan.clusters.size(), 0.0);
+
+  auto cluster_label = [&](const FusionCluster& cluster) {
+    std::string label;
+    for (std::size_t m = 0; m < cluster.nodes.size(); ++m) {
+      if (m) label += "+";
+      label += graph.node(cluster.nodes[m]).name;
+    }
+    return label;
+  };
+
+  for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+    const FusionCluster& cluster = plan.clusters[c];
     const std::size_t tagged_before = tagged.size();
     const NodeId primary = cluster.primary_input;
     const OpNode& head = graph.node(cluster.nodes.front());
@@ -328,6 +368,54 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       if (node.inputs.size() > 1) sizes.build_bytes = node_bytes(node.inputs[1]);
       member_sizes.push_back(sizes);
     }
+
+    if (hetero.has_value()) {
+      cluster_host_time[c] =
+          hetero->Decide(graph, cluster, member_sizes).host_time;
+    }
+
+    if (options.force_host) {
+      // Circuit-breaker open (or explicit CPU run): the whole cluster becomes
+      // one host-engine command. The host never faults, inputs and outputs
+      // stay in host memory, and nothing touches the device.
+      begin_unit(static_cast<int>(c));
+      CommandSpec work;
+      work.kind = sim::CommandKind::kHostCompute;
+      work.duration = cluster_host_time[c];
+      work.label = "host/" + cluster_label(cluster);
+      if (residency[primary].ready.has_value()) {
+        work.dependencies.push_back(*residency[primary].ready);
+      }
+      for (NodeId build : cluster.build_inputs) {
+        if (residency[build].ready.has_value()) {
+          work.dependencies.push_back(*residency[build].ready);
+        }
+      }
+      const CommandId host_id =
+          issue(main_stream, std::move(work), Category::kCompute, 0);
+      for (NodeId out : cluster.outputs) {
+        Residency& r = residency[out];
+        r.on_host = true;
+        r.on_device = false;
+        r.ready = host_id;
+      }
+      report.ran_on_host = true;
+
+      ExecutionReport::ClusterTiming timing;
+      timing.label = cluster_label(cluster);
+      timing.compute = cluster_host_time[c];
+      timing.launches = 1;
+      timing.fused = fuse && cluster.fused();
+      report.cluster_timings.push_back(std::move(timing));
+
+      release_use(primary);
+      for (NodeId build : cluster.build_inputs) release_use(build);
+      continue;
+    }
+
+    // Device path. The cluster prologue (build uploads) and the resident
+    // execution form one retry unit; each fission segment below opens its own.
+    begin_unit(static_cast<int>(c));
 
     // Output routing: a cluster output goes to host when it is a sink or the
     // round-trip policy is active; otherwise it stays resident.
@@ -470,6 +558,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       std::vector<CommandId> segment_outputs;
       std::vector<CommandId> last_kernels;
       for (int s = 0; s < segments; ++s) {
+        begin_unit(static_cast<int>(c));  // each segment retries independently
         const stream::StreamHandle stream =
             fission ? handles[static_cast<std::size_t>(s) % handles.size()]
                     : main_stream;
@@ -550,10 +639,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     // Per-cluster compute accounting for the report.
     ExecutionReport::ClusterTiming timing;
     timing.fused = fuse && cluster.fused();
-    for (std::size_t m = 0; m < cluster.nodes.size(); ++m) {
-      if (m) timing.label += "+";
-      timing.label += graph.node(cluster.nodes[m]).name;
-    }
+    timing.label = cluster_label(cluster);
     for (std::size_t i = tagged_before; i < tagged.size(); ++i) {
       if (tagged[i].category == Category::kCompute) {
         timing.compute += tagged[i].duration;
@@ -567,9 +653,11 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     for (NodeId build : cluster.build_inputs) release_use(build);
   }
 
-  // Final downloads for sinks still on the device.
+  // Final downloads for sinks still on the device (each its own retry unit,
+  // owned by the cluster that produced the sink).
   for (NodeId sink : sinks) {
     if (residency[sink].on_device) {
+      begin_unit(plan.cluster_of[static_cast<std::size_t>(sink)]);
       spill_to_host(sink, Category::kInputOutput);
     }
     release_use(sink);
@@ -578,8 +666,100 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   // --- Simulate. --------------------------------------------------------------
   streams.StartStreams();
   report.timeline = streams.WaitAll();
-  report.makespan = report.timeline.makespan;
+  SimTime total_makespan = report.timeline.makespan;
+  report.fault_count = report.timeline.fault_count;
+
+  const ResilienceOptions& res = options.resilience;
+  auto check_deadline = [&] {
+    KF_REQUIRE_AS(::kf::Timeout,
+                  res.deadline <= 0 || total_makespan <= res.deadline)
+        << "query exceeded its deadline of " << res.deadline
+        << "s (simulated clock at " << total_makespan << "s)";
+  };
+
+  if (options.fault_injector != nullptr && report.timeline.fault_count > 0) {
+    // --- Fault recovery (tentpole): re-issue failed retry units on a fresh
+    // single-stream pool with exponential backoff in virtual time; units that
+    // exhaust their retries degrade their cluster to the host engine. --------
+    std::vector<std::vector<std::size_t>> unit_members(unit_cluster.size());
+    for (std::size_t i = 0; i < tagged.size(); ++i) {
+      if (tagged[i].unit >= 0) {
+        unit_members[static_cast<std::size_t>(tagged[i].unit)].push_back(i);
+      }
+    }
+    std::set<int> failed_units;
+    for (const TaggedCommand& cmd : tagged) {
+      if (!report.timeline.commands[cmd.id].ok) failed_units.insert(cmd.unit);
+    }
+
+    std::set<int> failed_clusters;
+    for (int unit : failed_units) {
+      ++report.retried_units;
+      bool recovered = false;
+      for (int attempt = 1; attempt <= res.max_retries; ++attempt) {
+        const SimTime backoff =
+            res.backoff_base * std::pow(res.backoff_factor, attempt - 1);
+        total_makespan += backoff;
+        report.backoff_time += backoff;
+        check_deadline();
+
+        // Rebuild the unit's commands on a fresh stream. Dependencies inside
+        // the unit are remapped; dependencies on other units are dropped —
+        // their producers completed in the original run.
+        stream::StreamPool retry_pool(device_, 1, &metrics,
+                                      options.fault_injector);
+        const stream::StreamHandle retry_stream =
+            retry_pool.GetAvailableStream();
+        std::unordered_map<CommandId, CommandId> remap;
+        for (std::size_t i : unit_members[static_cast<std::size_t>(unit)]) {
+          CommandSpec spec = specs[i];
+          std::vector<CommandId> deps;
+          for (CommandId dep : spec.dependencies) {
+            auto it = remap.find(dep);
+            if (it != remap.end()) deps.push_back(it->second);
+          }
+          spec.dependencies = std::move(deps);
+          remap.emplace(tagged[i].id,
+                        retry_pool.SetStreamCommand(
+                            retry_stream,
+                            stream::PoolCommand{std::move(spec), {}}));
+        }
+        retry_pool.StartStreams();
+        const sim::TimelineStats& retry_stats = retry_pool.WaitAll();
+        ++report.retry_attempts;
+        total_makespan += retry_stats.makespan;
+        report.fault_count += retry_stats.fault_count;
+        check_deadline();
+        if (retry_stats.AllOk()) {
+          recovered = true;
+          break;
+        }
+      }
+      if (!recovered) {
+        failed_clusters.insert(unit_cluster[static_cast<std::size_t>(unit)]);
+      }
+    }
+
+    for (int failed_cluster : failed_clusters) {
+      KF_REQUIRE_AS(::kf::DeviceFault, res.degrade_to_host)
+          << "cluster '"
+          << cluster_label(plan.clusters[static_cast<std::size_t>(failed_cluster)])
+          << "' still failing after " << res.max_retries << " retries";
+      // Graceful degradation: rerun the whole cluster on the host engine.
+      // Functional results were computed host-side up front, so the answer is
+      // byte-identical; only the simulated clock pays the host cost.
+      total_makespan += cluster_host_time[static_cast<std::size_t>(failed_cluster)];
+      ++report.degraded_clusters;
+      report.degraded = true;
+      check_deadline();
+    }
+  }
+  check_deadline();
+
+  report.makespan = total_makespan;
+  report.timeline.makespan = total_makespan;
   report.peak_device_bytes = memory.high_water_mark();
+  report.leaked_device_bytes = memory.used();
 
   for (const TaggedCommand& cmd : tagged) {
     switch (cmd.category) {
@@ -649,6 +829,27 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   record_busy("host", report.timeline.host_busy);
   metrics.GetGauge("executor.peak_device_bytes", by_strategy)
       .Set(static_cast<double>(report.peak_device_bytes));
+  if (options.fault_injector != nullptr || options.force_host) {
+    if (report.fault_count > 0) {
+      metrics.GetCounter("resilience.faults_observed", by_strategy)
+          .Increment(report.fault_count);
+    }
+    if (report.retry_attempts > 0) {
+      metrics.GetCounter("resilience.unit_retries", by_strategy)
+          .Increment(report.retry_attempts);
+    }
+    if (report.degraded_clusters > 0) {
+      metrics.GetCounter("resilience.degraded_clusters", by_strategy)
+          .Increment(report.degraded_clusters);
+    }
+    if (report.backoff_time > 0) {
+      metrics.GetHistogram("resilience.backoff_seconds", by_strategy)
+          .Record(report.backoff_time);
+    }
+    if (report.ran_on_host) {
+      metrics.GetCounter("resilience.host_runs", by_strategy).Increment();
+    }
+  }
 
   return report;
 }

@@ -36,6 +36,7 @@
 #include "core/op_graph.h"
 #include "core/operator_cost.h"
 #include "sim/device_simulator.h"
+#include "sim/fault_injector.h"
 
 namespace kf::core {
 
@@ -50,6 +51,25 @@ enum class IntermediatePolicy : std::uint8_t {
   // and is re-uploaded before its consumer ("with round trip" — what a
   // system must do when device memory cannot hold the working set).
   kRoundTrip,
+};
+
+// Fault recovery policy. The retry unit is what the paper's fission pass
+// naturally provides: a resident cluster runs as one unit, every fission
+// segment is its own unit, and each final sink download is a unit. A failed
+// unit is re-issued on a fresh stream with exponential backoff charged to the
+// simulated clock; a unit that exhausts its retries degrades its whole
+// cluster to the host (Ocelot-style translated execution, see core/hetero.h)
+// instead of failing the query. Functional results are computed host-side
+// before the timing simulation, so recovered and degraded queries return
+// byte-identical results by construction.
+struct ResilienceOptions {
+  int max_retries = 3;                       // attempts per failed unit
+  SimTime backoff_base = 250 * kMicrosecond; // first-retry delay
+  double backoff_factor = 2.0;               // delay multiplier per attempt
+  bool degrade_to_host = true;  // false: throw kf::DeviceFault instead
+  // Simulated-time budget for the whole query (0 = none). Exceeding it —
+  // including backoff and degraded host reruns — throws kf::Timeout.
+  SimTime deadline = 0.0;
 };
 
 struct ExecutorOptions {
@@ -85,6 +105,16 @@ struct ExecutorOptions {
   // been produced for this graph shape with EffectiveFusionOptions(*this)
   // — the executor validates only that the node counts line up.
   const FusionPlan* plan = nullptr;
+
+  // Fault injection + recovery. With an injector attached the executor
+  // checks per-command outcomes after every simulated run and applies
+  // `resilience`; nullptr executes the legacy always-succeeds path.
+  const sim::FaultInjector* fault_injector = nullptr;
+  ResilienceOptions resilience;
+
+  // Route every cluster to the host engine (circuit-breaker open, or an
+  // explicit CPU run). No device commands are issued at all.
+  bool force_host = false;
 };
 
 // The fusion options Run() plans with: `fusion` from the options, with
@@ -116,6 +146,18 @@ struct ExecutionReport {
   // Fusion plan shape this run executed with.
   std::size_t cluster_count = 0;
   std::size_t fused_cluster_count = 0;
+
+  // Fault-injection outcomes (all zero/false without an injector).
+  std::size_t fault_count = 0;       // injected failures observed (all runs)
+  std::size_t retried_units = 0;     // retry units that were re-issued
+  std::size_t retry_attempts = 0;    // total re-issues across those units
+  std::size_t degraded_clusters = 0; // clusters rerun on the host engine
+  bool degraded = false;             // at least one cluster degraded
+  bool ran_on_host = false;          // force_host routed clusters to the CPU
+  SimTime backoff_time = 0.0;        // simulated retry backoff charged
+  // Device bytes still reserved when the run finished — must be zero; a
+  // nonzero value means a fault path leaked a reservation.
+  std::uint64_t leaked_device_bytes = 0;
 
   // Per-cluster kernel-time breakdown (execution order): where the compute
   // time goes — e.g. Q1's SORT share, or the fused block's contribution.

@@ -20,7 +20,7 @@ constexpr std::int64_t kDomain = std::int64_t{1} << 31;  // values in [0, 2^31)
 
 SelectChain MakeSelectChain(std::uint64_t elements,
                             std::span<const double> selectivities) {
-  KF_REQUIRE(!selectivities.empty()) << "select chain needs at least one step";
+  KF_REQUIRE_AS(::kf::InvalidArgument, !selectivities.empty()) << "select chain needs at least one step";
   SelectChain chain;
   chain.elements = elements;
   chain.selectivities.assign(selectivities.begin(), selectivities.end());
@@ -33,7 +33,7 @@ SelectChain MakeSelectChain(std::uint64_t elements,
   double cumulative = 1.0;
   for (std::size_t i = 0; i < selectivities.size(); ++i) {
     const double s = selectivities[i];
-    KF_REQUIRE(s > 0.0 && s <= 1.0) << "selectivity " << s << " out of (0,1]";
+    KF_REQUIRE_AS(::kf::InvalidArgument, s > 0.0 && s <= 1.0) << "selectivity " << s << " out of (0,1]";
     // Nested thresholds: step i keeps fraction s of its input, which is the
     // prefix of the domain that survived steps 0..i-1.
     cumulative *= s;

@@ -24,9 +24,13 @@ DataType ParseTypeTag(const std::string& tag) {
   if (tag == "i32") return DataType::kInt32;
   if (tag == "i64") return DataType::kInt64;
   if (tag == "f64") return DataType::kFloat64;
-  KF_REQUIRE(false) << "unknown CSV column type '" << tag << "'";
-  return DataType::kInt64;
+  KF_FAIL_AS(::kf::InvalidArgument) << "unknown CSV column type '" << tag << "'";
+  return DataType::kInt64;  // unreachable: KF_FAIL_AS throws
 }
+
+// Defensive bound on one line of input: anything longer is corrupt (or an
+// unterminated stream), not data this loader should try to materialize.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
 
 std::vector<std::string> SplitLine(const std::string& line) {
   std::vector<std::string> cells;
@@ -75,11 +79,14 @@ std::string ToCsv(const Table& table) {
 
 Table ReadCsv(std::istream& is) {
   std::string line;
-  KF_REQUIRE(static_cast<bool>(std::getline(is, line))) << "empty CSV input";
+  KF_REQUIRE_AS(::kf::InvalidArgument, static_cast<bool>(std::getline(is, line)))
+      << "empty CSV input";
+  KF_REQUIRE_AS(::kf::InvalidArgument, line.size() <= kMaxLineBytes)
+      << "CSV header line exceeds " << kMaxLineBytes << " bytes";
   std::vector<Field> fields;
   for (const std::string& header : SplitLine(line)) {
     const std::size_t colon = header.rfind(':');
-    KF_REQUIRE(colon != std::string::npos && colon > 0)
+    KF_REQUIRE_AS(::kf::InvalidArgument, colon != std::string::npos && colon > 0)
         << "CSV header '" << header << "' is not name:type";
     fields.push_back(
         Field{header.substr(0, colon), ParseTypeTag(header.substr(colon + 1))});
@@ -91,28 +98,32 @@ Table ReadCsv(std::istream& is) {
   while (std::getline(is, line)) {
     ++line_number;
     if (line.empty()) continue;
+    KF_REQUIRE_AS(::kf::InvalidArgument, line.size() <= kMaxLineBytes)
+        << "CSV line " << line_number << " exceeds " << kMaxLineBytes << " bytes";
     const std::vector<std::string> cells = SplitLine(line);
-    KF_REQUIRE(cells.size() == fields.size())
+    KF_REQUIRE_AS(::kf::InvalidArgument, cells.size() == fields.size())
         << "CSV line " << line_number << " has " << cells.size() << " cells, expected "
         << fields.size();
     for (std::size_t c = 0; c < cells.size(); ++c) {
       const std::string& cell = cells[c];
       if (fields[c].type == DataType::kFloat64) {
+        double value = 0.0;
+        std::size_t consumed = 0;
+        bool parsed = false;
         try {
-          std::size_t consumed = 0;
-          const double value = std::stod(cell, &consumed);
-          KF_REQUIRE(consumed == cell.size())
-              << "CSV line " << line_number << ": trailing junk in '" << cell << "'";
-          row[c] = Value::Float64(value);
+          value = std::stod(cell, &consumed);
+          parsed = true;
         } catch (const std::exception&) {
-          KF_REQUIRE(false) << "CSV line " << line_number << ": bad float '" << cell
-                            << "'";
         }
+        KF_REQUIRE_AS(::kf::InvalidArgument, parsed && consumed == cell.size())
+            << "CSV line " << line_number << ": bad float '" << cell << "'";
+        row[c] = Value::Float64(value);
       } else {
         std::int64_t value = 0;
         const auto [ptr, ec] =
             std::from_chars(cell.data(), cell.data() + cell.size(), value);
-        KF_REQUIRE(ec == std::errc{} && ptr == cell.data() + cell.size())
+        KF_REQUIRE_AS(::kf::InvalidArgument,
+                      ec == std::errc{} && ptr == cell.data() + cell.size())
             << "CSV line " << line_number << ": bad integer '" << cell << "'";
         row[c] = fields[c].type == DataType::kInt32
                      ? Value::Int32(static_cast<std::int32_t>(value))

@@ -144,7 +144,8 @@ CanonicalGraph CanonicalizeGraph(const OpGraph& graph) {
         best_inputs = std::move(inputs);
       }
     }
-    KF_REQUIRE(best != core::kNoNode) << "operator graph has a cycle";
+    KF_REQUIRE_AS(::kf::InvalidArgument, best != core::kNoNode)
+        << "operator graph has a cycle";
     canonical.position[best] = canonical.order.size();
     canonical.order.push_back(best);
   }

@@ -31,6 +31,12 @@ std::string ExecOptionsKey(const core::ExecutorOptions& options) {
      << static_cast<int>(options.host_memory) << '|' << options.fission_segments
      << '|' << options.stream_count << '|' << options.chunk_count << '|'
      << options.device_memory_budget << '|'
+     << static_cast<const void*>(options.fault_injector) << '|'
+     << options.force_host << '|' << options.resilience.max_retries << '|'
+     << options.resilience.backoff_base << '|'
+     << options.resilience.backoff_factor << '|'
+     << options.resilience.degrade_to_host << '|'
+     << options.resilience.deadline << '|'
      << FusionOptionsKey(core::EffectiveFusionOptions(options));
   return os.str();
 }
@@ -64,7 +70,7 @@ std::future<QueryResult> QueryScheduler::Submit(QueryRequest request) {
     space_available_.wait(lock, [&] {
       return stopping_ || queue_.size() < options_.max_queue_depth;
     });
-    KF_REQUIRE(!stopping_) << "QueryScheduler is shut down";
+    KF_REQUIRE_AS(::kf::Cancelled, !stopping_) << "QueryScheduler is shut down";
     job->sim_submit = sim_clock_;
     job->wall_submit = std::chrono::steady_clock::now();
     queue_.push_back(std::move(job));
@@ -110,10 +116,19 @@ void QueryScheduler::Drain() {
 }
 
 void QueryScheduler::Shutdown() {
+  std::deque<JobPtr> cancelled;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
     started_ = true;  // a paused scheduler still drains its queue
+    // Cancel-on-shutdown: queued (unstarted) queries fail typed instead of
+    // draining; batches already executing always complete.
+    if (options_.cancel_pending_on_shutdown) cancelled.swap(queue_);
+  }
+  for (JobPtr& job : cancelled) {
+    metrics().GetCounter("server.cancelled").Increment();
+    job->promise.set_exception(std::make_exception_ptr(
+        ::kf::Cancelled("query cancelled by scheduler shutdown")));
   }
   work_available_.notify_all();
   space_available_.notify_all();
@@ -132,6 +147,39 @@ double QueryScheduler::sim_clock() const {
 std::size_t QueryScheduler::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+bool QueryScheduler::breaker_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return breaker_open_;
+}
+
+void QueryScheduler::RecordDeviceFault() {
+  bool opened = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++consecutive_faults_;
+    if (!breaker_open_ && options_.breaker_threshold > 0 &&
+        consecutive_faults_ >= options_.breaker_threshold) {
+      breaker_open_ = true;
+      breaker_batches_ = 0;
+      opened = true;
+    }
+  }
+  if (opened) metrics().GetCounter("resilience.breaker_opened").Increment();
+}
+
+void QueryScheduler::RecordDeviceSuccess() {
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    consecutive_faults_ = 0;
+    if (breaker_open_) {
+      breaker_open_ = false;
+      closed = true;
+    }
+  }
+  if (closed) metrics().GetCounter("resilience.breaker_closed").Increment();
 }
 
 bool QueryScheduler::Compatible(const QueryRequest& leader,
@@ -283,12 +331,61 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch) {
 
     core::ExecutorOptions options = batch.front()->request.options;
     if (options.metrics == nullptr) options.metrics = &metrics();
+    if (options.fault_injector == nullptr) {
+      options.fault_injector = options_.fault_injector;
+    }
     bool cache_hit = false;
     const core::FusionPlan plan = plan_cache_.GetOrPlan(
         *exec_graph, core::EffectiveFusionOptions(options), &cache_hit);
     options.plan = &plan;
-    core::ExecutionReport report =
-        executor_.Execute(*exec_graph, *exec_sources, options);
+
+    // Circuit breaker: while open, batches run host-side except for the
+    // periodic probe that tests whether the device recovered.
+    bool probing = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (breaker_open_) {
+        ++breaker_batches_;
+        if (options_.breaker_probe_interval > 0 &&
+            breaker_batches_ % options_.breaker_probe_interval == 0) {
+          probing = true;
+        } else {
+          options.force_host = true;
+        }
+      }
+    }
+    if (options.force_host && !batch.front()->request.options.force_host) {
+      metrics().GetCounter("resilience.breaker_rerouted").Increment();
+    }
+    if (probing) metrics().GetCounter("resilience.breaker_probes").Increment();
+
+    // Whole-query retry: a device fault thrown before the executor could
+    // recover internally (e.g. an injected reservation failure) re-runs the
+    // batch up to query_retry_limit times.
+    core::ExecutionReport report;
+    std::size_t device_retries = 0;
+    for (;;) {
+      try {
+        report = executor_.Execute(*exec_graph, *exec_sources, options);
+        break;
+      } catch (const ::kf::Error& e) {
+        if (e.code() != ::kf::ErrorCode::kDeviceFault) throw;
+        RecordDeviceFault();
+        if (device_retries >= options_.query_retry_limit) throw;
+        ++device_retries;
+        metrics().GetCounter("resilience.query_retries").Increment();
+      }
+    }
+    if (!options.force_host) {
+      // A degraded run means the device kept failing (the executor gave up
+      // and reran clusters on the host) — that feeds the breaker; a clean or
+      // internally-recovered run closes it.
+      if (report.degraded) {
+        RecordDeviceFault();
+      } else {
+        RecordDeviceSuccess();
+      }
+    }
 
     double complete = 0.0;
     {
@@ -310,6 +407,9 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch) {
       result.batch_size = batch.size();
       result.merged = merged;
       result.plan_cache_hit = cache_hit;
+      result.degraded = report.degraded;
+      result.ran_on_host = report.ran_on_host;
+      result.device_retries = device_retries;
       result.sim_submit = job->sim_submit;
       result.sim_complete = complete;
       result.queue_wait_seconds = job->queue_wait;
@@ -334,7 +434,16 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch) {
     }
   } catch (...) {
     if (!merged) {
-      metrics().GetCounter("server.failed").Increment();
+      // Label the failure with its stable error code so dashboards can tell
+      // device faults from timeouts from caller mistakes.
+      const char* code = "unknown";
+      try {
+        throw;
+      } catch (const ::kf::Error& e) {
+        code = ::kf::ToString(e.code());
+      } catch (...) {
+      }
+      metrics().GetCounter("server.failed", {{"code", code}}).Increment();
       batch.front()->promise.set_exception(std::current_exception());
       return;
     }

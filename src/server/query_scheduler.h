@@ -75,6 +75,12 @@ struct QueryResult {
   bool merged = false;          // batch_size > 1
   bool plan_cache_hit = false;  // the run skipped PlanFusion
 
+  // Fault-recovery outcomes (see docs/resilience.md). Results are
+  // byte-identical in every case; these report how the run got there.
+  bool degraded = false;          // a cluster reran on the host engine
+  bool ran_on_host = false;       // circuit breaker routed the run host-side
+  std::size_t device_retries = 0; // whole-query re-runs after kf::DeviceFault
+
   // Virtual-device-clock times (seconds of simulated device time).
   double sim_submit = 0.0;
   double sim_complete = 0.0;
@@ -116,6 +122,26 @@ struct SchedulerOptions {
   ThreadPool* execution_pool = nullptr;
 
   core::OperatorCostModel cost_model;
+
+  // Fault injector applied to every execution whose request did not attach
+  // its own (per-query `ExecutorOptions::fault_injector` wins). nullptr
+  // disables scheduler-level fault handling.
+  const sim::FaultInjector* fault_injector = nullptr;
+
+  // Whole-query re-runs after a batch fails with kf::DeviceFault (e.g. an
+  // injected reservation fault) before the error reaches the futures.
+  std::size_t query_retry_limit = 2;
+
+  // Circuit breaker: after `breaker_threshold` consecutive device faults the
+  // breaker opens and new batches run host-side (force_host); every
+  // `breaker_probe_interval`-th batch while open probes the device, and a
+  // successful probe closes the breaker. A threshold of 0 disables it.
+  std::size_t breaker_threshold = 4;
+  std::size_t breaker_probe_interval = 4;
+
+  // Shutdown(): fail still-queued queries with kf::Cancelled instead of
+  // draining them (in-flight batches always complete).
+  bool cancel_pending_on_shutdown = false;
 };
 
 class QueryScheduler {
@@ -131,7 +157,7 @@ class QueryScheduler {
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
   // Enqueues a query. Blocks while the queue is full (backpressure); throws
-  // kf::Error after Shutdown().
+  // kf::Cancelled after Shutdown().
   std::future<QueryResult> Submit(QueryRequest request);
 
   // Non-blocking admission: returns nullopt (and counts a rejection) when
@@ -154,6 +180,9 @@ class QueryScheduler {
   std::size_t queue_depth() const;
   const FusionPlanCache& plan_cache() const { return plan_cache_; }
 
+  // Circuit-breaker state (true: new batches are routed host-side).
+  bool breaker_open() const;
+
  private:
   struct Job {
     QueryRequest request;
@@ -172,6 +201,11 @@ class QueryScheduler {
   // Estimated device footprint of a batch (sources + sinks, deduplicated
   // shared sources by name).
   static std::uint64_t EstimateBytes(const std::vector<JobPtr>& batch);
+
+  // Circuit-breaker bookkeeping: every device-facing outcome feeds the
+  // consecutive-fault counter.
+  void RecordDeviceFault();
+  void RecordDeviceSuccess();
 
   obs::MetricsRegistry& metrics() const {
     return options_.metrics != nullptr ? *options_.metrics
@@ -194,6 +228,11 @@ class QueryScheduler {
   std::size_t executing_ = 0;          // batches currently running
   std::uint64_t inflight_bytes_ = 0;   // admission-controller ledger
   double sim_clock_ = 0.0;
+
+  // Circuit breaker (guarded by mutex_).
+  std::size_t consecutive_faults_ = 0;
+  bool breaker_open_ = false;
+  std::size_t breaker_batches_ = 0;  // batches seen while open (probe cadence)
 
   std::vector<std::thread> workers_;
 };

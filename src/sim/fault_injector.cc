@@ -1,0 +1,98 @@
+#include "sim/fault_injector.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+
+namespace kf::sim {
+
+namespace {
+
+// Distinct salts so the fail and stall draws for one command are independent.
+constexpr std::uint64_t kSaltFail = 0x6661756c74ULL;   // "fault"
+constexpr std::uint64_t kSaltStall = 0x7374616c6cULL;  // "stall"
+constexpr std::uint64_t kSaltOom = 0x6f6f6dULL;        // "oom"
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtod(value, nullptr) : fallback;
+}
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::FromEnv() {
+  FaultConfig config;
+  config.seed = EnvU64("KF_FAULT_SEED", config.seed);
+  config.copy_fault_rate = EnvDouble("KF_FAULT_COPY_RATE", config.copy_fault_rate);
+  config.kernel_fault_rate =
+      EnvDouble("KF_FAULT_KERNEL_RATE", config.kernel_fault_rate);
+  config.oom_rate = EnvDouble("KF_FAULT_OOM_RATE", config.oom_rate);
+  config.stall_rate = EnvDouble("KF_FAULT_STALL_RATE", config.stall_rate);
+  config.stall_multiplier =
+      EnvDouble("KF_FAULT_STALL_MULT", config.stall_multiplier);
+  return config;
+}
+
+double FaultInjector::Draw(std::uint64_t epoch, std::uint64_t ordinal,
+                           std::uint64_t salt) const {
+  // splitmix64 chain over the decision coordinates: stateless, so the same
+  // (seed, epoch, ordinal, salt) always yields the same uniform.
+  std::uint64_t state = config_.seed;
+  std::uint64_t mixed = SplitMix64(state);
+  state ^= epoch * 0x9e3779b97f4a7c15ULL;
+  mixed ^= SplitMix64(state);
+  state ^= ordinal * 0xbf58476d1ce4e5b9ULL;
+  mixed ^= SplitMix64(state);
+  state ^= salt;
+  mixed ^= SplitMix64(state);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::Count(FaultKind kind) const {
+  metrics()
+      .GetCounter("fault.injected", {{"kind", ToString(kind)}})
+      .Increment();
+}
+
+FaultDecision FaultInjector::Decide(std::uint64_t epoch,
+                                    std::uint64_t command_id,
+                                    CommandKind kind) const {
+  FaultDecision decision;
+  if (kind == CommandKind::kHostCompute) return decision;  // host is reliable
+
+  if (config_.stall_rate > 0 &&
+      Draw(epoch, command_id, kSaltStall) < config_.stall_rate) {
+    decision.fault = FaultKind::kStreamStall;
+    decision.duration_multiplier = config_.stall_multiplier;
+    Count(FaultKind::kStreamStall);
+  }
+
+  const bool is_copy =
+      kind == CommandKind::kCopyH2D || kind == CommandKind::kCopyD2H;
+  const double fail_rate =
+      is_copy ? config_.copy_fault_rate : config_.kernel_fault_rate;
+  if (fail_rate > 0 && Draw(epoch, command_id, kSaltFail) < fail_rate) {
+    decision.fault =
+        is_copy ? FaultKind::kCopyTransient : FaultKind::kKernelFault;
+    Count(decision.fault);
+  }
+  return decision;
+}
+
+bool FaultInjector::InjectOomOnReservation() const {
+  if (config_.oom_rate <= 0) return false;
+  const std::uint64_t ordinal = oom_draws_.fetch_add(1, std::memory_order_relaxed);
+  if (Draw(0, ordinal, kSaltOom) < config_.oom_rate) {
+    Count(FaultKind::kDeviceOom);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace kf::sim

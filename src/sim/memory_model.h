@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "sim/fault_injector.h"
 
 namespace kf::sim {
 
@@ -22,6 +23,11 @@ class DeviceMemoryModel {
   explicit DeviceMemoryModel(std::uint64_t capacity_bytes)
       : capacity_(capacity_bytes) {}
 
+  // Attaches a fault injector consulted once per Allocate() call; an
+  // injected fault throws kf::DeviceFault (transient, retryable) and leaves
+  // the accounting untouched. nullptr (default) never injects.
+  void set_fault_injector(const FaultInjector* injector) { injector_ = injector; }
+
   std::uint64_t capacity() const { return capacity_; }
   std::uint64_t used() const { return used_; }
   std::uint64_t free_bytes() const { return capacity_ - used_; }
@@ -29,9 +35,15 @@ class DeviceMemoryModel {
 
   bool CanAllocate(std::uint64_t bytes) const { return bytes <= free_bytes(); }
 
-  // Reserves `bytes`; throws kf::Error on exhaustion.
+  // Reserves `bytes`; throws kf::CapacityExceeded on genuine exhaustion and
+  // kf::DeviceFault on an injected transient reservation failure.
   AllocationId Allocate(std::uint64_t bytes, const std::string& label = {}) {
-    KF_REQUIRE(CanAllocate(bytes))
+    if (injector_ != nullptr && injector_->InjectOomOnReservation()) {
+      KF_FAIL_AS(::kf::DeviceFault)
+          << "injected transient device OOM reserving " << bytes
+          << " bytes for '" << label << "'";
+    }
+    KF_REQUIRE_AS(::kf::CapacityExceeded, CanAllocate(bytes))
         << "device OOM allocating " << bytes << " bytes for '" << label << "' ("
         << used_ << "/" << capacity_ << " in use)";
     const AllocationId id = next_id_++;
@@ -59,6 +71,7 @@ class DeviceMemoryModel {
   std::uint64_t used_ = 0;
   std::uint64_t high_water_ = 0;
   AllocationId next_id_ = 1;
+  const FaultInjector* injector_ = nullptr;
   std::unordered_map<AllocationId, std::uint64_t> allocations_;
 };
 

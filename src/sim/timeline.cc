@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "sim/fault_injector.h"
 
 namespace kf::sim {
 
@@ -22,16 +23,29 @@ const char* ToString(CommandKind kind) {
   return "?";
 }
 
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCopyTransient: return "copy";
+    case FaultKind::kKernelFault: return "kernel";
+    case FaultKind::kDeviceOom: return "oom";
+    case FaultKind::kStreamStall: return "stall";
+  }
+  return "?";
+}
+
 CommandId Timeline::AddCommand(StreamId stream, CommandSpec spec) {
-  KF_REQUIRE(stream >= 0) << "negative stream id " << stream;
+  KF_REQUIRE_AS(::kf::InvalidArgument, stream >= 0)
+      << "negative stream id " << stream;
   if (spec.kind == CommandKind::kKernel) {
-    KF_REQUIRE(spec.solo_duration >= 0 && spec.demand > 0)
+    KF_REQUIRE_AS(::kf::InvalidArgument, spec.solo_duration >= 0 && spec.demand > 0)
         << "kernel '" << spec.label << "' needs solo_duration/demand";
   } else {
-    KF_REQUIRE(spec.duration >= 0) << "command '" << spec.label << "' negative duration";
+    KF_REQUIRE_AS(::kf::InvalidArgument, spec.duration >= 0)
+        << "command '" << spec.label << "' negative duration";
   }
   for (CommandId dep : spec.dependencies) {
-    KF_REQUIRE(dep < commands_.size())
+    KF_REQUIRE_AS(::kf::InvalidArgument, dep < commands_.size())
         << "command '" << spec.label << "' depends on unknown command " << dep;
   }
   commands_.push_back(Entry{std::move(spec), stream});
@@ -43,6 +57,23 @@ TimelineStats Timeline::Run() const {
   TimelineStats stats;
   stats.commands.resize(n);
   if (n == 0) return stats;
+
+  // Per-command fault decisions, drawn up front for this run's epoch. A
+  // stall stretches the command's duration; a failing fault lets the command
+  // occupy its engine normally and marks it failed at completion.
+  std::vector<FaultDecision> decisions(n);
+  if (injector_ != nullptr) {
+    const std::uint64_t epoch = injector_->NextEpoch();
+    for (CommandId id = 0; id < n; ++id) {
+      decisions[id] = injector_->Decide(epoch, id, commands_[id].spec.kind);
+    }
+  }
+  auto effective_duration = [&](CommandId id) {
+    const CommandSpec& spec = commands_[id].spec;
+    const SimTime base =
+        spec.kind == CommandKind::kKernel ? spec.solo_duration : spec.duration;
+    return base * decisions[id].duration_multiplier;
+  };
 
   // Per-command bookkeeping.
   std::vector<bool> started(n, false);
@@ -146,7 +177,7 @@ TimelineStats Timeline::Run() const {
           engine->running = best;
           stats.commands[id].ready = best_ready;
           stats.commands[id].start = now;
-          end_time[id] = now + commands_[id].spec.duration;
+          end_time[id] = now + effective_duration(id);
           started_any = true;
         }
       }
@@ -168,7 +199,7 @@ TimelineStats Timeline::Run() const {
         stats.commands[id].ready = pick_ready;
         stats.commands[id].start = now;
         active_kernels.push_back(
-            ActiveKernel{id, std::max<SimTime>(commands_[id].spec.solo_duration, 0.0)});
+            ActiveKernel{id, std::max<SimTime>(effective_duration(id), 0.0)});
         started_any = true;
       }
       if (started_any) recompute_rates();
@@ -229,6 +260,13 @@ TimelineStats Timeline::Run() const {
   stats.h2d_busy = h2d.busy_accum;
   stats.d2h_busy = d2h.busy_accum;
   stats.host_busy = host.busy_accum;
+  for (CommandId id = 0; id < n; ++id) {
+    stats.commands[id].fault = decisions[id].fault;
+    stats.commands[id].ok = decisions[id].fault == FaultKind::kNone ||
+                            decisions[id].fault == FaultKind::kStreamStall;
+    if (!stats.commands[id].ok) ++stats.fault_count;
+    if (decisions[id].duration_multiplier > 1.0) ++stats.stall_count;
+  }
   return stats;
 }
 

@@ -35,6 +35,21 @@ enum class CommandKind { kCopyH2D, kCopyD2H, kKernel, kHostCompute };
 
 const char* ToString(CommandKind kind);
 
+// What the fault injector did to a command (see sim/fault_injector.h).
+// `kStreamStall` is a latency spike only — the command still succeeds;
+// the other non-none kinds fail the command.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kCopyTransient,  // transient copy-engine error (H2D/D2H)
+  kKernelFault,    // kernel/ECC fault on the compute engine
+  kDeviceOom,      // injected allocation failure on reservation
+  kStreamStall,    // latency spike; command completes successfully
+};
+
+const char* ToString(FaultKind kind);
+
+class FaultInjector;
+
 struct CommandSpec {
   CommandKind kind = CommandKind::kKernel;
   std::string label;
@@ -52,10 +67,15 @@ struct CommandSpec {
   std::vector<CommandId> dependencies;
 };
 
+// Per-command result: timing plus outcome. With no fault injector attached
+// every command succeeds (`ok`, `fault == kNone`) and this degenerates to
+// the old timing-only record.
 struct CommandTiming {
   SimTime ready = 0.0;  // when stream order + dependencies were satisfied
   SimTime start = 0.0;
   SimTime end = 0.0;
+  bool ok = true;                       // false: command failed (transient fault)
+  FaultKind fault = FaultKind::kNone;   // kStreamStall keeps ok == true
 };
 
 struct TimelineStats {
@@ -65,7 +85,11 @@ struct TimelineStats {
   SimTime d2h_busy = 0.0;
   SimTime compute_busy = 0.0;
   SimTime host_busy = 0.0;
+  std::size_t fault_count = 0;  // commands that failed (ok == false)
+  std::size_t stall_count = 0;  // commands that hit a latency spike
   std::vector<CommandTiming> commands;
+
+  bool AllOk() const { return fault_count == 0; }
 };
 
 // A single-use builder/executor: add commands to streams, then Run().
@@ -79,7 +103,15 @@ class Timeline {
 
   std::size_t command_count() const { return commands_.size(); }
 
-  // Runs the simulation to completion and returns per-command timings.
+  // Attaches a fault injector consulted once per command during Run().
+  // nullptr (the default) runs fault-free. The injector must outlive Run().
+  void set_fault_injector(const FaultInjector* injector) { injector_ = injector; }
+
+  // Runs the simulation to completion and returns per-command timings and
+  // outcomes. A failed command still occupies its engine for its (possibly
+  // stalled) duration — the fault is detected at completion, as with a CUDA
+  // sync — and its dependents still run; re-issuing failed work is the
+  // caller's job (the executor retries at fission-segment granularity).
   // Throws kf::Error on dependency deadlock.
   TimelineStats Run() const;
 
@@ -98,6 +130,7 @@ class Timeline {
   // `Timeline(DeviceSpec::TeslaC2070())`, so a reference would dangle.
   DeviceSpec spec_;
   std::vector<Entry> commands_;
+  const FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace kf::sim

@@ -8,8 +8,9 @@
 namespace kf::stream {
 
 StreamPool::StreamPool(const sim::DeviceSimulator& device, int stream_count,
-                       obs::MetricsRegistry* metrics)
-    : device_(device), metrics_(metrics) {
+                       obs::MetricsRegistry* metrics,
+                       const sim::FaultInjector* injector)
+    : device_(device), metrics_(metrics), injector_(injector) {
   KF_REQUIRE(stream_count > 0) << "stream pool needs at least one stream";
   streams_.resize(static_cast<std::size_t>(stream_count));
 }
@@ -68,6 +69,7 @@ void StreamPool::StartStreams() {
   }
   // ...then the timing simulation.
   sim::Timeline timeline = device_.NewTimeline();
+  timeline.set_fault_injector(injector_);
   for (std::size_t i = 0; i < commands_.size(); ++i) {
     timeline.AddCommand(command_stream_[i], commands_[i].spec);
   }
@@ -92,11 +94,26 @@ void StreamPool::StartStreams() {
       .Set(stats_->compute_busy);
   m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "host"}})
       .Set(stats_->host_busy);
+  if (stats_->fault_count > 0) {
+    m.GetCounter("stream_pool.faulted_commands").Increment(stats_->fault_count);
+  }
+  if (stats_->stall_count > 0) {
+    m.GetCounter("stream_pool.stalled_commands").Increment(stats_->stall_count);
+  }
 }
 
 const sim::TimelineStats& StreamPool::WaitAll() const {
   KF_REQUIRE(started()) << "waitAll before startStreams";
   return *stats_;
+}
+
+std::vector<sim::CommandId> StreamPool::FailedCommands() const {
+  std::vector<sim::CommandId> failed;
+  if (!stats_.has_value()) return failed;
+  for (sim::CommandId id = 0; id < stats_->commands.size(); ++id) {
+    if (!stats_->commands[id].ok) failed.push_back(id);
+  }
+  return failed;
 }
 
 void StreamPool::Terminate() {

@@ -46,9 +46,11 @@ class StreamPool {
   // engines plus compute (paper: "at least three streams are needed to fully
   // utilize its concurrency capacity"). `metrics` is where StartStreams
   // records pool counters and engine-busy gauges; nullptr means the
-  // process-wide default registry.
+  // process-wide default registry. `injector` (optional) injects faults into
+  // the simulated run; per-command outcomes surface through WaitAll().
   explicit StreamPool(const sim::DeviceSimulator& device, int stream_count = 3,
-                      obs::MetricsRegistry* metrics = nullptr);
+                      obs::MetricsRegistry* metrics = nullptr,
+                      const sim::FaultInjector* injector = nullptr);
 
   int stream_count() const { return static_cast<int>(streams_.size()); }
 
@@ -67,8 +69,15 @@ class StreamPool {
   void StartStreams();
 
   // Blocks until execution finishes (simulation is synchronous, so this
-  // just returns the stats). Throws if StartStreams was not called.
+  // just returns the stats). Throws if StartStreams was not called. The
+  // stats carry per-command outcomes: with a fault injector attached,
+  // callers must check `stats.AllOk()` / `stats.commands[id].ok` instead of
+  // assuming success.
   const sim::TimelineStats& WaitAll() const;
+
+  // Command ids (as returned by SetStreamCommand) that failed in the last
+  // run. Empty before StartStreams and on fault-free runs.
+  std::vector<sim::CommandId> FailedCommands() const;
 
   // Ends execution immediately: drops all queued commands and results.
   void Terminate();
@@ -84,6 +93,7 @@ class StreamPool {
 
   const sim::DeviceSimulator& device_;
   obs::MetricsRegistry* metrics_;
+  const sim::FaultInjector* injector_;
   std::vector<StreamState> streams_;
   std::vector<PoolCommand> commands_;             // issue order
   std::vector<sim::StreamId> command_stream_;     // parallel to commands_

@@ -65,6 +65,51 @@ TEST(Csv, MalformedInputsThrow) {
   EXPECT_THROW(FromCsv("a:f64\n1.5zz\n"), kf::Error);           // trailing junk
 }
 
+// Every ingestion failure carries the stable invalid_argument code so
+// servers can classify client errors without string-matching messages.
+TEST(Csv, MalformedInputsThrowTypedInvalidArgument) {
+  const auto expect_invalid = [](const std::string& csv, const char* what) {
+    try {
+      (void)FromCsv(csv);
+      ADD_FAILURE() << "expected kf::InvalidArgument for " << what;
+    } catch (const kf::Error& e) {
+      EXPECT_EQ(e.code(), kf::ErrorCode::kInvalidArgument) << what;
+    }
+  };
+  expect_invalid("", "empty input");
+  expect_invalid("a:i32,b\n1,2\n", "header field without type tag");
+  expect_invalid("a:i128\n1\n", "unknown type tag");
+  expect_invalid("a:i32,b:i32\n1\n", "truncated row (too few cells)");
+  expect_invalid("a:i32,b:i32\n1,2,3\n", "overlong row (too many cells)");
+  expect_invalid("a:i32\nxyz\n", "non-numeric integer field");
+  expect_invalid("a:i32\n\xF0\x9F\x92\xA9\n", "non-ascii integer field");
+  expect_invalid("a:f64\nnot-a-float\n", "non-numeric float field");
+  expect_invalid("a:f64\n1.5zz\n", "float with trailing junk");
+  expect_invalid("a:i32\n99999999999999999999\n", "integer out of range");
+}
+
+TEST(Csv, OverlongLinesThrowTypedInvalidArgument) {
+  // Lines beyond the 1 MiB guard are rejected up front, header or data.
+  const std::string long_cell(std::size_t{1} << 21, '7');
+  const auto expect_invalid = [](const std::string& csv, const char* what) {
+    try {
+      (void)FromCsv(csv);
+      ADD_FAILURE() << "expected kf::InvalidArgument for " << what;
+    } catch (const kf::Error& e) {
+      EXPECT_EQ(e.code(), kf::ErrorCode::kInvalidArgument) << what;
+    }
+  };
+  expect_invalid("a:i64\n" + long_cell + "\n", "overlong data line");
+  expect_invalid(long_cell + ":i64\n1\n", "overlong header line");
+}
+
+TEST(Csv, LargeButBoundedLinesStillParse) {
+  // Just under the guard: many cells, one long line — must succeed.
+  Table t(Schema{{"a", DataType::kInt64}});
+  std::string csv = "a:i64\n123456789\n";
+  EXPECT_EQ(FromCsv(csv).row_count(), 1u);
+}
+
 TEST(Csv, BlankLinesIgnored) {
   const Table parsed = FromCsv("a:i32\n1\n\n2\n");
   EXPECT_EQ(parsed.row_count(), 2u);

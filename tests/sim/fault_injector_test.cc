@@ -1,0 +1,234 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "obs/metrics_registry.h"
+#include "sim/timeline.h"
+
+namespace kf::sim {
+namespace {
+
+FaultConfig AllFaults(double rate, std::uint64_t seed = 42) {
+  FaultConfig config;
+  config.seed = seed;
+  config.copy_fault_rate = rate;
+  config.kernel_fault_rate = rate;
+  config.stall_rate = rate;
+  return config;
+}
+
+TEST(FaultConfig, DefaultInjectsNothing) {
+  const FaultConfig config;
+  EXPECT_FALSE(config.AnyEnabled());
+  obs::MetricsRegistry registry;
+  FaultInjector injector(config, &registry);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    const FaultDecision d = injector.Decide(1, id, CommandKind::kKernel);
+    EXPECT_EQ(d.fault, FaultKind::kNone);
+    EXPECT_EQ(d.duration_multiplier, 1.0);
+  }
+  EXPECT_FALSE(injector.InjectOomOnReservation());
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicPerSeed) {
+  obs::MetricsRegistry registry;
+  FaultInjector a(AllFaults(0.3), &registry);
+  FaultInjector b(AllFaults(0.3), &registry);
+  for (std::uint64_t epoch = 1; epoch < 5; ++epoch) {
+    for (std::uint64_t id = 0; id < 200; ++id) {
+      const FaultDecision da = a.Decide(epoch, id, CommandKind::kCopyH2D);
+      const FaultDecision db = b.Decide(epoch, id, CommandKind::kCopyH2D);
+      EXPECT_EQ(da.fault, db.fault);
+      EXPECT_EQ(da.duration_multiplier, db.duration_multiplier);
+    }
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDisagree) {
+  obs::MetricsRegistry registry;
+  FaultInjector a(AllFaults(0.3, 1), &registry);
+  FaultInjector b(AllFaults(0.3, 2), &registry);
+  int differing = 0;
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    if (a.Decide(1, id, CommandKind::kKernel).fault !=
+        b.Decide(1, id, CommandKind::kKernel).fault) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, EpochsGiveFreshDraws) {
+  // A retried command must not hit the same fault forever: decisions for one
+  // command id differ across epochs.
+  obs::MetricsRegistry registry;
+  FaultInjector injector(AllFaults(0.5), &registry);
+  int faulted = 0;
+  for (std::uint64_t epoch = 1; epoch <= 64; ++epoch) {
+    if (injector.Decide(epoch, 7, CommandKind::kKernel).fault ==
+        FaultKind::kKernelFault) {
+      ++faulted;
+    }
+  }
+  EXPECT_GT(faulted, 0);
+  EXPECT_LT(faulted, 64);
+}
+
+TEST(FaultInjector, ObservedRatesTrackConfiguredRates) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 7;
+  config.kernel_fault_rate = 0.2;
+  FaultInjector injector(config, &registry);
+  const int n = 5000;
+  int failures = 0;
+  for (std::uint64_t id = 0; id < n; ++id) {
+    if (injector.Decide(1, id, CommandKind::kKernel).fault ==
+        FaultKind::kKernelFault) {
+      ++failures;
+    }
+  }
+  const double observed = static_cast<double>(failures) / n;
+  EXPECT_NEAR(observed, 0.2, 0.03);
+}
+
+TEST(FaultInjector, HostCommandsNeverFault) {
+  obs::MetricsRegistry registry;
+  FaultInjector injector(AllFaults(1.0), &registry);
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    const FaultDecision d = injector.Decide(1, id, CommandKind::kHostCompute);
+    EXPECT_EQ(d.fault, FaultKind::kNone);
+    EXPECT_EQ(d.duration_multiplier, 1.0);
+  }
+}
+
+TEST(FaultInjector, CopyAndKernelRatesAreIndependent) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 11;
+  config.copy_fault_rate = 1.0;  // copies always fail...
+  FaultInjector injector(config, &registry);
+  EXPECT_EQ(injector.Decide(1, 0, CommandKind::kCopyH2D).fault,
+            FaultKind::kCopyTransient);
+  EXPECT_EQ(injector.Decide(1, 0, CommandKind::kCopyD2H).fault,
+            FaultKind::kCopyTransient);
+  // ...kernels never do.
+  EXPECT_EQ(injector.Decide(1, 0, CommandKind::kKernel).fault, FaultKind::kNone);
+}
+
+TEST(FaultInjector, StallStretchesDuration) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 3;
+  config.stall_rate = 1.0;
+  config.stall_multiplier = 4.0;
+  FaultInjector injector(config, &registry);
+  const FaultDecision d = injector.Decide(1, 0, CommandKind::kKernel);
+  EXPECT_EQ(d.fault, FaultKind::kStreamStall);
+  EXPECT_EQ(d.duration_multiplier, 4.0);
+}
+
+TEST(FaultInjector, OomDrawsAdvanceDeterministically) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 5;
+  config.oom_rate = 0.25;
+  FaultInjector a(config, &registry);
+  FaultInjector b(config, &registry);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.InjectOomOnReservation(), b.InjectOomOnReservation());
+  }
+}
+
+TEST(FaultInjector, CountsInjectedFaults) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 1;
+  config.kernel_fault_rate = 1.0;
+  FaultInjector injector(config, &registry);
+  (void)injector.Decide(1, 0, CommandKind::kKernel);
+  EXPECT_EQ(registry.GetCounter("fault.injected", {{"kind", "kernel"}}).value(),
+            1u);
+}
+
+TEST(FaultConfig, FromEnvReadsVariables) {
+  ::setenv("KF_FAULT_SEED", "99", 1);
+  ::setenv("KF_FAULT_COPY_RATE", "0.125", 1);
+  ::setenv("KF_FAULT_STALL_MULT", "16", 1);
+  const FaultConfig config = FaultConfig::FromEnv();
+  ::unsetenv("KF_FAULT_SEED");
+  ::unsetenv("KF_FAULT_COPY_RATE");
+  ::unsetenv("KF_FAULT_STALL_MULT");
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.copy_fault_rate, 0.125);
+  EXPECT_EQ(config.stall_multiplier, 16.0);
+  EXPECT_EQ(config.kernel_fault_rate, 0.0);  // unset keeps the default
+  EXPECT_TRUE(config.AnyEnabled());
+}
+
+TEST(Timeline, FaultedCommandsSurfaceInStats) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 1;
+  config.kernel_fault_rate = 1.0;
+  FaultInjector injector(config, &registry);
+
+  Timeline timeline(DeviceSpec::TeslaC2070());
+  timeline.set_fault_injector(&injector);
+  CommandSpec kernel;
+  kernel.kind = CommandKind::kKernel;
+  kernel.solo_duration = 1.0;
+  kernel.demand = 1.0;
+  timeline.AddCommand(0, kernel);
+  CommandSpec copy;
+  copy.kind = CommandKind::kCopyH2D;
+  copy.duration = 1.0;
+  timeline.AddCommand(0, copy);
+
+  const TimelineStats stats = timeline.Run();
+  EXPECT_FALSE(stats.AllOk());
+  EXPECT_EQ(stats.fault_count, 1u);  // the kernel; copies are clean
+  EXPECT_FALSE(stats.commands[0].ok);
+  EXPECT_EQ(stats.commands[0].fault, FaultKind::kKernelFault);
+  EXPECT_TRUE(stats.commands[1].ok);
+  // Failed commands still occupy their engine: timing is unchanged.
+  EXPECT_GT(stats.makespan, 0.0);
+}
+
+TEST(Timeline, StallDelaysCompletion) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 1;
+  config.stall_rate = 1.0;
+  config.stall_multiplier = 8.0;
+  FaultInjector injector(config, &registry);
+
+  Timeline timeline(DeviceSpec::TeslaC2070());
+  timeline.set_fault_injector(&injector);
+  CommandSpec copy;
+  copy.kind = CommandKind::kCopyH2D;
+  copy.duration = 1.0;
+  timeline.AddCommand(0, copy);
+
+  const TimelineStats stats = timeline.Run();
+  EXPECT_TRUE(stats.AllOk());  // stalls slow commands down, they don't fail
+  EXPECT_EQ(stats.stall_count, 1u);
+  EXPECT_NEAR(stats.makespan, 8.0, 1e-9);
+}
+
+TEST(Timeline, NoInjectorMeansEveryCommandOk) {
+  Timeline timeline(DeviceSpec::TeslaC2070());
+  CommandSpec copy;
+  copy.kind = CommandKind::kCopyD2H;
+  copy.duration = 0.5;
+  timeline.AddCommand(0, copy);
+  const TimelineStats stats = timeline.Run();
+  EXPECT_TRUE(stats.AllOk());
+  EXPECT_TRUE(stats.commands[0].ok);
+  EXPECT_EQ(stats.commands[0].fault, FaultKind::kNone);
+}
+
+}  // namespace
+}  // namespace kf::sim

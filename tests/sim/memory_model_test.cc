@@ -64,5 +64,50 @@ TEST(DeviceMemoryModel, ZeroByteAllocationIsFine) {
   mem.Free(a);
 }
 
+TEST(DeviceMemoryModel, GenuineExhaustionThrowsCapacityExceeded) {
+  DeviceMemoryModel mem(MiB(10));
+  (void)mem.Allocate(MiB(8));
+  EXPECT_THROW(mem.Allocate(MiB(4)), CapacityExceeded);
+}
+
+TEST(DeviceMemoryModel, InjectedOomThrowsDeviceFault) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 1;
+  config.oom_rate = 1.0;  // every reservation fails
+  FaultInjector injector(config, &registry);
+  DeviceMemoryModel mem(MiB(100));
+  mem.set_fault_injector(&injector);
+  EXPECT_THROW(mem.Allocate(MiB(1), "victim"), DeviceFault);
+  // The injected fault is transient: accounting is untouched, so a retry
+  // has the full capacity available.
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.high_water_mark(), 0u);
+  EXPECT_TRUE(mem.CanAllocate(MiB(100)));
+}
+
+TEST(DeviceMemoryModel, InjectedOomIsTransient) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 3;
+  config.oom_rate = 0.5;
+  FaultInjector injector(config, &registry);
+  DeviceMemoryModel mem(MiB(100));
+  mem.set_fault_injector(&injector);
+  // With rate 0.5 some reservation must eventually succeed; accounting then
+  // reflects exactly the successful ones.
+  int successes = 0;
+  for (int i = 0; i < 20; ++i) {
+    try {
+      const AllocationId a = mem.Allocate(MiB(1));
+      ++successes;
+      mem.Free(a);
+    } catch (const DeviceFault&) {
+    }
+    EXPECT_EQ(mem.used(), 0u);
+  }
+  EXPECT_GT(successes, 0);
+}
+
 }  // namespace
 }  // namespace kf::sim

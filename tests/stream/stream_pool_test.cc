@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "obs/metrics_registry.h"
+#include "sim/fault_injector.h"
 
 namespace kf::stream {
 namespace {
@@ -132,6 +134,42 @@ TEST_F(StreamPoolTest, ThreeStreamFissionPipelineOverlaps) {
   pool.StartStreams();
   const SimTime makespan = pool.WaitAll().makespan;
   EXPECT_NEAR(makespan, segments + 2.0, 0.1);  // vs 3*segments serialized
+}
+
+TEST_F(StreamPoolTest, FaultOutcomesSurfaceThroughWaitAll) {
+  obs::MetricsRegistry registry;
+  sim::FaultConfig config;
+  config.seed = 1;
+  config.kernel_fault_rate = 1.0;
+  sim::FaultInjector injector(config, &registry);
+
+  StreamPool pool(device_, 2, &registry, &injector);
+  const StreamHandle s = pool.GetAvailableStream();
+  const sim::CommandId kernel_id =
+      pool.SetStreamCommand(s, PoolCommand{Kernel(1.0), {}});
+  sim::CommandSpec copy;
+  copy.kind = sim::CommandKind::kCopyH2D;
+  copy.duration = 1.0;
+  const sim::CommandId copy_id = pool.SetStreamCommand(s, PoolCommand{copy, {}});
+  pool.StartStreams();
+
+  const sim::TimelineStats& stats = pool.WaitAll();
+  EXPECT_FALSE(stats.AllOk());
+  EXPECT_FALSE(stats.commands[kernel_id].ok);
+  EXPECT_TRUE(stats.commands[copy_id].ok);
+  const std::vector<sim::CommandId> failed = pool.FailedCommands();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], kernel_id);
+  EXPECT_EQ(registry.GetCounter("stream_pool.faulted_commands").value(), 1u);
+}
+
+TEST_F(StreamPoolTest, NoInjectorMeansNoFailedCommands) {
+  StreamPool pool(device_, 1);
+  pool.SetStreamCommand(pool.GetAvailableStream(), PoolCommand{Kernel(0.5), {}});
+  EXPECT_TRUE(pool.FailedCommands().empty());  // before start
+  pool.StartStreams();
+  EXPECT_TRUE(pool.WaitAll().AllOk());
+  EXPECT_TRUE(pool.FailedCommands().empty());
 }
 
 }  // namespace
