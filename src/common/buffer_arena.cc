@@ -1,0 +1,15 @@
+#include "common/buffer_arena.h"
+
+namespace kf {
+
+HostPerfCounters& HostPerfCounters::Global() {
+  static HostPerfCounters counters;
+  return counters;
+}
+
+BufferArena& BufferArena::ThreadLocal() {
+  thread_local BufferArena arena;
+  return arena;
+}
+
+}  // namespace kf

@@ -30,6 +30,17 @@ std::vector<T> ExclusiveScanWithTotal(const std::vector<T>& counts) {
   return ExclusiveScanWithTotal(std::span<const T>(counts));
 }
 
+// In-place variant for pooled workspaces: writes the scan into `offsets`
+// (resized to counts.size() + 1). Allocates only when `offsets` lacks
+// capacity, so warm runs over a reused workspace are allocation-free.
+template <typename T>
+void ExclusiveScanWithTotalInto(std::span<const T> counts,
+                                std::vector<T>& offsets) {
+  offsets.resize(counts.size() + 1);
+  offsets[0] = T{};
+  std::inclusive_scan(counts.begin(), counts.end(), offsets.begin() + 1);
+}
+
 }  // namespace kf
 
 #endif  // KF_COMMON_PREFIX_SUM_H_

@@ -154,11 +154,68 @@ struct ChunkState {
   std::map<NodeId, std::size_t> member_rows;
 };
 
+// Typed-kernel fast path: a cluster that is a linear SELECT chain over a
+// single int32 column, with every predicate compilable to a TypedPredicate,
+// runs through the staged substrate over a pooled workspace — vectorized
+// filter stages, zero Row objects, zero steady-state allocations beyond the
+// output table itself. Returns false (leaving `result` untouched) when the
+// cluster doesn't match, which keeps the generic path the semantic reference.
+bool TryTypedSelectChain(const OpGraph& graph, const FusionCluster& cluster,
+                         const Table& primary, int chunk_count, ThreadPool* pool,
+                         kf::BufferArena* arena, ClusterExecution& result) {
+  if (primary.column_count() != 1 ||
+      primary.column(0).type() != relational::DataType::kInt32) {
+    return false;
+  }
+  NodeId expected_input = cluster.primary_input;
+  std::vector<relational::TypedPredicate> preds;
+  preds.reserve(cluster.nodes.size());
+  for (NodeId id : cluster.nodes) {
+    const OpNode& node = graph.node(id);
+    if (node.desc.kind != OpKind::kSelect || node.inputs.size() != 1 ||
+        node.inputs[0] != expected_input) {
+      return false;
+    }
+    const std::optional<relational::TypedPredicate> pred =
+        relational::CompilePredicate(node.desc.predicate, 0);
+    if (!pred.has_value()) return false;
+    preds.push_back(*pred);
+    expected_input = id;
+  }
+  if (cluster.outputs.size() != 1 || cluster.outputs[0] != cluster.nodes.back()) {
+    return false;
+  }
+
+  kf::BufferArena& pool_arena =
+      arena != nullptr ? *arena : kf::BufferArena::ThreadLocal();
+  auto ws = pool_arena.Acquire<relational::StagedBuffers>();
+  // Per-stage execution (not one folded pass) so each member's row count is
+  // attributed exactly as the generic path does for the cost model.
+  std::vector<relational::StagedSelectStats> per_step;
+  const std::span<const std::int32_t> selected =
+      relational::StagedSelectChainUnfusedInto(primary.column(0).AsInt32(),
+                                               preds, chunk_count, *ws, pool,
+                                               &per_step);
+
+  result.primary_rows = primary.row_count();
+  result.chunk_count = chunk_count;
+  for (std::size_t s = 0; s < cluster.nodes.size(); ++s) {
+    result.member_rows[cluster.nodes[s]] = per_step[s].output_count;
+  }
+  const OpNode& out_node = graph.node(cluster.outputs[0]);
+  Table table(out_node.schema);
+  table.column(0).AsInt32().assign(selected.begin(), selected.end());
+  table.SyncRowCountFromColumns();
+  result.output_rows[cluster.outputs[0]] = table.row_count();
+  result.outputs.emplace(cluster.outputs[0], std::move(table));
+  return true;
+}
+
 }  // namespace
 
 ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& cluster,
                                 const TableLookup& table_of, int chunk_count,
-                                ThreadPool* pool) {
+                                ThreadPool* pool, kf::BufferArena* arena) {
   KF_REQUIRE(!cluster.nodes.empty()) << "empty fusion cluster";
   KF_REQUIRE_AS(::kf::InvalidArgument, chunk_count > 0) << "chunk count must be positive";
 
@@ -178,6 +235,14 @@ ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& clust
   }
 
   const Table& primary = table_of(cluster.primary_input);
+
+  {
+    ClusterExecution fast;
+    if (TryTypedSelectChain(graph, cluster, primary, chunk_count, pool, arena,
+                            fast)) {
+      return fast;
+    }
+  }
 
   // --- Pre-build JOIN/PRODUCT side inputs (they are materialized). ---------
   std::map<NodeId, BuildIndex> join_builds;

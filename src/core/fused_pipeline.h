@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 
+#include "common/buffer_arena.h"
 #include "common/thread_pool.h"
 #include "core/fusion_planner.h"
 #include "relational/table.h"
@@ -44,9 +45,19 @@ using TableLookup = std::function<const relational::Table&(NodeId)>;
 // Executes `cluster` over `graph`. `table_of` must resolve the cluster's
 // primary input and every build input. Throws kf::Error when the cluster
 // contains an operator the fused pipeline cannot stream (a planner bug).
+//
+// A cluster that is a linear SELECT chain over a single int32 column, with
+// every predicate expressible as a typed predicate kernel, bypasses the Row
+// machinery entirely: it runs through the staged typed-kernel substrate over
+// a pooled StagedBuffers workspace (from `arena` if given, else the calling
+// thread's scratch arena) and writes the output column directly. Results,
+// member row counts, and output tables are byte-identical to the generic
+// path; clusters that don't match the shape (or whose predicates need the
+// std::function fallback semantics of EvalExpr) take the generic path.
 ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& cluster,
                                 const TableLookup& table_of, int chunk_count = 448,
-                                ThreadPool* pool = nullptr);
+                                ThreadPool* pool = nullptr,
+                                kf::BufferArena* arena = nullptr);
 
 }  // namespace kf::core
 

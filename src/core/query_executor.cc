@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "core/hetero.h"
+#include "obs/hostperf_export.h"
 #include "relational/operators.h"
 #include "stream/stream_pool.h"
 
@@ -149,7 +150,8 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
           Classify(graph.node(cluster.nodes[0]).desc.kind) == FusionClass::kBarrier;
       if (fuse && !barrier_cluster) {
         ClusterExecution exec =
-            ExecuteCluster(graph, cluster, lookup, options.chunk_count, pool_);
+            ExecuteCluster(graph, cluster, lookup, options.chunk_count, pool_,
+                           options.arena);
         for (auto& [id, table] : exec.outputs) {
           rows[id] = table.row_count();
           computed.emplace(id, std::move(table));
@@ -850,6 +852,9 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       metrics.GetCounter("resilience.host_runs", by_strategy).Increment();
     }
   }
+  // Snapshot of the host-substrate counters (arena reuse, typed/fallback
+  // predicate mix) — updated cold, here, never from the kernel hot paths.
+  obs::RecordHostPerfMetrics(metrics);
 
   return report;
 }

@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "common/buffer_arena.h"
 #include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
 #include "core/fused_pipeline.h"
@@ -115,6 +116,13 @@ struct ExecutorOptions {
   // Route every cluster to the host engine (circuit-breaker open, or an
   // explicit CPU run). No device commands are issued at all.
   bool force_host = false;
+
+  // Workspace pool for the functional staged kernels (typed SELECT-chain
+  // clusters check StagedBuffers out of it, so repeated queries hit warm
+  // buffers). nullptr uses the executing thread's scratch arena. The arena
+  // only affects allocation behavior, never results — it is deliberately NOT
+  // part of any execution-compatibility key.
+  kf::BufferArena* arena = nullptr;
 };
 
 // The fusion options Run() plans with: `fusion` from the options, with

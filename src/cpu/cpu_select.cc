@@ -21,35 +21,30 @@ std::vector<std::int32_t> CpuSelect(std::span<const std::int32_t> input,
   const std::size_t block_size = (n + blocks - 1) / blocks;
   const std::size_t block_count = (n + block_size - 1) / block_size;
 
-  // Pass 1: per-block match counts.
+  // Pass 1: per-block match counts. Blocks are claimed from the pool's
+  // atomic counter — no task boxing, no per-block allocation.
   std::vector<std::uint64_t> counts(block_count, 0);
-  for (std::size_t b = 0; b < block_count; ++b) {
-    pool->Submit([&, b] {
-      const std::size_t begin = b * block_size;
-      const std::size_t end = std::min(n, begin + block_size);
-      std::uint64_t count = 0;
-      for (std::size_t i = begin; i < end; ++i) {
-        if (predicate(input[i])) ++count;
-      }
-      counts[b] = count;
-    });
-  }
-  pool->Wait();
+  pool->ParallelForEach(block_count, [&](std::size_t b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t end = std::min(n, begin + block_size);
+    std::uint64_t count = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (predicate(input[i])) ++count;
+    }
+    counts[b] = count;
+  });
 
   // Scan, then pass 2: positioned writes.
   const std::vector<std::uint64_t> offsets = ExclusiveScanWithTotal(counts);
   std::vector<std::int32_t> output(offsets.back());
-  for (std::size_t b = 0; b < block_count; ++b) {
-    pool->Submit([&, b] {
-      const std::size_t begin = b * block_size;
-      const std::size_t end = std::min(n, begin + block_size);
-      std::size_t pos = offsets[b];
-      for (std::size_t i = begin; i < end; ++i) {
-        if (predicate(input[i])) output[pos++] = input[i];
-      }
-    });
-  }
-  pool->Wait();
+  pool->ParallelForEach(block_count, [&](std::size_t b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t end = std::min(n, begin + block_size);
+    std::size_t pos = offsets[b];
+    for (std::size_t i = begin; i < end; ++i) {
+      if (predicate(input[i])) output[pos++] = input[i];
+    }
+  });
   return output;
 }
 

@@ -1,0 +1,25 @@
+#include "obs/hostperf_export.h"
+
+#include "common/buffer_arena.h"
+
+namespace kf::obs {
+
+void RecordHostPerfMetrics(MetricsRegistry& registry) {
+  const auto& counters = kf::HostPerfCounters::Global();
+  const std::uint64_t hits = counters.pool_hits.load(std::memory_order_relaxed);
+  const std::uint64_t misses =
+      counters.pool_misses.load(std::memory_order_relaxed);
+  registry.GetGauge("hostperf.pool_hits").Set(hits);
+  registry.GetGauge("hostperf.pool_misses").Set(misses);
+  const std::uint64_t total = hits + misses;
+  registry.GetGauge("hostperf.pool_hit_rate_ppm")
+      .Set(total == 0 ? 0 : hits * 1'000'000 / total);
+  registry.GetGauge("hostperf.arena_reused_bytes")
+      .Set(counters.arena_reused_bytes.load(std::memory_order_relaxed));
+  registry.GetGauge("hostperf.typed_predicates")
+      .Set(counters.typed_predicates.load(std::memory_order_relaxed));
+  registry.GetGauge("hostperf.fallback_predicates")
+      .Set(counters.fallback_predicates.load(std::memory_order_relaxed));
+}
+
+}  // namespace kf::obs

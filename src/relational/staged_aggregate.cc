@@ -32,10 +32,7 @@ std::vector<GroupedSum> StagedGroupedAggregate(std::span<const AggregateInput> i
     }
   };
   if (pool != nullptr && chunks.size() > 1) {
-    for (std::size_t c = 0; c < chunks.size(); ++c) {
-      pool->Submit([&fold_chunk, c] { fold_chunk(c); });
-    }
-    pool->Wait();
+    pool->ParallelForEach(chunks.size(), fold_chunk);
   } else {
     for (std::size_t c = 0; c < chunks.size(); ++c) fold_chunk(c);
   }

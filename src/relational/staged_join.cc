@@ -50,10 +50,9 @@ StagedHashTable::StagedHashTable(std::span<const JoinPair> rows, int chunk_count
 
   const std::vector<ChunkRange> chunks = PartitionInput(rows.size(), chunk_count);
   if (pool != nullptr && chunks.size() > 1) {
-    for (const ChunkRange& range : chunks) {
-      pool->Submit([&insert_range, range] { insert_range(range.begin, range.end); });
-    }
-    pool->Wait();
+    pool->ParallelForEach(chunks.size(), [&](std::size_t c) {
+      insert_range(chunks[c].begin, chunks[c].end);
+    });
   } else {
     insert_range(0, rows.size());
   }
@@ -99,10 +98,7 @@ std::vector<JoinedRow> StagedHashJoin(std::span<const JoinPair> left,
     }
   };
   if (pool != nullptr && chunks.size() > 1) {
-    for (std::size_t c = 0; c < chunks.size(); ++c) {
-      pool->Submit([&probe_chunk, c] { probe_chunk(c); });
-    }
-    pool->Wait();
+    pool->ParallelForEach(chunks.size(), probe_chunk);
   } else {
     for (std::size_t c = 0; c < chunks.size(); ++c) probe_chunk(c);
   }

@@ -9,6 +9,16 @@
 // single partition/buffer/gather (Figure 6) — so the structure is kept
 // literal here: each stage is a separate function, and the fused/unfused
 // paths below differ exactly the way the paper's kernels differ.
+//
+// Two API layers:
+//  - The `...Into` functions are the hot substrate: they run over a pooled
+//    `StagedBuffers` workspace (typically checked out of a kf::BufferArena),
+//    use the typed predicate kernels from relational/predicate.h, and perform
+//    ZERO heap allocations once the workspace is warm.
+//  - The original std::function-based entry points remain for callers that
+//    don't manage a workspace; they ride the same substrate through a
+//    thread-local arena plus a PredOp::kFallback wrapper, paying one final
+//    copy into the returned vector.
 #ifndef KF_RELATIONAL_STAGED_KERNEL_H_
 #define KF_RELATIONAL_STAGED_KERNEL_H_
 
@@ -17,7 +27,9 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer_arena.h"
 #include "common/thread_pool.h"
+#include "relational/predicate.h"
 
 namespace kf::relational {
 
@@ -30,6 +42,10 @@ struct ChunkRange {
 // Stage 1 — partition: split [0, n) into `chunk_count` contiguous chunks
 // (the last may be short; empty chunks are produced when n < chunk_count).
 std::vector<ChunkRange> PartitionInput(std::size_t n, int chunk_count);
+
+// In-place variant for pooled workspaces (allocation-free when warm).
+void PartitionInputInto(std::size_t n, int chunk_count,
+                        std::vector<ChunkRange>& ranges);
 
 using Int32Predicate = std::function<bool(std::int32_t)>;
 
@@ -58,6 +74,49 @@ struct StagedSelectStats {
   int chunk_count = 0;
   int filter_stage_count = 1;  // > 1 for fused chains
 };
+
+// Reusable workspace for the staged stages. Every vector retains its capacity
+// across runs, so a warm workspace executes a whole staged SELECT (or chain)
+// without touching the heap. Pool it through kf::BufferArena.
+struct StagedBuffers {
+  std::vector<ChunkRange> chunks;                  // partition stage
+  std::vector<std::vector<std::int32_t>> buffers;  // per-chunk dense buffers
+  std::vector<std::uint32_t> counts;               // per-chunk match counts
+  std::vector<std::uint32_t> offsets;              // exclusive scan + total
+  std::vector<std::int32_t> output;                // gather destination
+  std::vector<std::int32_t> stage_a;               // unfused-chain ping...
+  std::vector<std::int32_t> stage_b;               // ...pong intermediates
+
+  // Retained heap capacity — reported as hostperf.arena_reused_bytes on
+  // arena reuse.
+  std::size_t CapacityBytes() const;
+};
+
+// Complete staged SELECT over a workspace: partition, typed filter, scan,
+// gather. The result lives in `ws.output`; the returned span aliases it and
+// is valid until the workspace is reused. Allocation-free when warm.
+std::span<const std::int32_t> StagedSelectInto(
+    std::span<const std::int32_t> input, const TypedPredicate& predicate,
+    int chunk_count, StagedBuffers& ws, ThreadPool* pool = nullptr,
+    StagedSelectStats* stats = nullptr, int filter_stage_count = 1);
+
+// Fused chain over a workspace: one partition/buffer/gather whose filter
+// stage applies every predicate while the element is still in registers.
+std::span<const std::int32_t> StagedSelectChainFusedInto(
+    std::span<const std::int32_t> input,
+    std::span<const TypedPredicate> predicates, int chunk_count,
+    StagedBuffers& ws, ThreadPool* pool = nullptr,
+    StagedSelectStats* stats = nullptr);
+
+// Unfused chain over a workspace: one full staged SELECT per predicate. The
+// first step reads the input span directly (no defensive copy); later steps
+// ping-pong between ws.stage_a and ws.stage_b. The result aliases the
+// workspace like StagedSelectInto.
+std::span<const std::int32_t> StagedSelectChainUnfusedInto(
+    std::span<const std::int32_t> input,
+    std::span<const TypedPredicate> predicates, int chunk_count,
+    StagedBuffers& ws, ThreadPool* pool = nullptr,
+    std::vector<StagedSelectStats>* per_step_stats = nullptr);
 
 // Complete staged SELECT: partition, filter, scan, gather. A fused chain of
 // SELECTs is expressed by passing a composed predicate and recording the

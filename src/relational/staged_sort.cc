@@ -40,10 +40,7 @@ void RadixPass(std::vector<std::uint32_t>& keys, std::vector<Payload>& payload,
     }
   };
   if (pool != nullptr && chunk_count > 1) {
-    for (std::size_t c = 0; c < chunk_count; ++c) {
-      pool->Submit([&histogram_chunk, c] { histogram_chunk(c); });
-    }
-    pool->Wait();
+    pool->ParallelForEach(chunk_count, histogram_chunk);
   } else {
     for (std::size_t c = 0; c < chunk_count; ++c) histogram_chunk(c);
   }
@@ -74,10 +71,7 @@ void RadixPass(std::vector<std::uint32_t>& keys, std::vector<Payload>& payload,
     }
   };
   if (pool != nullptr && chunk_count > 1) {
-    for (std::size_t c = 0; c < chunk_count; ++c) {
-      pool->Submit([&scatter_chunk, c] { scatter_chunk(c); });
-    }
-    pool->Wait();
+    pool->ParallelForEach(chunk_count, scatter_chunk);
   } else {
     for (std::size_t c = 0; c < chunk_count; ++c) scatter_chunk(c);
   }

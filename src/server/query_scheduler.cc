@@ -227,6 +227,9 @@ std::uint64_t QueryScheduler::EstimateBytes(const std::vector<JobPtr>& batch) {
 }
 
 void QueryScheduler::WorkerLoop() {
+  // Worker-private buffer pool: staged-kernel workspaces stay warm across
+  // every batch this worker executes, with no cross-worker contention.
+  kf::BufferArena arena;
   for (;;) {
     std::vector<JobPtr> batch;
     std::uint64_t batch_bytes = 0;
@@ -269,7 +272,7 @@ void QueryScheduler::WorkerLoop() {
     }
     space_available_.notify_all();
 
-    ExecuteBatch(std::move(batch));
+    ExecuteBatch(std::move(batch), &arena);
 
     bool now_idle = false;
     {
@@ -285,7 +288,8 @@ void QueryScheduler::WorkerLoop() {
   }
 }
 
-void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch) {
+void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
+                                  kf::BufferArena* arena) {
   const auto pickup = std::chrono::steady_clock::now();
   for (const JobPtr& job : batch) {
     const double wait =
@@ -331,6 +335,7 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch) {
 
     core::ExecutorOptions options = batch.front()->request.options;
     if (options.metrics == nullptr) options.metrics = &metrics();
+    if (options.arena == nullptr) options.arena = arena;
     if (options.fault_injector == nullptr) {
       options.fault_injector = options_.fault_injector;
     }
@@ -453,7 +458,7 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch) {
     for (JobPtr& job : batch) {
       std::vector<JobPtr> solo;
       solo.push_back(std::move(job));
-      ExecuteBatch(std::move(solo));
+      ExecuteBatch(std::move(solo), arena);
     }
   }
 }

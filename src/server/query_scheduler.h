@@ -197,7 +197,10 @@ class QueryScheduler {
   // True when `candidate` can join a batch led by `leader`.
   static bool Compatible(const QueryRequest& leader, const QueryRequest& candidate);
   // Executes `batch` as one (possibly merged) run and fulfills its promises.
-  void ExecuteBatch(std::vector<JobPtr> batch);
+  // `arena` is the executing worker's private buffer pool — repeated queries
+  // on one worker reuse warm staged-kernel workspaces without locking against
+  // other workers.
+  void ExecuteBatch(std::vector<JobPtr> batch, kf::BufferArena* arena);
   // Estimated device footprint of a batch (sources + sinks, deduplicated
   // shared sources by name).
   static std::uint64_t EstimateBytes(const std::vector<JobPtr>& batch);

@@ -1,0 +1,119 @@
+#include "common/buffer_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace kf {
+namespace {
+
+struct Workspace {
+  std::vector<std::int32_t> data;
+  std::size_t CapacityBytes() const {
+    return data.capacity() * sizeof(std::int32_t);
+  }
+};
+
+TEST(BufferArena, FirstAcquireMissesThenHits) {
+  BufferArena arena;
+  {
+    auto ws = arena.Acquire<Workspace>();
+    ws->data.resize(1024);
+  }
+  EXPECT_EQ(arena.stats().hits, 0u);
+  EXPECT_EQ(arena.stats().misses, 1u);
+  EXPECT_EQ(arena.pooled_count(), 1u);
+
+  auto ws = arena.Acquire<Workspace>();
+  EXPECT_EQ(arena.stats().hits, 1u);
+  EXPECT_EQ(arena.pooled_count(), 0u);
+}
+
+TEST(BufferArena, ReuseRetainsCapacity) {
+  BufferArena arena;
+  const std::int32_t* buffer = nullptr;
+  {
+    auto ws = arena.Acquire<Workspace>();
+    ws->data.resize(4096);
+    buffer = ws->data.data();
+  }
+  auto ws = arena.Acquire<Workspace>();
+  EXPECT_EQ(ws->data.data(), buffer);  // same heap block handed back
+  EXPECT_GE(ws->data.capacity(), 4096u);
+}
+
+TEST(BufferArena, ReusedBytesAccounted) {
+  BufferArena arena;
+  {
+    auto ws = arena.Acquire<Workspace>();
+    ws->data.resize(1000);
+  }
+  { auto ws = arena.Acquire<Workspace>(); }
+  EXPECT_GE(arena.stats().reused_bytes, 1000u * sizeof(std::int32_t));
+  EXPECT_GT(arena.stats().HitRate(), 0.0);
+}
+
+TEST(BufferArena, DistinctTypesPoolSeparately) {
+  struct Other {
+    std::vector<double> data;
+  };
+  BufferArena arena;
+  { auto a = arena.Acquire<Workspace>(); }
+  auto b = arena.Acquire<Other>();
+  // The pooled Workspace must not be handed out as an Other.
+  EXPECT_EQ(arena.stats().hits, 0u);
+  EXPECT_EQ(arena.stats().misses, 2u);
+  EXPECT_EQ(arena.pooled_count(), 1u);
+}
+
+TEST(BufferArena, TrimDropsPooledObjects) {
+  BufferArena arena;
+  { auto ws = arena.Acquire<Workspace>(); }
+  EXPECT_EQ(arena.pooled_count(), 1u);
+  arena.Trim();
+  EXPECT_EQ(arena.pooled_count(), 0u);
+  auto ws = arena.Acquire<Workspace>();
+  EXPECT_EQ(arena.stats().misses, 2u);
+}
+
+TEST(BufferArena, ConcurrentAcquireReleaseIsSafe) {
+  BufferArena arena;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&arena] {
+      for (int i = 0; i < 500; ++i) {
+        auto ws = arena.Acquire<Workspace>();
+        ws->data.resize(64);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2000u);
+  EXPECT_LE(arena.pooled_count(), 4u);
+}
+
+TEST(BufferArena, ThreadLocalArenasAreDistinct) {
+  BufferArena* main_arena = &BufferArena::ThreadLocal();
+  BufferArena* worker_arena = nullptr;
+  std::thread worker([&] { worker_arena = &BufferArena::ThreadLocal(); });
+  worker.join();
+  EXPECT_NE(main_arena, worker_arena);
+  EXPECT_EQ(main_arena, &BufferArena::ThreadLocal());
+}
+
+TEST(HostPerfCounters, GlobalCountersAdvanceWithArenaTraffic) {
+  auto& counters = HostPerfCounters::Global();
+  const std::uint64_t hits_before = counters.pool_hits.load();
+  const std::uint64_t misses_before = counters.pool_misses.load();
+  BufferArena arena;
+  { auto ws = arena.Acquire<Workspace>(); }
+  { auto ws = arena.Acquire<Workspace>(); }
+  EXPECT_GE(counters.pool_hits.load(), hits_before + 1);
+  EXPECT_GE(counters.pool_misses.load(), misses_before + 1);
+}
+
+}  // namespace
+}  // namespace kf

@@ -73,6 +73,77 @@ TEST(ThreadPool, NestedWaitDoesNotDeadlock) {
   EXPECT_EQ(inner.load(), 32);
 }
 
+TEST(ThreadPool, ParallelForLargeRangeUsesWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100000);
+  pool.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEachCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(512);
+  pool.ParallelForEach(hits.size(),
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEachZeroIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelForEach(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedParallelForFallsBackInline) {
+  // A ParallelFor issued from inside a ParallelFor body (or a worker task)
+  // must degrade to inline execution, not deadlock.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelForEach(8, [&](std::size_t) {
+    pool.ParallelFor(4096, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 4096);
+}
+
+TEST(ThreadPool, ConcurrentParallelForsFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        pool.ParallelFor(10000, [&](std::size_t begin, std::size_t end) {
+          total.fetch_add(static_cast<int>(end - begin));
+        });
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 4 * 10 * 10000);
+}
+
+TEST(ThreadPool, ParallelForMixedWithSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> submitted{0};
+  std::atomic<int> looped{0};
+  for (int i = 0; i < 64; ++i) pool.Submit([&submitted] { ++submitted; });
+  pool.ParallelFor(50000, [&](std::size_t begin, std::size_t end) {
+    looped.fetch_add(static_cast<int>(end - begin));
+  });
+  pool.Wait();
+  EXPECT_EQ(submitted.load(), 64);
+  EXPECT_EQ(looped.load(), 50000);
+}
+
 TEST(ThreadPool, SharedPoolIsUsable) {
   std::atomic<int> counter{0};
   ThreadPool::Shared().Submit([&counter] { ++counter; });

@@ -6,7 +6,9 @@
 // rows fails here even when the multiset still matches.
 #include <gtest/gtest.h>
 
+#include "common/buffer_arena.h"
 #include "core/query_executor.h"
+#include "core/select_chain.h"
 #include "server/query_scheduler.h"
 #include "tests/core/random_graph.h"
 
@@ -75,6 +77,141 @@ TEST_P(StrategyDifferential, EveryStrategyByteIdenticalToScalarReference) {
       }
     }
   }
+}
+
+TEST_P(StrategyDifferential, ArenaRunsByteIdenticalToScalarReference) {
+  // Same sweep as above but with a caller-provided BufferArena: pooled
+  // workspaces must never change a byte of output, across repeated (warm)
+  // runs included.
+  const RandomQuery q =
+      MakeRandomQuery(static_cast<std::uint64_t>(GetParam()) * 911 + 5);
+  const std::map<NodeId, Table> truth = ReferenceResults(q);
+
+  sim::DeviceSimulator device;
+  QueryExecutor executor(device);
+  kf::BufferArena arena;
+  for (Strategy strategy : {Strategy::kSerial, Strategy::kFused,
+                            Strategy::kFission, Strategy::kFusedFission}) {
+    ExecutorOptions options;
+    options.strategy = strategy;
+    options.chunk_count = 4;
+    options.arena = &arena;
+    for (int run = 0; run < 2; ++run) {  // second run reuses warm pools
+      const ExecutionReport report =
+          executor.Execute(q.graph, q.sources, options);
+      for (NodeId sink : q.graph.Sinks()) {
+        ASSERT_EQ(report.sink_results.count(sink), 1u);
+        EXPECT_TRUE(ByteIdentical(report.sink_results.at(sink), truth.at(sink)))
+            << ToString(strategy) << " arena run " << run << " sink " << sink;
+      }
+    }
+  }
+}
+
+// Single-column int32 select chains: the shape the typed-predicate fast path
+// (TryTypedSelectChain) accepts. `compilable` picks expressions every one of
+// which CompilePredicate can lower; otherwise each chain gets at least one
+// uncompilable predicate so execution must stay on the generic Row path.
+struct Int32Chain {
+  OpGraph graph;
+  std::map<NodeId, Table> sources;
+  NodeId source = 0;
+};
+
+Int32Chain MakeInt32Chain(std::uint64_t seed, bool compilable) {
+  using relational::Expr;
+  using relational::OperatorDesc;
+  Rng rng(seed);
+  Int32Chain q;
+  const std::size_t rows = static_cast<std::size_t>(rng.UniformInt(200, 2000));
+  const Table data = MakeUniformInt32Table(rows, seed);
+  q.source = q.graph.AddSource("chain_src", data.schema(), rows);
+  q.sources.emplace(q.source, data);
+
+  NodeId prev = q.source;
+  const int depth = static_cast<int>(rng.UniformInt(2, 5));
+  for (int i = 0; i < depth; ++i) {
+    Expr expr = Expr::Lt(Expr::FieldRef(0), Expr::Lit(rng.UniformInt(0, 1 << 30)));
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        break;  // plain v < lit
+      case 1:
+        expr = Expr::And(
+            Expr::Ge(Expr::FieldRef(0), Expr::Lit(rng.UniformInt(0, 1 << 29))),
+            Expr::Le(Expr::FieldRef(0), Expr::Lit(rng.UniformInt(0, 1 << 30))));
+        break;
+      case 2:
+        expr = Expr::Not(
+            Expr::Ge(Expr::FieldRef(0), Expr::Lit(rng.UniformInt(0, 1 << 30))));
+        break;
+      case 3:
+        // Literal on the left: still compilable via mirroring.
+        expr = Expr::Gt(Expr::Lit(rng.UniformInt(0, 1 << 30)), Expr::FieldRef(0));
+        break;
+    }
+    if (!compilable && i == depth / 2) {
+      // Arithmetic inside the comparison defeats CompilePredicate but is
+      // semantically equivalent to a plain threshold for EvalExpr.
+      expr = Expr::Lt(Expr::Add(Expr::FieldRef(0), Expr::Lit(0)),
+                      Expr::Lit(rng.UniformInt(0, 1 << 30)));
+    }
+    prev = q.graph.AddOperator(OperatorDesc::Select(expr, "sel" + std::to_string(i)),
+                               prev);
+  }
+  return q;
+}
+
+std::map<NodeId, Table> Int32ChainReference(const Int32Chain& q) {
+  std::map<NodeId, Table> truth;
+  for (NodeId id : q.graph.TopologicalOrder()) {
+    const OpNode& node = q.graph.node(id);
+    if (node.is_source) {
+      truth.emplace(id, q.sources.at(id));
+    } else {
+      truth.emplace(id,
+                    relational::ApplyOperator(node.desc, truth.at(node.inputs[0])));
+    }
+  }
+  return truth;
+}
+
+TEST_P(StrategyDifferential, TypedSelectChainByteIdenticalToScalarReference) {
+  const std::uint64_t typed_before =
+      kf::HostPerfCounters::Global().typed_predicates.load();
+  for (bool compilable : {true, false}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const Int32Chain q = MakeInt32Chain(
+          static_cast<std::uint64_t>(GetParam()) * 271 + trial * 13 + 1,
+          compilable);
+      const std::map<NodeId, Table> truth = Int32ChainReference(q);
+
+      sim::DeviceSimulator device;
+      QueryExecutor executor(device);
+      kf::BufferArena arena;
+      for (Strategy strategy : {Strategy::kSerial, Strategy::kFused,
+                                Strategy::kFission, Strategy::kFusedFission}) {
+        for (std::size_t chunks : {std::size_t{1}, std::size_t{4}}) {
+          ExecutorOptions options;
+          options.strategy = strategy;
+          options.chunk_count = chunks;
+          options.arena = &arena;
+          const ExecutionReport report =
+              executor.Execute(q.graph, q.sources, options);
+          for (NodeId sink : q.graph.Sinks()) {
+            ASSERT_EQ(report.sink_results.count(sink), 1u);
+            EXPECT_TRUE(
+                ByteIdentical(report.sink_results.at(sink), truth.at(sink)))
+                << ToString(strategy) << " chunks=" << chunks
+                << " compilable=" << compilable << " trial " << trial
+                << "\ngraph:\n" << q.graph.ToString();
+          }
+        }
+      }
+    }
+  }
+  // The compilable chains must actually have exercised typed kernels.
+  EXPECT_GT(kf::HostPerfCounters::Global().typed_predicates.load(),
+            typed_before);
 }
 
 TEST_P(StrategyDifferential, SchedulerPathByteIdenticalToScalarReference) {

@@ -1,0 +1,95 @@
+#include "tests/hostperf/alloc_hooks.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Detect sanitizers across GCC (__SANITIZE_*__) and Clang (__has_feature).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define KF_ALLOC_HOOKS_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define KF_ALLOC_HOOKS_DISABLED 1
+#endif
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+namespace kf::testing {
+
+bool AllocationCountingAvailable() {
+#if defined(KF_ALLOC_HOOKS_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace kf::testing
+
+#if !defined(KF_ALLOC_HOOKS_DISABLED)
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t alignment) {
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // !KF_ALLOC_HOOKS_DISABLED

@@ -1,0 +1,40 @@
+// Deterministic heap-allocation counting for the hostperf regression tests.
+//
+// alloc_hooks.cc replaces the global operator new/delete family with
+// counting wrappers. The counters are plain relaxed atomics so the hooks are
+// safe from any thread and cost a couple of nanoseconds — but they are still
+// process-global, which is why this harness links into its own test binary
+// (hostperf_test) and nothing else.
+//
+// Under ASan/TSan the sanitizer runtime interposes its own allocator and our
+// overrides either never fire or double-count interceptor traffic, so the
+// hooks compile away and AllocationCountingAvailable() reports false; tests
+// GTEST_SKIP in that configuration.
+#ifndef KF_TESTS_HOSTPERF_ALLOC_HOOKS_H_
+#define KF_TESTS_HOSTPERF_ALLOC_HOOKS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kf::testing {
+
+// True when the counting operator new/delete overrides are active in this
+// binary (i.e. not compiled under a sanitizer).
+bool AllocationCountingAvailable();
+
+// Total successful operator-new calls (all variants) since process start.
+std::uint64_t AllocationCount();
+
+// Scoped delta reader: `AllocationScope scope; ...; scope.delta()`.
+class AllocationScope {
+ public:
+  AllocationScope() : start_(AllocationCount()) {}
+  std::uint64_t delta() const { return AllocationCount() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace kf::testing
+
+#endif  // KF_TESTS_HOSTPERF_ALLOC_HOOKS_H_
