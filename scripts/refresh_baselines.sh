@@ -25,5 +25,6 @@ run bench_fig14_fission 0.02
 run bench_fig18a_tpch_q1 0.05
 run bench_server_throughput 0.2
 run bench_resilience 0.1
+run bench_multi_device 0.1
 
 echo "baselines written to $OUT_DIR"

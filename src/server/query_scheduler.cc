@@ -53,11 +53,28 @@ QueryScheduler::QueryScheduler(const sim::DeviceSimulator& device,
   if (options_.worker_count == 0) options_.worker_count = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
   if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  if (options_.device_group != nullptr) {
+    group_executor_ = std::make_unique<core::MultiDeviceExecutor>(
+        *options_.device_group, options_.cost_model, options_.execution_pool);
+    device_states_.resize(
+        static_cast<std::size_t>(options_.device_group->device_count()));
+  }
   workers_.reserve(options_.worker_count);
   for (std::size_t i = 0; i < options_.worker_count; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
+
+namespace {
+SchedulerOptions WithGroup(SchedulerOptions options, const sim::DeviceGroup* group) {
+  options.device_group = group;
+  return options;
+}
+}  // namespace
+
+QueryScheduler::QueryScheduler(const sim::DeviceGroup& group,
+                               SchedulerOptions options)
+    : QueryScheduler(group.device(0), WithGroup(std::move(options), &group)) {}
 
 QueryScheduler::~QueryScheduler() { Shutdown(); }
 
@@ -154,6 +171,12 @@ bool QueryScheduler::breaker_open() const {
   return breaker_open_;
 }
 
+bool QueryScheduler::breaker_open(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (device < 0 || device >= static_cast<int>(device_states_.size())) return false;
+  return device_states_[static_cast<std::size_t>(device)].breaker_open;
+}
+
 void QueryScheduler::RecordDeviceFault() {
   bool opened = false;
   {
@@ -182,11 +205,54 @@ void QueryScheduler::RecordDeviceSuccess() {
   if (closed) metrics().GetCounter("resilience.breaker_closed").Increment();
 }
 
+void QueryScheduler::RecordDeviceFault(int device) {
+  bool opened = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DeviceState& state = device_states_.at(static_cast<std::size_t>(device));
+    ++state.consecutive_faults;
+    if (!state.breaker_open && options_.breaker_threshold > 0 &&
+        state.consecutive_faults >= options_.breaker_threshold) {
+      state.breaker_open = true;
+      state.breaker_batches = 0;
+      opened = true;
+    }
+  }
+  if (opened) {
+    const std::string& label =
+        options_.device_group->device(device).instance_label();
+    metrics().GetCounter("resilience.breaker_opened").Increment();
+    metrics().GetCounter("server.device.breaker_opened", {{"device", label}})
+        .Increment();
+  }
+}
+
+void QueryScheduler::RecordDeviceSuccess(int device) {
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DeviceState& state = device_states_.at(static_cast<std::size_t>(device));
+    state.consecutive_faults = 0;
+    if (state.breaker_open) {
+      state.breaker_open = false;
+      closed = true;
+    }
+  }
+  if (closed) {
+    const std::string& label =
+        options_.device_group->device(device).instance_label();
+    metrics().GetCounter("resilience.breaker_closed").Increment();
+    metrics().GetCounter("server.device.breaker_closed", {{"device", label}})
+        .Increment();
+  }
+}
+
 bool QueryScheduler::Compatible(const QueryRequest& leader,
                                 const QueryRequest& candidate) {
   if (leader.merge_class.empty() || leader.merge_class != candidate.merge_class) {
     return false;
   }
+  if (leader.allow_sharding != candidate.allow_sharding) return false;
   if (leader.options.metrics != candidate.options.metrics) return false;
   if (ExecOptionsKey(leader.options) != ExecOptionsKey(candidate.options)) {
     return false;
@@ -259,9 +325,15 @@ void QueryScheduler::WorkerLoop() {
       // in-flight work retires (an oversized batch runs when nothing else
       // is executing, so progress is guaranteed).
       batch_bytes = EstimateBytes(batch);
+      std::uint64_t capacity = device_.spec().mem_capacity_bytes;
+      if (options_.device_group != nullptr) {
+        capacity = 0;  // group mode: batches share the fleet's memory
+        for (int d = 0; d < options_.device_group->device_count(); ++d) {
+          capacity += options_.device_group->device(d).spec().mem_capacity_bytes;
+        }
+      }
       const auto allowance = static_cast<std::uint64_t>(
-          static_cast<double>(device_.spec().mem_capacity_bytes) *
-          options_.admission_memory_fraction);
+          static_cast<double>(capacity) * options_.admission_memory_fraction);
       admission_.wait(lock, [&] {
         return executing_ == 0 || inflight_bytes_ + batch_bytes <= allowance;
       });
@@ -344,10 +416,14 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
         *exec_graph, core::EffectiveFusionOptions(options), &cache_hit);
     options.plan = &plan;
 
-    // Circuit breaker: while open, batches run host-side except for the
-    // periodic probe that tests whether the device recovered.
+    const bool group_mode = group_executor_ != nullptr;
+
+    // Circuit breaker (single-device mode): while open, batches run
+    // host-side except for the periodic probe that tests whether the device
+    // recovered. Group mode does per-device breakers inside the placement
+    // step below instead.
     bool probing = false;
-    {
+    if (!group_mode) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (breaker_open_) {
         ++breaker_batches_;
@@ -366,37 +442,158 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
 
     // Whole-query retry: a device fault thrown before the executor could
     // recover internally (e.g. an injected reservation failure) re-runs the
-    // batch up to query_retry_limit times.
+    // batch up to query_retry_limit times. In group mode placement runs
+    // inside the loop, so a retried batch can land on a different (healthy)
+    // device than the one that faulted.
     core::ExecutionReport report;
+    core::MultiDeviceReport group_report;
+    std::vector<int> placement;
+    bool host_route = false;
     std::size_t device_retries = 0;
     for (;;) {
       try {
-        report = executor_.Execute(*exec_graph, *exec_sources, options);
+        if (!group_mode) {
+          report = executor_.Execute(*exec_graph, *exec_sources, options);
+          break;
+        }
+
+        // Placement: healthy devices (breaker closed) plus any open device
+        // whose probe is due; least-loaded device for whole queries, every
+        // available device for sharding opt-ins. No device available routes
+        // the batch host-side (accounted on the least-loaded device).
+        placement.clear();
+        host_route = false;
+        std::vector<int> probes;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          std::vector<int> available;
+          int least_loaded_any = 0;
+          for (int d = 0; d < static_cast<int>(device_states_.size()); ++d) {
+            DeviceState& state = device_states_[static_cast<std::size_t>(d)];
+            if (state.clock <
+                device_states_[static_cast<std::size_t>(least_loaded_any)].clock) {
+              least_loaded_any = d;
+            }
+            if (!state.breaker_open) {
+              available.push_back(d);
+              continue;
+            }
+            ++state.breaker_batches;
+            if (options_.breaker_probe_interval > 0 &&
+                state.breaker_batches % options_.breaker_probe_interval == 0) {
+              available.push_back(d);  // probe: one batch tries the device
+              probes.push_back(d);
+            }
+          }
+          if (available.empty()) {
+            host_route = true;
+            placement.push_back(least_loaded_any);
+          } else if (batch.front()->request.allow_sharding &&
+                     available.size() > 1 &&
+                     core::MultiDeviceExecutor::Shardable(*exec_graph)) {
+            placement = available;
+          } else {
+            int best = available.front();
+            for (int d : available) {
+              if (device_states_[static_cast<std::size_t>(d)].clock <
+                  device_states_[static_cast<std::size_t>(best)].clock) {
+                best = d;
+              }
+            }
+            placement.push_back(best);
+          }
+        }
+        for (int d : probes) {
+          metrics()
+              .GetCounter(
+                  "server.device.breaker_probes",
+                  {{"device", options_.device_group->device(d).instance_label()}})
+              .Increment();
+        }
+        if (host_route) {
+          metrics().GetCounter("resilience.breaker_rerouted").Increment();
+        }
+
+        core::MultiDeviceOptions group_options;
+        group_options.base = options;
+        group_options.base.force_host = options.force_host || host_route;
+        group_options.split = options_.shard_split;
+        group_options.per_device_injectors = options_.device_injectors;
+        group_options.devices = placement;
+        group_report =
+            group_executor_->Execute(*exec_graph, *exec_sources, group_options);
+        report = group_report.combined;
         break;
       } catch (const ::kf::Error& e) {
         if (e.code() != ::kf::ErrorCode::kDeviceFault) throw;
-        RecordDeviceFault();
+        if (!group_mode) {
+          RecordDeviceFault();
+        } else {
+          for (int d : placement) RecordDeviceFault(d);
+        }
         if (device_retries >= options_.query_retry_limit) throw;
         ++device_retries;
         metrics().GetCounter("resilience.query_retries").Increment();
       }
     }
-    if (!options.force_host) {
-      // A degraded run means the device kept failing (the executor gave up
-      // and reran clusters on the host) — that feeds the breaker; a clean or
-      // internally-recovered run closes it.
-      if (report.degraded) {
-        RecordDeviceFault();
-      } else {
-        RecordDeviceSuccess();
+    if (!group_mode) {
+      if (!options.force_host) {
+        // A degraded run means the device kept failing (the executor gave up
+        // and reran clusters on the host) — that feeds the breaker; a clean
+        // or internally-recovered run closes it.
+        if (report.degraded) {
+          RecordDeviceFault();
+        } else {
+          RecordDeviceSuccess();
+        }
+      }
+    } else if (!host_route && !options.force_host &&
+               !group_report.host_fallback) {
+      // Per-shard breaker feed: only the device whose shard degraded takes
+      // the fault; its siblings' clean shards close their breakers.
+      for (const core::ShardReport& shard : group_report.shards) {
+        if (shard.report.ran_on_host) continue;
+        if (shard.report.degraded) {
+          RecordDeviceFault(shard.device);
+        } else {
+          RecordDeviceSuccess(shard.device);
+        }
       }
     }
 
     double complete = 0.0;
-    {
+    if (!group_mode) {
       std::lock_guard<std::mutex> lock(mutex_);
       sim_clock_ += report.makespan;
       complete = sim_clock_;
+    } else {
+      // The batch starts when every involved device is free and no earlier
+      // than its latest member's submit time; all involved device clocks
+      // advance to the shared completion time.
+      std::lock_guard<std::mutex> lock(mutex_);
+      double start = 0.0;
+      for (const JobPtr& job : batch) start = std::max(start, job->sim_submit);
+      for (int d : placement) {
+        start = std::max(start, device_states_[static_cast<std::size_t>(d)].clock);
+      }
+      complete = start + report.makespan;
+      for (int d : placement) {
+        device_states_[static_cast<std::size_t>(d)].clock = complete;
+      }
+      sim_clock_ = std::max(sim_clock_, complete);
+    }
+    if (group_mode) {
+      for (int d : placement) {
+        const std::string& label =
+            options_.device_group->device(d).instance_label();
+        metrics().GetCounter("server.device.batches", {{"device", label}})
+            .Increment();
+        metrics().GetGauge("server.device.sim_seconds", {{"device", label}})
+            .Set(complete);
+      }
+      if (group_report.sharded) {
+        metrics().GetCounter("server.device.sharded_batches").Increment();
+      }
     }
     metrics().GetCounter("server.batches").Increment();
     metrics().GetHistogram("server.batch_size")
@@ -415,6 +612,13 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
       result.degraded = report.degraded;
       result.ran_on_host = report.ran_on_host;
       result.device_retries = device_retries;
+      if (group_mode) {
+        result.device = !group_report.shards.empty()
+                            ? group_report.shards.front().device
+                            : (placement.empty() ? 0 : placement.front());
+        result.devices_used = group_report.devices_used;
+        result.sharded = group_report.sharded;
+      }
       result.sim_submit = job->sim_submit;
       result.sim_complete = complete;
       result.queue_wait_seconds = job->queue_wait;

@@ -41,9 +41,11 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/multi_device.h"
 #include "core/query_executor.h"
 #include "obs/metrics_registry.h"
 #include "server/plan_cache.h"
+#include "sim/device_group.h"
 #include "sim/device_simulator.h"
 
 namespace kf::server {
@@ -59,6 +61,12 @@ struct QueryRequest {
   std::map<core::NodeId, relational::Table> sources;
   core::ExecutorOptions options;
   std::string merge_class;
+
+  // Group mode only: allow this query to be sharded across every healthy
+  // device of the group (when its graph is shardable — see
+  // core::MultiDeviceExecutor::Shardable). Off, the query runs whole on the
+  // least-loaded device. Part of batch compatibility.
+  bool allow_sharding = false;
 };
 
 // What a client's future resolves to.
@@ -80,6 +88,12 @@ struct QueryResult {
   bool degraded = false;          // a cluster reran on the host engine
   bool ran_on_host = false;       // circuit breaker routed the run host-side
   std::size_t device_retries = 0; // whole-query re-runs after kf::DeviceFault
+
+  // Where the run landed (group mode; single-device schedulers report
+  // device 0). For sharded runs `device` is the first shard's device.
+  int device = 0;
+  int devices_used = 1;
+  bool sharded = false;
 
   // Virtual-device-clock times (seconds of simulated device time).
   double sim_submit = 0.0;
@@ -142,11 +156,33 @@ struct SchedulerOptions {
   // Shutdown(): fail still-queued queries with kf::Cancelled instead of
   // draining them (in-flight batches always complete).
   bool cancel_pending_on_shutdown = false;
+
+  // --- Group mode (multi-device serving). --------------------------------
+  // When set, batches are placed on the group's least-loaded healthy device
+  // (per-device virtual clocks), queries opting in via `allow_sharding` are
+  // sharded across every healthy device, and each device gets its own
+  // circuit breaker / fault domain (`breaker_threshold` and
+  // `breaker_probe_interval` apply per device). The constructor-passed
+  // DeviceSimulator is ignored for execution; prefer the DeviceGroup
+  // constructor. The group must outlive the scheduler.
+  const sim::DeviceGroup* device_group = nullptr;
+
+  // Per-device fault injectors, indexed by group device index (nullptr
+  // entries fall back to `fault_injector`). Group mode only.
+  std::vector<const sim::FaultInjector*> device_injectors;
+
+  // How sharded queries split rows across devices. Group mode only.
+  core::ShardSplit shard_split = core::ShardSplit::kStatic;
 };
 
 class QueryScheduler {
  public:
   explicit QueryScheduler(const sim::DeviceSimulator& device,
+                          SchedulerOptions options = SchedulerOptions());
+
+  // Group-mode convenience: serve across `group` (equivalent to passing
+  // `group.device(0)` with `options.device_group = &group`).
+  explicit QueryScheduler(const sim::DeviceGroup& group,
                           SchedulerOptions options = SchedulerOptions());
 
   // Drains outstanding work and joins the workers; queued queries still
@@ -183,6 +219,9 @@ class QueryScheduler {
   // Circuit-breaker state (true: new batches are routed host-side).
   bool breaker_open() const;
 
+  // Per-device breaker state (group mode; false for single-device use).
+  bool breaker_open(int device) const;
+
  private:
   struct Job {
     QueryRequest request;
@@ -206,9 +245,12 @@ class QueryScheduler {
   static std::uint64_t EstimateBytes(const std::vector<JobPtr>& batch);
 
   // Circuit-breaker bookkeeping: every device-facing outcome feeds the
-  // consecutive-fault counter.
+  // consecutive-fault counter (global breaker; legacy single-device mode).
   void RecordDeviceFault();
   void RecordDeviceSuccess();
+  // Per-device breakers (group mode).
+  void RecordDeviceFault(int device);
+  void RecordDeviceSuccess(int device);
 
   obs::MetricsRegistry& metrics() const {
     return options_.metrics != nullptr ? *options_.metrics
@@ -218,6 +260,8 @@ class QueryScheduler {
   const sim::DeviceSimulator& device_;
   SchedulerOptions options_;
   core::QueryExecutor executor_;
+  // Group mode only (nullptr otherwise).
+  std::unique_ptr<core::MultiDeviceExecutor> group_executor_;
   FusionPlanCache plan_cache_;
 
   mutable std::mutex mutex_;
@@ -236,6 +280,16 @@ class QueryScheduler {
   std::size_t consecutive_faults_ = 0;
   bool breaker_open_ = false;
   std::size_t breaker_batches_ = 0;  // batches seen while open (probe cadence)
+
+  // Group mode: per-device virtual clock and circuit breaker (guarded by
+  // mutex_; sized to the group's device count).
+  struct DeviceState {
+    double clock = 0.0;                  // simulated busy-until time
+    std::size_t consecutive_faults = 0;
+    bool breaker_open = false;
+    std::size_t breaker_batches = 0;     // batches seen while open
+  };
+  std::vector<DeviceState> device_states_;
 
   std::vector<std::thread> workers_;
 };

@@ -34,6 +34,13 @@ class DeviceSimulator {
   DeviceMemoryModel& memory() { return memory_; }
   const DeviceMemoryModel& memory() const { return memory_; }
 
+  // Instance label distinguishing devices of a DeviceGroup ("dev0", "dev1",
+  // ...). Empty for a standalone device; consumers (StreamPool) add a
+  // `device` metric label only when set, so single-device metrics keep their
+  // original label sets.
+  void set_instance_label(std::string label) { instance_label_ = std::move(label); }
+  const std::string& instance_label() const { return instance_label_; }
+
   // Where command-construction counters are recorded (`sim.commands_built`,
   // `sim.copy_bytes`). Defaults to the process-wide registry.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
@@ -87,6 +94,7 @@ class DeviceSimulator {
   PcieModel pcie_;
   KernelCostModel cost_model_;
   DeviceMemoryModel memory_;
+  std::string instance_label_;
   obs::MetricsRegistry* metrics_ = nullptr;
 };
 

@@ -77,28 +77,43 @@ void StreamPool::StartStreams() {
 
   // Record the run into the registry: command mix, simulated makespan, and
   // how busy each hardware engine was (gauges hold the most recent run).
+  // Devices belonging to a DeviceGroup carry an instance label; their pool
+  // series gain a `device` label so per-device utilization stays separable.
+  // Standalone devices keep the original unlabeled series.
   obs::MetricsRegistry& m =
       metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::Default();
-  m.GetCounter("stream_pool.runs").Increment();
+  obs::Labels device_labels;
+  if (!device_.instance_label().empty()) {
+    device_labels.emplace_back("device", device_.instance_label());
+  }
+  auto with_device = [&](obs::Labels labels) {
+    labels.insert(labels.end(), device_labels.begin(), device_labels.end());
+    return labels;
+  };
+  m.GetCounter("stream_pool.runs", device_labels).Increment();
   for (const auto& command : commands_) {
     m.GetCounter("stream_pool.commands",
-                 {{"kind", sim::ToString(command.spec.kind)}})
+                 with_device({{"kind", sim::ToString(command.spec.kind)}}))
         .Increment();
   }
-  m.GetHistogram("stream_pool.makespan_seconds").Record(stats_->makespan);
-  m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "h2d"}})
+  m.GetHistogram("stream_pool.makespan_seconds", device_labels)
+      .Record(stats_->makespan);
+  m.GetGauge("stream_pool.engine_busy_seconds", with_device({{"engine", "h2d"}}))
       .Set(stats_->h2d_busy);
-  m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "d2h"}})
+  m.GetGauge("stream_pool.engine_busy_seconds", with_device({{"engine", "d2h"}}))
       .Set(stats_->d2h_busy);
-  m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "compute"}})
+  m.GetGauge("stream_pool.engine_busy_seconds",
+             with_device({{"engine", "compute"}}))
       .Set(stats_->compute_busy);
-  m.GetGauge("stream_pool.engine_busy_seconds", {{"engine", "host"}})
+  m.GetGauge("stream_pool.engine_busy_seconds", with_device({{"engine", "host"}}))
       .Set(stats_->host_busy);
   if (stats_->fault_count > 0) {
-    m.GetCounter("stream_pool.faulted_commands").Increment(stats_->fault_count);
+    m.GetCounter("stream_pool.faulted_commands", device_labels)
+        .Increment(stats_->fault_count);
   }
   if (stats_->stall_count > 0) {
-    m.GetCounter("stream_pool.stalled_commands").Increment(stats_->stall_count);
+    m.GetCounter("stream_pool.stalled_commands", device_labels)
+        .Increment(stats_->stall_count);
   }
 }
 

@@ -10,6 +10,7 @@
 #include "core/query_executor.h"
 #include "core/select_chain.h"
 #include "server/query_scheduler.h"
+#include "tests/core/byte_identical.h"
 #include "tests/core/random_graph.h"
 
 namespace kf::core {
@@ -17,37 +18,6 @@ namespace {
 
 using relational::Row;
 using relational::Table;
-
-// Exact equality: same schema, same rows, same order, same bytes per value.
-::testing::AssertionResult ByteIdentical(const Table& actual,
-                                         const Table& expected) {
-  if (actual.schema().ToString() != expected.schema().ToString()) {
-    return ::testing::AssertionFailure()
-           << "schema mismatch: " << actual.schema().ToString() << " vs "
-           << expected.schema().ToString();
-  }
-  if (actual.row_count() != expected.row_count()) {
-    return ::testing::AssertionFailure()
-           << "row count mismatch: " << actual.row_count() << " vs "
-           << expected.row_count();
-  }
-  const std::vector<Row> a = actual.Rows();
-  const std::vector<Row> b = expected.Rows();
-  for (std::size_t r = 0; r < a.size(); ++r) {
-    for (std::size_t f = 0; f < a[r].size(); ++f) {
-      const relational::Value& va = a[r][f];
-      const relational::Value& vb = b[r][f];
-      // Stricter than Value::operator== (which coerces): require the same
-      // type tag and the same stored payload.
-      if (va.type != vb.type || va.i != vb.i || va.f != vb.f) {
-        return ::testing::AssertionFailure()
-               << "row " << r << " field " << f << ": " << va.ToString()
-               << " vs " << vb.ToString();
-      }
-    }
-  }
-  return ::testing::AssertionSuccess();
-}
 
 class StrategyDifferential : public ::testing::TestWithParam<int> {};
 

@@ -1,0 +1,214 @@
+// QueryScheduler group mode: least-loaded placement across a DeviceGroup,
+// sharded serving, per-device circuit breakers (a permanently broken device
+// drains to the healthy ones), and per-device virtual-clock accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/multi_device.h"
+#include "obs/metrics_registry.h"
+#include "server/query_scheduler.h"
+#include "sim/device_group.h"
+#include "sim/fault_injector.h"
+#include "tests/core/byte_identical.h"
+#include "tests/core/random_graph.h"
+
+namespace kf::server {
+namespace {
+
+using core::NodeId;
+using relational::Expr;
+using relational::OperatorDesc;
+using relational::Table;
+
+// A shardable SELECT chain over one source (see MultiDeviceExecutor docs).
+core::RandomQuery MakeChainQuery(std::uint64_t seed, std::size_t rows) {
+  kf::Rng rng(seed);
+  core::RandomQuery q;
+  const Table fact = core::RandomKV(rng, rows);
+  const NodeId src = q.graph.AddSource("fact", fact.schema(), rows);
+  q.sources.emplace(src, fact);
+  NodeId node = q.graph.AddOperator(
+      OperatorDesc::Select(Expr::Le(Expr::FieldRef(1), Expr::Lit(30))), src);
+  q.graph.AddOperator(
+      OperatorDesc::Select(Expr::Ge(Expr::FieldRef(1), Expr::Lit(-30))), node);
+  return q;
+}
+
+QueryRequest MakeRequest(const core::RandomQuery& q, bool allow_sharding = false) {
+  QueryRequest request;
+  request.graph = q.graph;
+  request.sources = q.sources;
+  request.allow_sharding = allow_sharding;
+  return request;
+}
+
+TEST(SchedulerGroupTest, LeastLoadedPlacementSpreadsAcrossDevices) {
+  sim::DeviceGroup group = sim::DeviceGroup::Homogeneous(2);
+  obs::MetricsRegistry registry;
+  SchedulerOptions options;
+  options.worker_count = 1;  // deterministic batch order
+  options.start_paused = true;
+  options.metrics = &registry;
+  QueryScheduler scheduler(group, options);
+
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<core::RandomQuery> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(MakeChainQuery(100 + static_cast<std::uint64_t>(i), 400));
+    futures.push_back(scheduler.Submit(MakeRequest(queries.back())));
+  }
+  scheduler.Start();
+
+  std::vector<int> devices;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    QueryResult result = futures[i].get();
+    EXPECT_FALSE(result.sharded);
+    EXPECT_EQ(result.devices_used, 1);
+    EXPECT_GE(result.sim_latency(), 0.0);
+    devices.push_back(result.device);
+    const std::map<NodeId, Table> truth = core::ReferenceResults(queries[i]);
+    for (NodeId sink : queries[i].graph.Sinks()) {
+      EXPECT_TRUE(core::ByteIdentical(result.results.at(sink), truth.at(sink)));
+    }
+  }
+  // Equal-cost queries on an idle group alternate between the two devices.
+  EXPECT_EQ(std::count(devices.begin(), devices.end(), 0), 2);
+  EXPECT_EQ(std::count(devices.begin(), devices.end(), 1), 2);
+  EXPECT_GE(registry.GetCounter("server.device.batches", {{"device", "dev0"}})
+                .value(),
+            1u);
+  EXPECT_GE(registry.GetCounter("server.device.batches", {{"device", "dev1"}})
+                .value(),
+            1u);
+}
+
+TEST(SchedulerGroupTest, ShardingOptInServesAcrossTheGroup) {
+  sim::DeviceGroup group = sim::DeviceGroup::Homogeneous(4);
+  obs::MetricsRegistry registry;
+  SchedulerOptions options;
+  options.worker_count = 1;
+  options.start_paused = true;
+  options.metrics = &registry;
+  QueryScheduler scheduler(group, options);
+
+  const core::RandomQuery q = MakeChainQuery(7, 1200);
+  auto sharded_future = scheduler.Submit(MakeRequest(q, /*allow_sharding=*/true));
+  auto whole_future = scheduler.Submit(MakeRequest(q, /*allow_sharding=*/false));
+  scheduler.Start();
+
+  const std::map<NodeId, Table> truth = core::ReferenceResults(q);
+  QueryResult sharded = sharded_future.get();
+  EXPECT_TRUE(sharded.sharded);
+  EXPECT_EQ(sharded.devices_used, 4);
+  QueryResult whole = whole_future.get();
+  EXPECT_FALSE(whole.sharded);
+  EXPECT_EQ(whole.devices_used, 1);
+  for (NodeId sink : q.graph.Sinks()) {
+    EXPECT_TRUE(core::ByteIdentical(sharded.results.at(sink), truth.at(sink)));
+    EXPECT_TRUE(core::ByteIdentical(whole.results.at(sink), truth.at(sink)));
+  }
+  EXPECT_GE(registry.GetCounter("server.device.sharded_batches").value(), 1u);
+  EXPECT_GT(scheduler.sim_clock(), 0.0);
+}
+
+TEST(SchedulerGroupTest, BrokenDeviceDrainsToHealthySiblings) {
+  // Device 0 faults on nearly every command; its first degraded batch trips
+  // the breaker (threshold 1), and with probing disabled it stays open, so
+  // the remaining work drains to device 1. (A degraded batch also inflates
+  // dev0's virtual clock — host rerun time — so least-loaded placement
+  // naturally avoids it even before the breaker reacts.) Every query still
+  // completes byte-identically.
+  sim::FaultConfig config;
+  config.seed = 99;
+  config.copy_fault_rate = 0.95;
+  config.kernel_fault_rate = 0.95;
+  const sim::FaultInjector faulty(config);
+
+  sim::DeviceGroup group = sim::DeviceGroup::Homogeneous(2);
+  obs::MetricsRegistry registry;
+  SchedulerOptions options;
+  options.worker_count = 1;
+  options.start_paused = true;
+  options.metrics = &registry;
+  options.device_injectors = {&faulty, nullptr};
+  options.breaker_threshold = 1;
+  options.breaker_probe_interval = 0;  // never probe: dev0 stays quarantined
+  QueryScheduler scheduler(group, options);
+
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<core::RandomQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(MakeChainQuery(500 + static_cast<std::uint64_t>(i), 300));
+    futures.push_back(scheduler.Submit(MakeRequest(queries[i])));
+  }
+  scheduler.Start();
+
+  int on_broken = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    QueryResult result = futures[i].get();
+    if (result.device == 0) ++on_broken;
+    EXPECT_GE(result.sim_latency(), 0.0);
+    const std::map<NodeId, Table> truth = core::ReferenceResults(queries[i]);
+    for (NodeId sink : queries[i].graph.Sinks()) {
+      EXPECT_TRUE(core::ByteIdentical(result.results.at(sink), truth.at(sink)))
+          << "query " << i << " on device " << result.device;
+    }
+  }
+  EXPECT_TRUE(scheduler.breaker_open(0));
+  EXPECT_FALSE(scheduler.breaker_open(1));
+  // The breaker needed one strike, then dev0 got no more work.
+  EXPECT_LE(on_broken, 2);
+  EXPECT_GE(registry
+                .GetCounter("server.device.breaker_opened", {{"device", "dev0"}})
+                .value(),
+            1u);
+}
+
+TEST(SchedulerGroupTest, AllBreakersOpenRoutesHostSide) {
+  sim::FaultConfig config;
+  config.seed = 5;
+  config.copy_fault_rate = 0.95;
+  config.kernel_fault_rate = 0.95;
+  const sim::FaultInjector faulty(config);
+
+  sim::DeviceGroup group = sim::DeviceGroup::Homogeneous(2);
+  obs::MetricsRegistry registry;
+  SchedulerOptions options;
+  options.worker_count = 1;
+  options.start_paused = true;
+  options.metrics = &registry;
+  options.device_injectors = {&faulty, &faulty};
+  options.breaker_threshold = 1;
+  options.breaker_probe_interval = 0;
+  QueryScheduler scheduler(group, options);
+
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<core::RandomQuery> queries;
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back(MakeChainQuery(900 + static_cast<std::uint64_t>(i), 200));
+    futures.push_back(scheduler.Submit(MakeRequest(queries[i])));
+  }
+  scheduler.Start();
+
+  bool saw_host_run = false;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    QueryResult result = futures[i].get();
+    saw_host_run = saw_host_run || result.ran_on_host;
+    const std::map<NodeId, Table> truth = core::ReferenceResults(queries[i]);
+    for (NodeId sink : queries[i].graph.Sinks()) {
+      EXPECT_TRUE(core::ByteIdentical(result.results.at(sink), truth.at(sink)));
+    }
+  }
+  EXPECT_TRUE(scheduler.breaker_open(0));
+  EXPECT_TRUE(scheduler.breaker_open(1));
+  EXPECT_TRUE(saw_host_run);
+}
+
+}  // namespace
+}  // namespace kf::server

@@ -172,5 +172,32 @@ TEST_F(StreamPoolTest, NoInjectorMeansNoFailedCommands) {
   EXPECT_TRUE(pool.FailedCommands().empty());
 }
 
+TEST_F(StreamPoolTest, DeviceInstanceLabelSeparatesMetrics) {
+  // Standalone devices record unlabeled series; a device carrying a group
+  // instance label gets a `device` label on every stream_pool series.
+  obs::MetricsRegistry registry;
+
+  StreamPool plain(device_, 1, &registry);
+  plain.SetStreamCommand(plain.GetAvailableStream(), PoolCommand{Kernel(0.5), {}});
+  plain.StartStreams();
+  EXPECT_EQ(registry.GetCounter("stream_pool.runs").value(), 1u);
+
+  sim::DeviceSimulator labeled;
+  labeled.set_instance_label("dev3");
+  StreamPool grouped(labeled, 1, &registry);
+  grouped.SetStreamCommand(grouped.GetAvailableStream(),
+                           PoolCommand{Kernel(0.5), {}});
+  grouped.StartStreams();
+  EXPECT_EQ(registry.GetCounter("stream_pool.runs", {{"device", "dev3"}}).value(),
+            1u);
+  EXPECT_EQ(registry
+                .GetCounter("stream_pool.commands",
+                            {{"kind", "KERNEL"}, {"device", "dev3"}})
+                .value(),
+            1u);
+  // The labeled run did not touch the unlabeled series.
+  EXPECT_EQ(registry.GetCounter("stream_pool.runs").value(), 1u);
+}
+
 }  // namespace
 }  // namespace kf::stream
