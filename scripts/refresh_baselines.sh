@@ -26,5 +26,6 @@ run bench_fig18a_tpch_q1 0.05
 run bench_server_throughput 0.2
 run bench_resilience 0.1
 run bench_multi_device 0.1
+run bench_adaptive 0.1
 
 echo "baselines written to $OUT_DIR"

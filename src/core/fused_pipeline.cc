@@ -386,6 +386,10 @@ ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& clust
   ClusterExecution result;
   result.primary_rows = primary.row_count();
   result.chunk_count = chunk_count;
+  // Every member gets an entry even when the primary input is empty (no
+  // chunks ever stream): downstream cost accounting looks up every member's
+  // realized row count unconditionally.
+  for (NodeId id : cluster.nodes) result.member_rows[id] = 0;
   for (const ChunkState& state : chunk_states) {
     for (const auto& [member, rows] : state.member_rows) result.member_rows[member] += rows;
   }

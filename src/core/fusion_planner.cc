@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "core/calibration.h"
 #include "obs/metrics_registry.h"
 
 namespace kf::core {
@@ -55,6 +56,14 @@ FusionPlan PlanFusion(const OpGraph& graph, const FusionOptions& options) {
   FusionPlan plan;
   plan.cluster_of.assign(graph.node_count(), -1);
 
+  // Feedback-driven replanning: the measured kernel-cost correction nudges
+  // how aggressively clusters grow (see FusionOptions::calibration).
+  const int register_budget =
+      options.calibration != nullptr
+          ? options.calibration->CalibratedRegisterBudget(options.register_budget,
+                                                          options.base_registers)
+          : options.register_budget;
+
   for (NodeId id : graph.TopologicalOrder()) {
     const OpNode& node = graph.node(id);
     if (node.is_source) continue;
@@ -104,7 +113,7 @@ FusionPlan PlanFusion(const OpGraph& graph, const FusionOptions& options) {
         }
         const int new_regs = cluster.register_estimate + RegisterDemand(graph, node);
         if (producer_in_cluster && !closed && build_ok &&
-            new_regs <= options.register_budget) {
+            new_regs <= register_budget) {
           target_cluster = candidate;
         }
       }

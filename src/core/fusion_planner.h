@@ -27,6 +27,8 @@ class MetricsRegistry;
 
 namespace kf::core {
 
+class CostModelCalibrator;
+
 struct FusionCluster {
   std::vector<NodeId> nodes;        // member operators, topological order
   NodeId primary_input = kNoNode;   // node whose output is streamed
@@ -56,6 +58,12 @@ struct FusionOptions {
   // Registry that PlanFusion records planner counters into; nullptr means
   // the process-wide default registry.
   obs::MetricsRegistry* metrics = nullptr;
+  // Feedback-driven replanning hook (core/calibration.h): when set, the
+  // effective register budget is nudged by the measured kernel-cost
+  // correction (kernels dearer than believed ⇒ fuse more, saving traffic).
+  // Deliberately NOT rendered into FusionOptionsKey — plan caches version
+  // entries by the calibrator's epoch instead (see server/plan_cache.h).
+  const CostModelCalibrator* calibration = nullptr;
 };
 
 FusionPlan PlanFusion(const OpGraph& graph, const FusionOptions& options = {});

@@ -1,6 +1,7 @@
 #include "core/hetero.h"
 
 #include "common/error.h"
+#include "core/calibration.h"
 
 namespace kf::core {
 
@@ -17,10 +18,32 @@ PlacementDecision HeterogeneousScheduler::Decide(
       << cluster.nodes.size();
   PlacementDecision decision;
 
-  // --- Device: fused kernel cost + the PCIe crossings placement implies. ----
+  // --- Device: fused kernel cost + the PCIe crossings placement implies.
+  // With a calibrator attached the device side is estimated from the
+  // believed model × measured corrections; otherwise from the true device's
+  // analytic model (the static behavior every existing caller keeps). -------
   const auto profiles = cost_model_.FusedProfiles(graph, cluster, member_sizes);
+  const KernelClass kernel_class =
+      cluster.fused() ? KernelClass::kFused
+      : Classify(graph.node(cluster.nodes.front()).desc.kind) ==
+              FusionClass::kBarrier
+          ? KernelClass::kBarrier
+          : KernelClass::kStaged;
+  auto device_kernel_time = [&](const sim::KernelProfile& profile) {
+    return calibration_ != nullptr
+               ? calibration_->EstimateKernelTime(kernel_class, profile)
+               : device_.cost_model().Cost(profile).solo_duration;
+  };
+  auto device_transfer_time = [&](std::uint64_t bytes,
+                                  sim::CopyDirection direction) {
+    return calibration_ != nullptr
+               ? calibration_->EstimateTransferTime(
+                     bytes, sim::HostMemoryKind::kPinned, direction)
+               : device_.pcie().TransferTime(bytes, sim::HostMemoryKind::kPinned,
+                                             direction);
+  };
   for (const auto& profile : profiles) {
-    decision.device_time += device_.cost_model().Cost(profile).solo_duration;
+    decision.device_time += device_kernel_time(profile);
   }
   const RealizedSizes& head = member_sizes.front();
   const std::uint64_t input_bytes = head.input_rows * head.input_row_bytes;
@@ -34,14 +57,12 @@ PlacementDecision HeterogeneousScheduler::Decide(
     }
   }
   if (input_on_host) {
-    decision.device_time += device_.pcie().TransferTime(
-        input_bytes + build_bytes, sim::HostMemoryKind::kPinned,
-        sim::CopyDirection::kHostToDevice);
+    decision.device_time += device_transfer_time(
+        input_bytes + build_bytes, sim::CopyDirection::kHostToDevice);
   }
   if (output_to_host) {
     decision.device_time +=
-        device_.pcie().TransferTime(output_bytes, sim::HostMemoryKind::kPinned,
-                                    sim::CopyDirection::kDeviceToHost);
+        device_transfer_time(output_bytes, sim::CopyDirection::kDeviceToHost);
   }
 
   // --- Host: the translated fused kernel streams the same bytes at host
@@ -56,8 +77,8 @@ PlacementDecision HeterogeneousScheduler::Decide(
                        std::max(host_bytes / (host_.host_mem_bandwidth_gbs * kGB),
                                 host_ops / host_.host_ops_per_second);
   if (!input_on_host) {
-    decision.host_time += device_.pcie().TransferTime(
-        input_bytes, sim::HostMemoryKind::kPinned, sim::CopyDirection::kDeviceToHost);
+    decision.host_time +=
+        device_transfer_time(input_bytes, sim::CopyDirection::kDeviceToHost);
   }
 
   decision.placement = decision.device_time <= decision.host_time

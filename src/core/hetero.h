@@ -19,6 +19,8 @@
 
 namespace kf::core {
 
+class CostModelCalibrator;
+
 enum class Placement : std::uint8_t { kDevice, kHost };
 const char* ToString(Placement placement);
 
@@ -55,10 +57,20 @@ class HeterogeneousScheduler {
                            bool input_on_host = true,
                            bool output_to_host = true) const;
 
+  // Measured, not static, ratios (core/calibration.h): with a calibrator
+  // attached, the device-side estimate uses the believed model × learned
+  // corrections instead of the true device's analytic model — so placement
+  // reflects what the device has actually been doing. The host side stays
+  // analytic (the host is directly measurable and never miscalibrated here).
+  void set_calibration(const CostModelCalibrator* calibration) {
+    calibration_ = calibration;
+  }
+
  private:
   const sim::DeviceSimulator& device_;
   OperatorCostModel cost_model_;
   HostCostConfig host_;
+  const CostModelCalibrator* calibration_ = nullptr;
 };
 
 }  // namespace kf::core

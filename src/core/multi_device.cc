@@ -127,6 +127,16 @@ const sim::FaultInjector* MultiDeviceExecutor::InjectorFor(
   return options.base.fault_injector;
 }
 
+CostModelCalibrator* MultiDeviceExecutor::CalibrationFor(
+    int device, const MultiDeviceOptions& options) const {
+  const auto& calibrations = options.per_device_calibrations;
+  if (device < static_cast<int>(calibrations.size()) &&
+      calibrations[static_cast<std::size_t>(device)] != nullptr) {
+    return calibrations[static_cast<std::size_t>(device)];
+  }
+  return options.base.calibration;
+}
+
 std::vector<std::uint64_t> MultiDeviceExecutor::ShardBounds(
     std::uint64_t total_rows, const std::vector<int>& devices,
     ShardSplit split) const {
@@ -186,6 +196,7 @@ MultiDeviceReport MultiDeviceExecutor::Run(
       [&](int idx, bool force_host) -> MultiDeviceReport {
     ExecutorOptions opts = options.base;
     opts.fault_injector = InjectorFor(idx, options);
+    opts.calibration = CalibrationFor(idx, options);
     if (force_host) {
       opts.force_host = true;
       opts.fault_injector = nullptr;  // the host engine has no device faults
@@ -256,6 +267,7 @@ MultiDeviceReport MultiDeviceExecutor::Run(
       QueryExecutor executor(view, cost_model_, pool_);
       ExecutorOptions opts = options.base;
       opts.fault_injector = InjectorFor(slot.device, options);
+      opts.calibration = CalibrationFor(slot.device, options);
 
       ShardReport shard;
       shard.device = slot.device;

@@ -47,6 +47,12 @@ struct MultiDeviceOptions {
   // only device k's faults.
   std::vector<const sim::FaultInjector*> per_device_injectors;
 
+  // Optional per-device calibrators (core/calibration.h), indexed by *group*
+  // device index (shorter vectors / nullptr entries fall back to
+  // `base.calibration`). Each device learns corrections from its own shards
+  // only, so one drifting card does not skew its siblings' models.
+  std::vector<CostModelCalibrator*> per_device_calibrations;
+
   // Group device indices to shard across; empty means every device. Order
   // defines shard order (results concatenate in this order).
   std::vector<int> devices;
@@ -119,6 +125,8 @@ class MultiDeviceExecutor {
   std::vector<int> ActiveDevices(const MultiDeviceOptions& options) const;
   const sim::FaultInjector* InjectorFor(int device,
                                         const MultiDeviceOptions& options) const;
+  CostModelCalibrator* CalibrationFor(int device,
+                                      const MultiDeviceOptions& options) const;
 
   // Shard-source row ranges: `bounds[k]..bounds[k+1]` is shard k. Always
   // monotone and covering [0, total_rows].

@@ -77,6 +77,9 @@ FusionOptions EffectiveFusionOptions(const ExecutorOptions& options) {
   FusionOptions fusion_options = options.fusion;
   fusion_options.enabled =
       fuse || fission || options.intermediates == IntermediatePolicy::kKeepOnDevice;
+  if (fusion_options.calibration == nullptr) {
+    fusion_options.calibration = options.calibration;
+  }
   return fusion_options;
 }
 
@@ -193,10 +196,22 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   auto node_bytes = [&](NodeId id) -> std::uint64_t { return rows.at(id) * row_bytes(id); };
 
   // --- Timeline construction over the Stream Pool. ---------------------------
-  stream::StreamPool streams(device_, std::max(1, options.stream_count), &metrics,
+  // Adaptive stream-count selection: fission pipelines get one stream per
+  // overlappable engine leg (H2D/compute/D2H) from the calibrator, plus a
+  // spare under measured stall pressure, instead of the fixed constant.
+  CostModelCalibrator* const calib = options.calibration;
+  int stream_count = std::max(1, options.stream_count);
+  if (calib != nullptr && fission) {
+    stream_count = calib->ChooseStreamCount(/*d2h_present=*/!graph.Sinks().empty());
+    metrics
+        .GetGauge("calib.stream_count",
+                  obs::Labels{{"strategy", ToString(options.strategy)}})
+        .Set(static_cast<double>(stream_count));
+  }
+  stream::StreamPool streams(device_, stream_count, &metrics,
                              options.fault_injector);
   std::vector<stream::StreamHandle> handles;
-  for (int s = 0; s < options.stream_count; ++s) {
+  for (int s = 0; s < stream_count; ++s) {
     handles.push_back(streams.GetAvailableStream());
   }
   const stream::StreamHandle main_stream = handles[0];
@@ -223,6 +238,24 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     active_unit = static_cast<int>(unit_cluster.size()) - 1;
   };
 
+  // Per-command observations destined for the calibrator: copies keyed by
+  // direction and bytes (observed time read from the finished timeline),
+  // kernels by stage category and profile (observed time is the realized solo
+  // duration — wall time would confound co-residency sharing with model
+  // error; stall pressure is fed separately from the timeline's counters).
+  struct PendingCopyObs {
+    sim::CopyDirection direction;
+    std::uint64_t bytes;
+    std::size_t tagged_index;
+  };
+  struct PendingKernelObs {
+    sim::KernelProfile profile;
+    KernelClass cls;
+    std::size_t tagged_index;
+  };
+  std::vector<PendingCopyObs> pending_copy_obs;
+  std::vector<PendingKernelObs> pending_kernel_obs;
+
   const bool track_units = options.fault_injector != nullptr;
   auto issue = [&](stream::StreamHandle stream, CommandSpec spec, Category category,
                    std::uint64_t bytes, int launches = 0) {
@@ -232,6 +265,14 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     const CommandId id = streams.SetStreamCommand(stream, stream::PoolCommand{spec, {}});
     tagged.push_back(TaggedCommand{id, category, kind, duration, bytes, launches,
                                    track_units ? active_unit : -1});
+    if (calib != nullptr &&
+        (kind == sim::CommandKind::kCopyH2D || kind == sim::CommandKind::kCopyD2H)) {
+      pending_copy_obs.push_back(
+          PendingCopyObs{kind == sim::CommandKind::kCopyH2D
+                             ? sim::CopyDirection::kHostToDevice
+                             : sim::CopyDirection::kDeviceToHost,
+                         bytes, tagged.size() - 1});
+    }
     if (track_units) specs.push_back(std::move(spec));
     return id;
   };
@@ -332,11 +373,14 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       options.device_memory_budget);
 
   // Host-side cost of each cluster, needed when a cluster may run on the CPU:
-  // every cluster under force_host, and any persistently failing cluster when
-  // an injector is attached (graceful degradation).
+  // every cluster under force_host, any persistently failing cluster when an
+  // injector is attached (graceful degradation), and every cluster when a
+  // calibrator drives adaptive CPU/GPU placement.
   std::optional<HeterogeneousScheduler> hetero;
-  if (options.fault_injector != nullptr || options.force_host) {
+  if (options.fault_injector != nullptr || options.force_host ||
+      calib != nullptr) {
     hetero.emplace(device_, cost_model_);
+    if (calib != nullptr) hetero->set_calibration(calib);
   }
   std::vector<SimTime> cluster_host_time(plan.clusters.size(), 0.0);
 
@@ -371,12 +415,38 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       member_sizes.push_back(sizes);
     }
 
+    std::optional<PlacementDecision> placement;
     if (hetero.has_value()) {
-      cluster_host_time[c] =
-          hetero->Decide(graph, cluster, member_sizes).host_time;
+      placement = hetero->Decide(graph, cluster, member_sizes);
+      cluster_host_time[c] = placement->host_time;
     }
 
-    if (options.force_host) {
+    // Calibrated CPU/GPU placement: run the cluster on the host engine when
+    // the measured ratios say the CPU wins and its inputs are host-resident
+    // anyway. Exploration guard: until the calibrator has device samples it
+    // stays on the device, so a pessimistically believed model cannot starve
+    // itself of the very observations that would correct it. Placement is
+    // timing-only — functional results are always computed host-side first.
+    bool run_on_host = options.force_host;
+    if (!run_on_host && calib != nullptr && placement.has_value() &&
+        placement->placement == Placement::kHost && !calib->NeedsExploration()) {
+      bool inputs_on_host =
+          residency[primary].on_host && !residency[primary].on_device;
+      for (NodeId build : cluster.build_inputs) {
+        const Residency& r = residency[build];
+        inputs_on_host = inputs_on_host && r.on_host && !r.on_device;
+      }
+      if (inputs_on_host) {
+        run_on_host = true;
+        ++report.host_placed_clusters;
+        metrics
+            .GetCounter("calib.host_placements",
+                        obs::Labels{{"strategy", ToString(options.strategy)}})
+            .Increment();
+      }
+    }
+
+    if (run_on_host) {
       // Circuit-breaker open (or explicit CPU run): the whole cluster becomes
       // one host-engine command. The host never faults, inputs and outputs
       // stay in host memory, and nothing touches the device.
@@ -401,7 +471,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
         r.on_device = false;
         r.ready = host_id;
       }
-      report.ran_on_host = true;
+      if (options.force_host) report.ran_on_host = true;
 
       ExecutionReport::ClusterTiming timing;
       timing.label = cluster_label(cluster);
@@ -434,29 +504,10 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     const bool primary_on_host = !residency[primary].on_device;
     const bool streamable = !barrier_cluster && primary_on_host;
 
-    int segments = 1;
-    if (streamable) {
-      const std::uint64_t working = input_bytes + outputs_bytes;
-      if (working > device_budget) {
-        segments = static_cast<int>(DivCeil(working, device_budget));
-      }
-      if (fission) segments = std::max(segments, options.fission_segments);
-    }
-
-    // Decide per-output destination.
-    std::map<NodeId, bool> output_to_host;
-    for (NodeId out : cluster.outputs) {
-      const bool is_sink =
-          std::find(sinks.begin(), sinks.end(), out) != sinks.end();
-      const bool has_consumers = residency[out].pending_uses > (is_sink ? 1 : 0);
-      bool to_host = is_sink && !has_consumers;
-      if (options.intermediates == IntermediatePolicy::kRoundTrip && has_consumers) {
-        to_host = true;
-      }
-      // Outputs too large to keep resident must stream out.
-      if (!to_host && segments > 1 && outputs_bytes > device_budget / 2) to_host = true;
-      output_to_host[out] = to_host;
-    }
+    // Stage category this cluster's kernels calibrate under.
+    const KernelClass kernel_class = barrier_cluster ? KernelClass::kBarrier
+                                     : fuse          ? KernelClass::kFused
+                                                     : KernelClass::kStaged;
 
     // Kernel profiles for one segment (scale sizes by 1/segments).
     auto segment_profiles = [&](int seg_count) {
@@ -484,6 +535,57 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       }
       return profiles;
     };
+
+    int segments = 1;
+    if (streamable) {
+      const std::uint64_t working = input_bytes + outputs_bytes;
+      if (working > device_budget) {
+        segments = static_cast<int>(DivCeil(working, device_budget));
+      }
+      if (fission) {
+        if (calib != nullptr) {
+          // Adaptive fission sizing: the segment count minimizing the
+          // calibrated pipeline makespan, never below the capacity floor. A
+          // choice of 1 replans the cluster back to resident execution (the
+          // overlap win does not cover per-segment latency and launches).
+          PipelineEstimate estimate;
+          estimate.h2d_bytes = input_bytes;
+          for (NodeId out : cluster.outputs) {
+            if (std::find(sinks.begin(), sinks.end(), out) != sinks.end()) {
+              estimate.d2h_bytes += node_bytes(out);
+            }
+          }
+          estimate.host_memory = options.host_memory;
+          estimate.launches = 0;
+          for (const sim::KernelProfile& profile : segment_profiles(1)) {
+            estimate.kernel_time += calib->EstimateKernelTime(kernel_class, profile);
+            estimate.launches += profile.launches;
+          }
+          segments = calib->PlanFissionSegments(estimate, segments);
+          metrics
+              .GetGauge("calib.segments",
+                        obs::Labels{{"strategy", ToString(options.strategy)}})
+              .Set(static_cast<double>(segments));
+        } else {
+          segments = std::max(segments, options.fission_segments);
+        }
+      }
+    }
+
+    // Decide per-output destination.
+    std::map<NodeId, bool> output_to_host;
+    for (NodeId out : cluster.outputs) {
+      const bool is_sink =
+          std::find(sinks.begin(), sinks.end(), out) != sinks.end();
+      const bool has_consumers = residency[out].pending_uses > (is_sink ? 1 : 0);
+      bool to_host = is_sink && !has_consumers;
+      if (options.intermediates == IntermediatePolicy::kRoundTrip && has_consumers) {
+        to_host = true;
+      }
+      // Outputs too large to keep resident must stream out.
+      if (!to_host && segments > 1 && outputs_bytes > device_budget / 2) to_host = true;
+      output_to_host[out] = to_host;
+    }
 
     if (segments <= 1) {
       // --- Resident execution: whole input on device, kernels in stream 0. --
@@ -523,6 +625,10 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
         }
         last = issue(main_stream, std::move(kernel), Category::kCompute, 0,
                      profile.launches);
+        if (calib != nullptr) {
+          pending_kernel_obs.push_back(
+              PendingKernelObs{profile, kernel_class, tagged.size() - 1});
+        }
       }
       if (transient.has_value()) memory.Free(*transient);
       for (NodeId out : cluster.outputs) {
@@ -539,7 +645,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       // stream so everything serializes (Fig 14's baseline). ------------------
       const std::vector<sim::KernelProfile> profiles = segment_profiles(segments);
       // Segment staging buffers (double-buffered per active stream).
-      const int active = fission ? options.stream_count : 1;
+      const int active = fission ? stream_count : 1;
       const std::uint64_t staging =
           (input_bytes + outputs_bytes) / static_cast<std::uint64_t>(segments) *
           static_cast<std::uint64_t>(std::min(segments, active * 2));
@@ -584,6 +690,10 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
           }
           last = issue(stream, std::move(kernel), Category::kCompute, 0,
                        profile.launches);
+          if (calib != nullptr) {
+            pending_kernel_obs.push_back(
+                PendingKernelObs{profile, kernel_class, tagged.size() - 1});
+          }
         }
         if (last.has_value()) last_kernels.push_back(*last);
 
@@ -670,6 +780,30 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   report.timeline = streams.WaitAll();
   SimTime total_makespan = report.timeline.makespan;
   report.fault_count = report.timeline.fault_count;
+
+  // --- Feed per-command outcomes back into the calibrator (main run only;
+  // retries below re-execute under fault pressure and would bias the model).
+  if (calib != nullptr) {
+    for (const PendingCopyObs& obs : pending_copy_obs) {
+      const TaggedCommand& cmd = tagged[obs.tagged_index];
+      const sim::CommandTiming& timing = report.timeline.commands[cmd.id];
+      if (!timing.ok) continue;
+      calib->ObserveCopy(obs.direction, options.host_memory, obs.bytes,
+                         timing.end - timing.start);
+    }
+    for (const PendingKernelObs& obs : pending_kernel_obs) {
+      const TaggedCommand& cmd = tagged[obs.tagged_index];
+      if (!report.timeline.commands[cmd.id].ok) continue;
+      calib->ObserveKernel(obs.cls, obs.profile, cmd.duration);
+    }
+    calib->ObserveStalls(report.timeline.commands.size(),
+                         report.timeline.stall_count);
+    calib->EndRun();
+    const obs::Labels calib_labels{{"strategy", ToString(options.strategy)}};
+    metrics.GetGauge("calib.epoch", calib_labels)
+        .Set(static_cast<double>(calib->epoch()));
+    metrics.GetGauge("calib.estimate_error", calib_labels).Set(calib->error());
+  }
 
   const ResilienceOptions& res = options.resilience;
   auto check_deadline = [&] {

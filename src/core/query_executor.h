@@ -32,6 +32,7 @@
 #include "common/buffer_arena.h"
 #include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
+#include "core/calibration.h"
 #include "core/fused_pipeline.h"
 #include "core/fusion_planner.h"
 #include "core/op_graph.h"
@@ -123,6 +124,19 @@ struct ExecutorOptions {
   // only affects allocation behavior, never results — it is deliberately NOT
   // part of any execution-compatibility key.
   kf::BufferArena* arena = nullptr;
+
+  // Adaptive cost-model calibration (core/calibration.h). When set, the run
+  //   * replaces the fixed `fission_segments`/`stream_count` constants with
+  //     choices from calibrated pipeline estimates,
+  //   * places clusters on the host engine when measured ratios say the CPU
+  //     wins (timing-only: functional results are always computed host-side
+  //     first, so placement never changes results),
+  //   * feeds the finished timeline's per-command outcomes back into the
+  //     calibrator and records `calib.*` metrics.
+  // nullptr keeps the exact static behavior of every previous PR. The
+  // calibrator must outlive the executor call and may be shared across
+  // threads (it locks internally).
+  CostModelCalibrator* calibration = nullptr;
 };
 
 // The fusion options Run() plans with: `fusion` from the options, with
@@ -162,6 +176,9 @@ struct ExecutionReport {
   std::size_t degraded_clusters = 0; // clusters rerun on the host engine
   bool degraded = false;             // at least one cluster degraded
   bool ran_on_host = false;          // force_host routed clusters to the CPU
+  // Clusters the calibrated placement decision routed to the host engine
+  // (adaptive runs only; force_host clusters are not counted here).
+  std::size_t host_placed_clusters = 0;
   SimTime backoff_time = 0.0;        // simulated retry backoff charged
   // Device bytes still reserved when the run finished — must be zero; a
   // nonzero value means a fault path leaked a reservation.

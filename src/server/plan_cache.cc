@@ -173,16 +173,28 @@ std::string FusionOptionsKey(const core::FusionOptions& options) {
   return os.str();
 }
 
+namespace {
+// Version 0 keeps the historical unversioned key so existing entries,
+// tests, and logs are unchanged when no versioned state is in play.
+std::string VersionPrefix(std::uint64_t version) {
+  return version == 0 ? std::string()
+                      : "v" + std::to_string(version) + "||";
+}
+}  // namespace
+
 std::string FusionPlanCache::KeyFor(const OpGraph& graph,
-                                    const core::FusionOptions& options) {
-  return FusionOptionsKey(options) + "||" + CanonicalizeGraph(graph).key;
+                                    const core::FusionOptions& options,
+                                    std::uint64_t version) {
+  return VersionPrefix(version) + FusionOptionsKey(options) + "||" +
+         CanonicalizeGraph(graph).key;
 }
 
 FusionPlan FusionPlanCache::GetOrPlan(const OpGraph& graph,
                                       const core::FusionOptions& options,
-                                      bool* hit) {
+                                      bool* hit, std::uint64_t version) {
   const CanonicalGraph canonical = CanonicalizeGraph(graph);
-  const std::string key = FusionOptionsKey(options) + "||" + canonical.key;
+  const std::string key =
+      VersionPrefix(version) + FusionOptionsKey(options) + "||" + canonical.key;
 
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -73,14 +73,20 @@ class FusionPlanCache {
 
   // Returns the fusion plan for `graph` under `options`, planning and
   // inserting on miss. `hit` (optional) reports whether the plan came from
-  // the cache.
+  // the cache. `version` is rendered into the cache key: callers that plan
+  // against mutable planner state (e.g. a calibration epoch,
+  // core/calibration.h) pass the state's version so entries planned under a
+  // stale epoch are simply never found again — invalidated, not reused.
+  // Version 0 reproduces the historical unversioned keys.
   core::FusionPlan GetOrPlan(const core::OpGraph& graph,
                              const core::FusionOptions& options,
-                             bool* hit = nullptr);
+                             bool* hit = nullptr,
+                             std::uint64_t version = 0);
 
   // Cache key for `graph` + `options` (exposed for tests and debugging).
   static std::string KeyFor(const core::OpGraph& graph,
-                            const core::FusionOptions& options);
+                            const core::FusionOptions& options,
+                            std::uint64_t version = 0);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }

@@ -37,6 +37,7 @@ std::string ExecOptionsKey(const core::ExecutorOptions& options) {
      << options.resilience.backoff_factor << '|'
      << options.resilience.degrade_to_host << '|'
      << options.resilience.deadline << '|'
+     << static_cast<const void*>(options.calibration) << '|'
      << FusionOptionsKey(core::EffectiveFusionOptions(options));
   return os.str();
 }
@@ -411,9 +412,26 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
     if (options.fault_injector == nullptr) {
       options.fault_injector = options_.fault_injector;
     }
+    if (options.calibration == nullptr) {
+      options.calibration = options_.calibration;
+    }
+    // Cached plans are versioned by the calibration epoch of every calibrator
+    // this run could consult (scheduler-level + per-device). A plan cached
+    // before the cost model drifted simply misses — it is re-planned against
+    // the current corrections, never reused stale.
+    std::uint64_t plan_version = 0;
+    if (options.calibration != nullptr) {
+      plan_version += options.calibration->epoch();
+    }
+    for (core::CostModelCalibrator* calib : options_.device_calibrations) {
+      if (calib != nullptr && calib != options.calibration) {
+        plan_version += calib->epoch();
+      }
+    }
     bool cache_hit = false;
     const core::FusionPlan plan = plan_cache_.GetOrPlan(
-        *exec_graph, core::EffectiveFusionOptions(options), &cache_hit);
+        *exec_graph, core::EffectiveFusionOptions(options), &cache_hit,
+        plan_version);
     options.plan = &plan;
 
     const bool group_mode = group_executor_ != nullptr;
@@ -519,6 +537,7 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
         group_options.base.force_host = options.force_host || host_route;
         group_options.split = options_.shard_split;
         group_options.per_device_injectors = options_.device_injectors;
+        group_options.per_device_calibrations = options_.device_calibrations;
         group_options.devices = placement;
         group_report =
             group_executor_->Execute(*exec_graph, *exec_sources, group_options);

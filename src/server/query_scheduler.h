@@ -173,6 +173,21 @@ struct SchedulerOptions {
 
   // How sharded queries split rows across devices. Group mode only.
   core::ShardSplit shard_split = core::ShardSplit::kStatic;
+
+  // --- Adaptive calibration (core/calibration.h). ------------------------
+  // Scheduler-level calibrator applied to every execution whose request did
+  // not attach its own (per-query `ExecutorOptions::calibration` wins).
+  // Plan-cache entries are keyed by the calibration epoch of every
+  // configured calibrator, so a plan cached before the model drifted is
+  // invalidated — re-planned, never reused stale. The calibrator must
+  // outlive the scheduler; nullptr keeps serving fully static.
+  core::CostModelCalibrator* calibration = nullptr;
+
+  // Group mode: per-device calibrators, indexed by group device index
+  // (nullptr entries fall back to `calibration`). Each device learns its own
+  // corrections — a degraded device's placement shifts without polluting its
+  // healthy siblings' models.
+  std::vector<core::CostModelCalibrator*> device_calibrations;
 };
 
 class QueryScheduler {

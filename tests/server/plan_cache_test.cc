@@ -276,6 +276,48 @@ TEST(FusionPlanCache, EvictsLeastRecentlyUsed) {
   EXPECT_FALSE(hit) << "LRU entry survived eviction";
 }
 
+TEST(FusionPlanCache, VersionZeroKeepsHistoricalKeys) {
+  // Version 0 must reproduce the pre-versioning key exactly, so existing
+  // callers (and any persisted key expectations) see no change.
+  const TwoBranch g = BuildForward();
+  FusionOptions options;
+  options.enabled = true;
+  EXPECT_EQ(FusionPlanCache::KeyFor(g.graph, options),
+            FusionPlanCache::KeyFor(g.graph, options, /*version=*/0));
+}
+
+TEST(FusionPlanCache, VersionsPartitionTheKeySpace) {
+  const TwoBranch g = BuildForward();
+  FusionOptions options;
+  options.enabled = true;
+  const std::string v0 = FusionPlanCache::KeyFor(g.graph, options, 0);
+  const std::string v1 = FusionPlanCache::KeyFor(g.graph, options, 1);
+  const std::string v2 = FusionPlanCache::KeyFor(g.graph, options, 2);
+  EXPECT_NE(v0, v1);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(v0, v2);
+}
+
+TEST(FusionPlanCache, StalePlanIsReplannedAfterVersionBump) {
+  // The calibration-epoch contract: a plan cached under version N is simply
+  // never found under version N+1 — the lookup misses and the graph is
+  // re-planned against the current cost model, not served stale.
+  const TwoBranch g = BuildForward();
+  FusionOptions options;
+  options.enabled = true;
+  FusionPlanCache cache(8);
+
+  bool hit = true;
+  (void)cache.GetOrPlan(g.graph, options, &hit, /*version=*/1);
+  EXPECT_FALSE(hit);
+  (void)cache.GetOrPlan(g.graph, options, &hit, /*version=*/1);
+  EXPECT_TRUE(hit) << "same version must reuse the cached plan";
+  (void)cache.GetOrPlan(g.graph, options, &hit, /*version=*/2);
+  EXPECT_FALSE(hit) << "bumped version reused a stale plan";
+  (void)cache.GetOrPlan(g.graph, options, &hit, /*version=*/2);
+  EXPECT_TRUE(hit);
+}
+
 TEST(FusionPlanCache, KeyIsStableAcrossProcessRestartsByConstruction) {
   // The key must contain no pointers, node ids, or iteration-order artifacts
   // — re-canonicalizing the same graph many times, and canonicalizing a

@@ -339,5 +339,82 @@ TEST(QueryScheduler, DrainWaitsForAllOutstandingWork) {
   }
 }
 
+TEST(QueryScheduler, CalibrationEpochBumpInvalidatesCachedPlans) {
+  // The staleness regression: a plan cached before the calibration epoch
+  // moved must NOT be served afterwards — the bumped epoch versions it out
+  // of the key space and the next submission re-plans.
+  const tpch::TpchData data = SmallData();
+  const tpch::QueryPlan plan = BuildQ1Plan(data);
+
+  sim::DeviceSimulator device;
+  core::CalibrationOptions calib_options;
+  calib_options.frozen = true;  // deterministic epochs: only manual bumps
+  core::CostModelCalibrator calib(device.spec(), sim::PcieConfig{},
+                                  calib_options);
+
+  obs::MetricsRegistry registry;
+  SchedulerOptions sched_options;
+  sched_options.worker_count = 1;
+  sched_options.metrics = &registry;
+  sched_options.calibration = &calib;
+  QueryScheduler scheduler(device, sched_options);
+
+  EXPECT_FALSE(
+      scheduler.Submit(Q1Request(plan, Strategy::kFused)).get().plan_cache_hit);
+  EXPECT_TRUE(
+      scheduler.Submit(Q1Request(plan, Strategy::kFused)).get().plan_cache_hit);
+
+  calib.AdvanceEpoch();  // the cost model drifted: the cached plan is stale
+  EXPECT_FALSE(
+      scheduler.Submit(Q1Request(plan, Strategy::kFused)).get().plan_cache_hit)
+      << "pre-drift plan was served after the calibration epoch bumped";
+  EXPECT_TRUE(
+      scheduler.Submit(Q1Request(plan, Strategy::kFused)).get().plan_cache_hit)
+      << "re-planned entry under the new epoch must be reusable";
+}
+
+TEST(QueryScheduler, SharedCalibratorAcrossWorkersLearnsAndStaysCorrect) {
+  // Several workers execute concurrently against ONE calibrator (the
+  // production shape: scheduler-level calibration). Results must match the
+  // uncalibrated reference and the calibrator must have actually learned.
+  const tpch::TpchData data = SmallData();
+  const tpch::QueryPlan plan = BuildQ1Plan(data);
+
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  ExecutorOptions direct_options;
+  direct_options.strategy = Strategy::kFusedFission;
+  const core::ExecutionReport direct =
+      executor.Execute(plan.graph, plan.sources, direct_options);
+
+  // Believed PCIe 2x optimistic: there is a real correction to learn.
+  sim::PcieConfig believed;
+  believed.pinned_h2d_gbs *= 2.0;
+  believed.pinned_d2h_gbs *= 2.0;
+  core::CostModelCalibrator calib(device.spec(), believed);
+
+  obs::MetricsRegistry registry;
+  SchedulerOptions sched_options;
+  sched_options.worker_count = 3;
+  sched_options.metrics = &registry;
+  sched_options.calibration = &calib;
+  QueryScheduler scheduler(device, sched_options);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(
+        scheduler.Submit(Q1Request(plan, Strategy::kFusedFission)));
+  }
+  for (auto& future : futures) {
+    QueryResult result = future.get();
+    ASSERT_EQ(result.results.count(plan.sink), 1u);
+    EXPECT_TRUE(relational::SameRowMultiset(result.results.at(plan.sink),
+                                            direct.sink_results.at(plan.sink)));
+  }
+  EXPECT_GT(calib.observations(), 0u);
+  EXPECT_GT(calib.CopyCorrection(sim::CopyDirection::kHostToDevice), 1.2)
+      << "2x-optimistic H2D belief should learn a >1 correction";
+}
+
 }  // namespace
 }  // namespace kf::server

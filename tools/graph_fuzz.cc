@@ -1,0 +1,325 @@
+// Property-based differential fuzzer for the execution stack.
+//
+// Each iteration draws a seeded random operator DAG (tests/core/random_graph.h
+// — the same generator the property suites use), computes the scalar
+// operator-at-a-time reference, then sweeps the executor configuration space:
+//
+//   * all four ExecutionStrategies, cold and with a shared BufferArena,
+//   * adaptive calibration on and off (a learning CostModelCalibrator is
+//     shared across the iteration's runs, so later runs execute replanned
+//     segment/stream/placement choices),
+//   * multi-device sharding across a two-card DeviceGroup when the graph is
+//     shardable,
+//   * seeded fault-injection profiles (copy/kernel faults, device OOM,
+//     stream stalls) through the resilient retry/degrade path.
+//
+// The oracle: every run must either produce byte-identical sink tables
+// (same schema, rows, order, and value payloads as the reference) or — only
+// when faults are enabled — fail with a typed kf::Error. Any mismatch, any
+// untyped exception, or a typed failure without faults is a finding: the
+// tool prints a REPRO line that replays exactly that iteration and exits 1.
+//
+// Usage:
+//   graph_fuzz [--seed=N] [--iters=N] [--profile=NAME]
+//
+// Profiles: none | default | copy-heavy | oom-heavy | stall-heavy | all
+// ("all" cycles every profile across iterations; the default). CI runs a
+// small --iters smoke per PR and a 10k-iteration nightly sweep
+// (.github/workflows/{ci,nightly}.yml); confirmed findings get pinned as
+// regression tests in tests/core/fuzz_regressions_test.cc.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/buffer_arena.h"
+#include "common/error.h"
+#include "core/calibration.h"
+#include "core/multi_device.h"
+#include "core/query_executor.h"
+#include "obs/metrics_registry.h"
+#include "sim/device_group.h"
+#include "sim/fault_injector.h"
+#include "tests/core/random_graph.h"
+
+namespace {
+
+using namespace kf;
+using relational::Table;
+
+struct FaultProfile {
+  std::string name;
+  sim::FaultConfig config;  // seed filled in per run
+};
+
+std::vector<FaultProfile> AllProfiles() {
+  std::vector<FaultProfile> profiles;
+  profiles.push_back({"none", {}});
+  sim::FaultConfig def;
+  def.copy_fault_rate = 0.05;
+  def.kernel_fault_rate = 0.05;
+  def.oom_rate = 0.01;
+  def.stall_rate = 0.05;
+  profiles.push_back({"default", def});
+  sim::FaultConfig copy_heavy;
+  copy_heavy.copy_fault_rate = 0.25;
+  profiles.push_back({"copy-heavy", copy_heavy});
+  sim::FaultConfig oom_heavy;
+  oom_heavy.oom_rate = 0.20;
+  profiles.push_back({"oom-heavy", oom_heavy});
+  sim::FaultConfig stall_heavy;
+  stall_heavy.stall_rate = 0.30;
+  stall_heavy.stall_multiplier = 8.0;
+  profiles.push_back({"stall-heavy", stall_heavy});
+  return profiles;
+}
+
+// gtest-free twin of tests/core/byte_identical.h: same schema string, same
+// row count, same type tag and stored payload per value.
+bool TablesByteIdentical(const Table& actual, const Table& expected,
+                         std::string* why) {
+  std::ostringstream oss;
+  if (actual.schema().ToString() != expected.schema().ToString()) {
+    oss << "schema mismatch: " << actual.schema().ToString() << " vs "
+        << expected.schema().ToString();
+    *why = oss.str();
+    return false;
+  }
+  if (actual.row_count() != expected.row_count()) {
+    oss << "row count mismatch: " << actual.row_count() << " vs "
+        << expected.row_count();
+    *why = oss.str();
+    return false;
+  }
+  const std::vector<relational::Row> a = actual.Rows();
+  const std::vector<relational::Row> b = expected.Rows();
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t f = 0; f < a[r].size(); ++f) {
+      const relational::Value& va = a[r][f];
+      const relational::Value& vb = b[r][f];
+      if (va.type != vb.type || va.i != vb.i || va.f != vb.f) {
+        oss << "row " << r << " field " << f << ": " << va.ToString() << " vs "
+            << vb.ToString();
+        *why = oss.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct FuzzStats {
+  std::uint64_t runs = 0;
+  std::uint64_t typed_errors = 0;
+  std::uint64_t sharded_runs = 0;
+  std::uint64_t host_placed = 0;
+};
+
+// Checks one ExecutionReport (or typed failure) against the reference.
+// Returns false and fills `why` on an oracle violation.
+bool CheckSinks(const core::ExecutionReport& report,
+                const core::RandomQuery& q,
+                const std::map<core::NodeId, Table>& truth,
+                std::string* why) {
+  for (core::NodeId sink : q.graph.Sinks()) {
+    if (report.sink_results.count(sink) == 0) {
+      *why = "missing sink " + std::to_string(sink);
+      return false;
+    }
+    std::string detail;
+    if (!TablesByteIdentical(report.sink_results.at(sink), truth.at(sink),
+                             &detail)) {
+      *why = "sink " + std::to_string(sink) + ": " + detail;
+      return false;
+    }
+  }
+  return true;
+}
+
+// One fuzz iteration: the full configuration sweep over one random graph.
+// Returns false and fills `why` on the first oracle violation.
+bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
+                  FuzzStats* stats, std::string* why) {
+  const core::RandomQuery q = core::MakeRandomQuery(seed);
+  const std::map<core::NodeId, Table> truth = core::ReferenceResults(q);
+  const bool faults = profile.config.AnyEnabled();
+
+  obs::MetricsRegistry metrics;  // keep fuzz traffic out of the default
+  sim::FaultConfig fault_config = profile.config;
+  fault_config.seed = seed * 31 + 7;
+  const sim::FaultInjector injector(fault_config, &metrics);
+
+  // A learning calibrator shared across the iteration: the first runs feed
+  // it, later runs execute its replanned segments/streams/placements.
+  core::CostModelCalibrator calibrator{sim::DeviceSpec{}, sim::PcieConfig{}};
+
+  sim::DeviceSimulator device;
+  core::QueryExecutor executor(device);
+  kf::BufferArena arena;
+
+  const auto run_single = [&](core::Strategy strategy, bool use_arena,
+                              bool calibrated, const char* label) {
+    core::ExecutorOptions options;
+    options.strategy = strategy;
+    options.chunk_count = 4;
+    options.metrics = &metrics;
+    if (use_arena) options.arena = &arena;
+    if (calibrated) options.calibration = &calibrator;
+    if (faults) options.fault_injector = &injector;
+    try {
+      const core::ExecutionReport report = executor.Execute(q.graph, q.sources,
+                                                            options);
+      ++stats->runs;
+      stats->host_placed += report.host_placed_clusters;
+      std::string detail;
+      if (!CheckSinks(report, q, truth, &detail)) {
+        *why = std::string(label) + " " + core::ToString(strategy) + ": " +
+               detail;
+        return false;
+      }
+    } catch (const kf::Error& e) {
+      ++stats->runs;
+      if (!faults) {
+        *why = std::string(label) + " " + core::ToString(strategy) +
+               ": typed error without faults: " + e.what();
+        return false;
+      }
+      ++stats->typed_errors;  // typed failure under faults: acceptable
+    } catch (const std::exception& e) {
+      // Untyped exceptions are never acceptable, faults or not.
+      ++stats->runs;
+      *why = std::string(label) + " " + core::ToString(strategy) +
+             ": untyped exception: " + e.what();
+      return false;
+    }
+    return true;
+  };
+
+  for (core::Strategy strategy :
+       {core::Strategy::kSerial, core::Strategy::kFused,
+        core::Strategy::kFission, core::Strategy::kFusedFission}) {
+    if (!run_single(strategy, /*use_arena=*/false, /*calibrated=*/false,
+                    "cold")) {
+      return false;
+    }
+    if (!run_single(strategy, /*use_arena=*/true, /*calibrated=*/true,
+                    "arena+calib")) {
+      return false;
+    }
+  }
+
+  // Multi-device sharding across two cards (calibrated base options), when
+  // the graph shape supports it.
+  if (core::MultiDeviceExecutor::Shardable(q.graph)) {
+    sim::DeviceGroup group = sim::DeviceGroup::Homogeneous(
+        2, sim::DeviceSpec{}, sim::PcieConfig{}, sim::RootComplexConfig{},
+        &metrics);
+    core::MultiDeviceExecutor multi(group);
+    core::MultiDeviceOptions options;
+    options.base.strategy = core::Strategy::kFusedFission;
+    options.base.chunk_count = 4;
+    options.base.metrics = &metrics;
+    options.base.calibration = &calibrator;
+    if (faults) options.base.fault_injector = &injector;
+    try {
+      const core::MultiDeviceReport report = multi.Execute(q.graph, q.sources,
+                                                           options);
+      ++stats->runs;
+      if (report.sharded) ++stats->sharded_runs;
+      std::string detail;
+      if (!CheckSinks(report.combined, q, truth, &detail)) {
+        *why = "multi-device: " + detail;
+        return false;
+      }
+    } catch (const kf::Error& e) {
+      ++stats->runs;
+      if (!faults) {
+        *why = std::string("multi-device: typed error without faults: ") +
+               e.what();
+        return false;
+      }
+      ++stats->typed_errors;
+    } catch (const std::exception& e) {
+      ++stats->runs;
+      *why = std::string("multi-device: untyped exception: ") + e.what();
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "graph_fuzz: property-based differential fuzzer (see file header)\n"
+      "  --seed=N      base seed; iteration i fuzzes graph seed N+i (default 1)\n"
+      "  --iters=N     iterations (default 200)\n"
+      "  --profile=P   none|default|copy-heavy|oom-heavy|stall-heavy|all\n"
+      "                (default all: cycle profiles across iterations)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t base_seed = 1;
+  std::uint64_t iters = 200;
+  std::string profile_name = "all";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      base_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      iters = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_name = arg.substr(10);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  const std::vector<FaultProfile> all = AllProfiles();
+  std::vector<FaultProfile> profiles;
+  if (profile_name == "all") {
+    profiles = all;
+  } else {
+    for (const FaultProfile& p : all) {
+      if (p.name == profile_name) profiles.push_back(p);
+    }
+    if (profiles.empty()) {
+      std::cerr << "unknown profile: " << profile_name << "\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  FuzzStats stats;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const FaultProfile& profile = profiles[i % profiles.size()];
+    std::string why;
+    if (!RunIteration(seed, profile, &stats, &why)) {
+      std::cerr << "FINDING: " << why << "\n"
+                << "graph:\n" << core::MakeRandomQuery(seed).graph.ToString()
+                << "REPRO: graph_fuzz --seed=" << seed
+                << " --iters=1 --profile=" << profile.name << "\n";
+      return 1;
+    }
+    if ((i + 1) % 100 == 0) {
+      std::cout << "... " << (i + 1) << "/" << iters << " iterations, "
+                << stats.runs << " runs, " << stats.typed_errors
+                << " typed errors, " << stats.sharded_runs << " sharded\n";
+    }
+  }
+  std::cout << "OK: " << iters << " graphs, " << stats.runs << " runs ("
+            << stats.sharded_runs << " sharded, " << stats.typed_errors
+            << " typed errors under faults, " << stats.host_placed
+            << " host-placed clusters), 0 findings\n";
+  return 0;
+}
