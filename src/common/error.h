@@ -27,6 +27,7 @@ enum class ErrorCode : std::uint8_t {
   kTimeout,            // per-query deadline exceeded (virtual time)
   kCapacityExceeded,   // resource genuinely exhausted: device memory, queues
   kCancelled,          // work abandoned: scheduler shutdown, terminated pool
+  kDataCorruption,     // checksum/audit mismatch: silent corruption detected
 };
 
 inline const char* ToString(ErrorCode code) {
@@ -37,6 +38,7 @@ inline const char* ToString(ErrorCode code) {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kCapacityExceeded: return "capacity_exceeded";
     case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDataCorruption: return "data_corruption";
   }
   return "?";
 }
@@ -84,6 +86,12 @@ class Cancelled : public Error {
  public:
   explicit Cancelled(const std::string& what)
       : Error(what, ErrorCode::kCancelled) {}
+};
+
+class DataCorruption : public Error {
+ public:
+  explicit DataCorruption(const std::string& what)
+      : Error(what, ErrorCode::kDataCorruption) {}
 };
 
 namespace detail {

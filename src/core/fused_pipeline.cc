@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "core/integrity.h"
 #include "relational/operators.h"
 #include "relational/staged_kernel.h"
 
@@ -215,9 +216,20 @@ bool TryTypedSelectChain(const OpGraph& graph, const FusionCluster& cluster,
 
 ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& cluster,
                                 const TableLookup& table_of, int chunk_count,
-                                ThreadPool* pool, kf::BufferArena* arena) {
+                                ThreadPool* pool, kf::BufferArena* arena,
+                                bool compute_checksums) {
   KF_REQUIRE(!cluster.nodes.empty()) << "empty fusion cluster";
   KF_REQUIRE_AS(::kf::InvalidArgument, chunk_count > 0) << "chunk count must be positive";
+
+  // Digest every output on the way out when the audit layer asked for it.
+  auto finish = [compute_checksums](ClusterExecution exec) {
+    if (compute_checksums) {
+      for (const auto& [id, table] : exec.outputs) {
+        exec.output_checksums[id] = ChecksumTable(table);
+      }
+    }
+    return exec;
+  };
 
   // --- Validate that the planner gave us a streamable cluster. -------------
   for (NodeId id : cluster.nodes) {
@@ -240,7 +252,7 @@ ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& clust
     ClusterExecution fast;
     if (TryTypedSelectChain(graph, cluster, primary, chunk_count, pool, arena,
                             fast)) {
-      return fast;
+      return finish(std::move(fast));
     }
   }
 
@@ -413,7 +425,7 @@ ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& clust
     }
     result.output_rows[out] = result.outputs.at(out).row_count();
   }
-  return result;
+  return finish(std::move(result));
 }
 
 }  // namespace kf::core

@@ -36,6 +36,9 @@ struct ClusterExecution {
   // these never touch memory, but the cost model charges their compute.
   std::map<NodeId, std::size_t> member_rows;
   int chunk_count = 0;
+  // Per-output ChecksumTable digests, filled only when the caller asked for
+  // them (the executor's audit mode compares these against downloaded bytes).
+  std::map<NodeId, std::uint64_t> output_checksums;
 };
 
 // Looks up the materialized table standing for a node's output: sources'
@@ -54,10 +57,13 @@ using TableLookup = std::function<const relational::Table&(NodeId)>;
 // member row counts, and output tables are byte-identical to the generic
 // path; clusters that don't match the shape (or whose predicates need the
 // std::function fallback semantics of EvalExpr) take the generic path.
+// With `compute_checksums` set, every output table is additionally digested
+// into `output_checksums` (one streaming pass; used by audit sampling).
 ClusterExecution ExecuteCluster(const OpGraph& graph, const FusionCluster& cluster,
                                 const TableLookup& table_of, int chunk_count = 448,
                                 ThreadPool* pool = nullptr,
-                                kf::BufferArena* arena = nullptr);
+                                kf::BufferArena* arena = nullptr,
+                                bool compute_checksums = false);
 
 }  // namespace kf::core
 

@@ -1,0 +1,100 @@
+#include "core/integrity.h"
+
+#include <bit>
+#include <cstddef>
+
+#include "common/checksum.h"
+#include "common/random.h"
+
+namespace kf::core {
+
+namespace {
+
+// Stateless uniform in [0, 1) from a splitmix chain, mirroring
+// FaultInjector::Draw so integrity draws are deterministic per coordinate.
+double DrawUniform(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t state = a;
+  std::uint64_t mixed = SplitMix64(state);
+  state ^= b * 0x9e3779b97f4a7c15ULL;
+  mixed ^= SplitMix64(state);
+  state ^= c * 0xbf58476d1ce4e5b9ULL;
+  mixed ^= SplitMix64(state);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t ChecksumTable(const relational::Table& table) {
+  Checksummer sum;
+  for (const auto& field : table.schema().fields()) {
+    sum.Update(field.name.data(), field.name.size());
+    const auto type = static_cast<std::uint8_t>(field.type);
+    sum.Update(&type, sizeof(type));
+  }
+  const std::uint64_t rows = table.row_count();
+  sum.Update(&rows, sizeof(rows));
+  for (std::size_t c = 0; c < table.column_count(); ++c) {
+    const relational::Column& col = table.column(c);
+    switch (col.type()) {
+      case relational::DataType::kInt32: {
+        const auto& v = col.AsInt32();
+        sum.Update(v.data(), v.size() * sizeof(std::int32_t));
+        break;
+      }
+      case relational::DataType::kInt64: {
+        const auto& v = col.AsInt64();
+        sum.Update(v.data(), v.size() * sizeof(std::int64_t));
+        break;
+      }
+      case relational::DataType::kFloat64: {
+        const auto& v = col.AsFloat64();
+        sum.Update(v.data(), v.size() * sizeof(double));
+        break;
+      }
+    }
+  }
+  return sum.Digest();
+}
+
+bool FlipRandomBit(relational::Table& table, std::uint64_t seed) {
+  if (table.row_count() == 0 || table.column_count() == 0) return false;
+  std::uint64_t state = seed;
+  const std::size_t column =
+      static_cast<std::size_t>(SplitMix64(state)) % table.column_count();
+  relational::Column& col = table.column(column);
+  if (col.size() == 0) return false;
+  const std::size_t row = static_cast<std::size_t>(SplitMix64(state)) % col.size();
+  const std::uint64_t bit_draw = SplitMix64(state);
+  switch (col.type()) {
+    case relational::DataType::kInt32: {
+      auto& v = col.AsInt32();
+      v[row] ^= std::int32_t{1} << (bit_draw % 32);
+      break;
+    }
+    case relational::DataType::kInt64: {
+      auto& v = col.AsInt64();
+      v[row] ^= std::int64_t{1} << (bit_draw % 64);
+      break;
+    }
+    case relational::DataType::kFloat64: {
+      auto& v = col.AsFloat64();
+      // Flip within the low 52 bits (mantissa): always changes the value
+      // without manufacturing NaN/Inf payload edge cases.
+      auto bits = std::bit_cast<std::uint64_t>(v[row]);
+      bits ^= std::uint64_t{1} << (bit_draw % 52);
+      v[row] = std::bit_cast<double>(bits);
+      break;
+    }
+  }
+  return true;
+}
+
+bool AuditSampled(std::uint64_t audit_seed, std::uint64_t run_salt,
+                  std::size_t cluster, double fraction) {
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  return DrawUniform(audit_seed ^ 0x6175646974ULL /* "audit" */, run_salt,
+                     cluster) < fraction;
+}
+
+}  // namespace kf::core

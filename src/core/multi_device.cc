@@ -339,6 +339,11 @@ MultiDeviceReport MultiDeviceExecutor::Run(
   combined.fault_count = combined.retried_units = combined.retry_attempts = 0;
   combined.degraded_clusters = 0;
   combined.degraded = combined.ran_on_host = false;
+  combined.corrupted_commands = combined.corruption_detected = 0;
+  combined.corruption_undetected = combined.corruption_reexecutions = 0;
+  combined.audited_clusters = 0;
+  combined.silent_corruption = false;
+  combined.integrity_time = 0.0;
   SimTime max_makespan = 0.0;
   for (const ShardReport& shard : shards) {
     const ExecutionReport& r = shard.report;
@@ -360,6 +365,13 @@ MultiDeviceReport MultiDeviceExecutor::Run(
     combined.degraded_clusters += r.degraded_clusters;
     combined.degraded = combined.degraded || r.degraded;
     combined.ran_on_host = combined.ran_on_host || r.ran_on_host;
+    combined.corrupted_commands += r.corrupted_commands;
+    combined.corruption_detected += r.corruption_detected;
+    combined.corruption_undetected += r.corruption_undetected;
+    combined.corruption_reexecutions += r.corruption_reexecutions;
+    combined.audited_clusters += r.audited_clusters;
+    combined.silent_corruption = combined.silent_corruption || r.silent_corruption;
+    combined.integrity_time += r.integrity_time;
   }
 
   // Cross-device gather: the host concatenates every shard's sink rows into
@@ -396,6 +408,18 @@ MultiDeviceReport MultiDeviceExecutor::Run(
       group_.device(active.front())
           .MakeHostWork(sink_bytes, "multi_device gather")
           .duration;
+  // Gather verification: with checksummed transfers on, the host re-verifies
+  // every shard's sink bytes as it concatenates them (a second streaming
+  // pass), so cross-device assembly is covered end to end.
+  if (options.base.integrity.verify_transfers && sink_bytes > 0) {
+    const SimTime verify_time =
+        group_.device(active.front())
+            .MakeHostWork(sink_bytes, "multi_device gather verify")
+            .duration;
+    out.gather_time += verify_time;
+    combined.integrity_time += verify_time;
+    gm.GetHistogram("sim.group.gather_checksum_seconds").Record(verify_time);
+  }
   combined.makespan = max_makespan + out.gather_time;
   combined.host_gather_time += out.gather_time;
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/random.h"
 #include "core/hetero.h"
 #include "obs/hostperf_export.h"
 #include "relational/operators.h"
@@ -31,7 +32,13 @@ const char* ToString(Strategy strategy) {
 
 namespace {
 
-enum class Category : std::uint8_t { kInputOutput, kRoundTrip, kCompute, kHostGather };
+enum class Category : std::uint8_t {
+  kInputOutput,
+  kRoundTrip,
+  kCompute,
+  kHostGather,
+  kIntegrity,  // checksum passes + host audits on the host engine
+};
 
 // Where a node's data currently lives during timeline construction.
 struct Residency {
@@ -128,6 +135,23 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   report.cluster_count = plan.clusters.size();
   report.fused_cluster_count = plan.fused_cluster_count();
 
+  // --- Integrity configuration. Which clusters are audited is decided up
+  // front (fixed for this run, retries included): a pure draw from the audit
+  // seed, the injector's current epoch, and the cluster index. ----------------
+  const IntegrityOptions& integ = options.integrity;
+  const bool verify_transfers = integ.verify_transfers;
+  const double audit_fraction = std::clamp(integ.audit_fraction, 0.0, 1.0);
+  const bool audit_on = audit_fraction > 0.0;
+  std::vector<char> audited(plan.clusters.size(), 0);
+  if (audit_on) {
+    const std::uint64_t run_salt =
+        options.fault_injector != nullptr ? options.fault_injector->epoch() : 0;
+    for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
+      audited[c] =
+          AuditSampled(integ.audit_seed, run_salt, c, audit_fraction) ? 1 : 0;
+    }
+  }
+
   // --- Functional pass: materialize source/cluster-output tables and record
   // realized row counts. -------------------------------------------------------
   std::map<NodeId, Table> computed;  // cluster outputs / per-node outputs
@@ -147,14 +171,19 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
           << "source '" << graph.node(src).name << "' not bound";
       rows[src] = sources->at(src).row_count();
     }
-    for (const FusionCluster& cluster : plan.clusters) {
+    for (std::size_t ci = 0; ci < plan.clusters.size(); ++ci) {
+      const FusionCluster& cluster = plan.clusters[ci];
+      const bool cluster_audited = audited[ci] != 0;
       const bool barrier_cluster =
           cluster.nodes.size() == 1 &&
           Classify(graph.node(cluster.nodes[0]).desc.kind) == FusionClass::kBarrier;
       if (fuse && !barrier_cluster) {
         ClusterExecution exec =
             ExecuteCluster(graph, cluster, lookup, options.chunk_count, pool_,
-                           options.arena);
+                           options.arena, cluster_audited);
+        for (const auto& [id, digest] : exec.output_checksums) {
+          report.audit_checksums[id] = digest;
+        }
         for (auto& [id, table] : exec.outputs) {
           rows[id] = table.row_count();
           computed.emplace(id, std::move(table));
@@ -171,6 +200,11 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
           Table out = relational::ApplyOperator(node.desc, left, right);
           rows[id] = out.row_count();
           computed.emplace(id, std::move(out));
+        }
+        if (cluster_audited) {
+          for (NodeId out : cluster.outputs) {
+            report.audit_checksums[out] = ChecksumTable(lookup(out));
+          }
         }
       }
     }
@@ -208,13 +242,19 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
                   obs::Labels{{"strategy", ToString(options.strategy)}})
         .Set(static_cast<double>(stream_count));
   }
-  stream::StreamPool streams(device_, stream_count, &metrics,
-                             options.fault_injector);
+  // Verification work (checksum passes, host audits) gets a dedicated extra
+  // stream so it never serializes behind compute-stream commands and the
+  // compute schedule is unchanged whether verification is on or off.
+  const bool integrity_stream = verify_transfers || audit_on;
+  stream::StreamPool streams(device_, stream_count + (integrity_stream ? 1 : 0),
+                             &metrics, options.fault_injector);
   std::vector<stream::StreamHandle> handles;
   for (int s = 0; s < stream_count; ++s) {
     handles.push_back(streams.GetAvailableStream());
   }
   const stream::StreamHandle main_stream = handles[0];
+  const stream::StreamHandle crc_stream =
+      integrity_stream ? streams.GetAvailableStream() : main_stream;
 
   struct TaggedCommand {
     CommandId id;
@@ -257,8 +297,8 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   std::vector<PendingKernelObs> pending_kernel_obs;
 
   const bool track_units = options.fault_injector != nullptr;
-  auto issue = [&](stream::StreamHandle stream, CommandSpec spec, Category category,
-                   std::uint64_t bytes, int launches = 0) {
+  auto issue_cmd = [&](stream::StreamHandle stream, CommandSpec spec,
+                       Category category, std::uint64_t bytes, int launches = 0) {
     const SimTime duration =
         spec.kind == sim::CommandKind::kKernel ? spec.solo_duration : spec.duration;
     const sim::CommandKind kind = spec.kind;
@@ -274,6 +314,30 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
                          bytes, tagged.size() - 1});
     }
     if (track_units) specs.push_back(std::move(spec));
+    return id;
+  };
+
+  // issue_cmd plus the transfer-verification chaser: every copy gets a
+  // host-engine checksum pass over the same bytes on the crc stream — an H2D
+  // stages the host buffer's digest (no dependency: it overlaps the upload),
+  // a D2H verifies the downloaded bytes (depends on the copy). The chaser
+  // joins the copy's retry unit, so re-executed units re-verify too.
+  std::uint64_t checksummed_bytes = 0;
+  auto issue = [&](stream::StreamHandle stream, CommandSpec spec, Category category,
+                   std::uint64_t bytes, int launches = 0) {
+    const sim::CommandKind kind = spec.kind;
+    const bool is_copy =
+        kind == sim::CommandKind::kCopyH2D || kind == sim::CommandKind::kCopyD2H;
+    const std::string label = is_copy && verify_transfers ? spec.label : "";
+    const CommandId id = issue_cmd(stream, std::move(spec), category, bytes, launches);
+    if (verify_transfers && is_copy && bytes > 0) {
+      CommandSpec crc = device_.MakeHostWork(
+          bytes, label + (kind == sim::CommandKind::kCopyH2D ? "/crc-stage"
+                                                             : "/crc-verify"));
+      if (kind == sim::CommandKind::kCopyD2H) crc.dependencies.push_back(id);
+      issue_cmd(crc_stream, std::move(crc), Category::kIntegrity, bytes);
+      checksummed_bytes += bytes;
+    }
     return id;
   };
 
@@ -378,7 +442,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   // calibrator drives adaptive CPU/GPU placement.
   std::optional<HeterogeneousScheduler> hetero;
   if (options.fault_injector != nullptr || options.force_host ||
-      calib != nullptr) {
+      calib != nullptr || audit_on) {
     hetero.emplace(device_, cost_model_);
     if (calib != nullptr) hetero->set_calibration(calib);
   }
@@ -748,6 +812,23 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       memory.Free(staging_alloc);
     }
 
+    // Sampled host audit: re-execute the cluster on the host engine and
+    // compare bytes (host time + one digest pass over the outputs), after
+    // every output is complete. Runs on the crc stream, inside the cluster's
+    // last retry unit, so a healed re-execution is re-audited.
+    if (audit_on && audited[c] != 0) {
+      ++report.audited_clusters;
+      CommandSpec audit =
+          device_.MakeHostWork(outputs_bytes, cluster_label(cluster) + "/audit");
+      audit.duration += cluster_host_time[c];
+      for (NodeId out : cluster.outputs) {
+        if (residency[out].ready.has_value()) {
+          audit.dependencies.push_back(*residency[out].ready);
+        }
+      }
+      issue(crc_stream, std::move(audit), Category::kIntegrity, outputs_bytes);
+    }
+
     // Per-cluster compute accounting for the report.
     ExecutionReport::ClusterTiming timing;
     timing.fused = fuse && cluster.fused();
@@ -813,26 +894,86 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
         << "s (simulated clock at " << total_makespan << "s)";
   };
 
-  if (options.fault_injector != nullptr && report.timeline.fault_count > 0) {
-    // --- Fault recovery (tentpole): re-issue failed retry units on a fresh
-    // single-stream pool with exponential backoff in virtual time; units that
-    // exhaust their retries degrade their cluster to the host engine. --------
+  // Clusters whose accepted results carry unnoticed corruption: their
+  // downstream sinks get a real bit flipped below.
+  std::set<std::size_t> silent_clusters;
+
+  if (options.fault_injector != nullptr &&
+      (report.timeline.fault_count > 0 || report.timeline.corrupted_count > 0)) {
+    // --- Fault + corruption recovery: re-issue troubled retry units on a
+    // fresh single-stream pool with exponential backoff in virtual time. A
+    // unit retries when a command failed outright (loud) OR a verification
+    // point caught corrupted bytes; units that exhaust their budget degrade
+    // their cluster to the host engine (or throw, typed by cause). ----------
     std::vector<std::vector<std::size_t>> unit_members(unit_cluster.size());
     for (std::size_t i = 0; i < tagged.size(); ++i) {
       if (tagged[i].unit >= 0) {
         unit_members[static_cast<std::size_t>(tagged[i].unit)].push_back(i);
       }
     }
-    std::set<int> failed_units;
-    for (const TaggedCommand& cmd : tagged) {
-      if (!report.timeline.commands[cmd.id].ok) failed_units.insert(cmd.unit);
+
+    // Whether corruption of `kind` inside `unit` is caught: transfers by the
+    // checksum chasers, kernels by the owning cluster's host audit.
+    auto caught = [&](sim::CommandKind kind, int unit) {
+      if (kind == sim::CommandKind::kCopyH2D ||
+          kind == sim::CommandKind::kCopyD2H) {
+        return verify_transfers;
+      }
+      if (kind == sim::CommandKind::kKernel) {
+        const int cluster = unit_cluster[static_cast<std::size_t>(unit)];
+        return audit_on && audited[static_cast<std::size_t>(cluster)] != 0;
+      }
+      return false;  // host commands never corrupt
+    };
+
+    struct UnitIssue {
+      bool loud = false;       // some command failed outright
+      bool detected = false;   // verification caught corrupted bytes
+      std::size_t silent = 0;  // corrupt commands nothing noticed
+    };
+    std::map<int, UnitIssue> unit_issues;  // ordered: deterministic retries
+    for (std::size_t i = 0; i < tagged.size(); ++i) {
+      const sim::CommandTiming& timing = report.timeline.commands[tagged[i].id];
+      if (!timing.ok) {
+        unit_issues[tagged[i].unit].loud = true;
+      } else if (timing.corrupted) {
+        ++report.corrupted_commands;
+        if (caught(tagged[i].kind, tagged[i].unit)) {
+          ++report.corruption_detected;
+          unit_issues[tagged[i].unit].detected = true;
+        } else {
+          ++unit_issues[tagged[i].unit].silent;
+        }
+      }
     }
 
-    std::set<int> failed_clusters;
-    for (int unit : failed_units) {
+    // Units where nothing was noticed never re-execute: their wrong bytes
+    // flow on silently (realized as real sink bit flips below).
+    for (auto it = unit_issues.begin(); it != unit_issues.end();) {
+      if (!it->second.loud && !it->second.detected) {
+        if (it->second.silent > 0) {
+          report.corruption_undetected += it->second.silent;
+          silent_clusters.insert(static_cast<std::size_t>(
+              unit_cluster[static_cast<std::size_t>(it->first)]));
+        }
+        it = unit_issues.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    const int corruption_budget = std::max(0, integ.max_reexecutions);
+    std::set<int> failed_loud;     // exhausted loud-fault retries
+    std::set<int> failed_corrupt;  // kept returning corrupt bytes
+    for (auto& [unit, issue_state] : unit_issues) {
       ++report.retried_units;
+      const int budget =
+          std::max(issue_state.loud ? res.max_retries : 0,
+                   issue_state.detected ? corruption_budget : 0);
       bool recovered = false;
-      for (int attempt = 1; attempt <= res.max_retries; ++attempt) {
+      bool last_loud = issue_state.loud;
+      bool last_detected = issue_state.detected;
+      for (int attempt = 1; attempt <= budget; ++attempt) {
         const SimTime backoff =
             res.backoff_base * std::pow(res.backoff_factor, attempt - 1);
         total_makespan += backoff;
@@ -847,7 +988,8 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
         const stream::StreamHandle retry_stream =
             retry_pool.GetAvailableStream();
         std::unordered_map<CommandId, CommandId> remap;
-        for (std::size_t i : unit_members[static_cast<std::size_t>(unit)]) {
+        const auto& members = unit_members[static_cast<std::size_t>(unit)];
+        for (std::size_t i : members) {
           CommandSpec spec = specs[i];
           std::vector<CommandId> deps;
           for (CommandId dep : spec.dependencies) {
@@ -863,33 +1005,76 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
         retry_pool.StartStreams();
         const sim::TimelineStats& retry_stats = retry_pool.WaitAll();
         ++report.retry_attempts;
+        if (last_detected) ++report.corruption_reexecutions;
         total_makespan += retry_stats.makespan;
         report.fault_count += retry_stats.fault_count;
         check_deadline();
-        if (retry_stats.AllOk()) {
+
+        // Classify this attempt. Retry-pool command k re-ran members[k], so
+        // corruption is judged against the original command's kind/unit.
+        bool retry_loud = !retry_stats.AllOk();
+        bool retry_detected = false;
+        std::size_t retry_silent = 0;
+        for (std::size_t k = 0; k < members.size(); ++k) {
+          const sim::CommandTiming& timing = retry_stats.commands[k];
+          if (!timing.ok || !timing.corrupted) continue;
+          ++report.corrupted_commands;
+          if (caught(tagged[members[k]].kind, unit)) {
+            ++report.corruption_detected;
+            retry_detected = true;
+          } else {
+            ++retry_silent;
+          }
+        }
+        last_loud = retry_loud;
+        last_detected = retry_detected;
+        if (!retry_loud && !retry_detected) {
           recovered = true;
+          // Accepted attempt: any unnoticed corruption in it is final.
+          if (retry_silent > 0) {
+            report.corruption_undetected += retry_silent;
+            silent_clusters.insert(static_cast<std::size_t>(
+                unit_cluster[static_cast<std::size_t>(unit)]));
+          }
           break;
         }
       }
       if (!recovered) {
-        failed_clusters.insert(unit_cluster[static_cast<std::size_t>(unit)]);
+        const int cluster = unit_cluster[static_cast<std::size_t>(unit)];
+        if (last_loud) {
+          failed_loud.insert(cluster);
+        } else {
+          failed_corrupt.insert(cluster);
+        }
       }
     }
 
+    std::set<int> failed_clusters = failed_loud;
+    failed_clusters.insert(failed_corrupt.begin(), failed_corrupt.end());
     for (int failed_cluster : failed_clusters) {
-      KF_REQUIRE_AS(::kf::DeviceFault, res.degrade_to_host)
-          << "cluster '"
-          << cluster_label(plan.clusters[static_cast<std::size_t>(failed_cluster)])
-          << "' still failing after " << res.max_retries << " retries";
+      const std::string label =
+          cluster_label(plan.clusters[static_cast<std::size_t>(failed_cluster)]);
+      if (!res.degrade_to_host) {
+        KF_REQUIRE_AS(::kf::DeviceFault, failed_loud.count(failed_cluster) == 0)
+            << "cluster '" << label << "' still failing after "
+            << res.max_retries << " retries";
+        KF_FAIL_AS(::kf::DataCorruption)
+            << "cluster '" << label << "' still returning corrupt bytes after "
+            << corruption_budget << " re-executions";
+      }
       // Graceful degradation: rerun the whole cluster on the host engine.
       // Functional results were computed host-side up front, so the answer is
-      // byte-identical; only the simulated clock pays the host cost.
+      // byte-identical; only the simulated clock pays the host cost. The host
+      // rerun replaces the cluster's outputs wholesale, washing out any
+      // silent corruption previously recorded for it.
       total_makespan += cluster_host_time[static_cast<std::size_t>(failed_cluster)];
       ++report.degraded_clusters;
       report.degraded = true;
+      silent_clusters.erase(static_cast<std::size_t>(failed_cluster));
       check_deadline();
     }
   }
+  report.silent_corruption = !silent_clusters.empty();
   check_deadline();
 
   report.makespan = total_makespan;
@@ -912,6 +1097,9 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       case Category::kHostGather:
         report.host_gather_time += cmd.duration;
         break;
+      case Category::kIntegrity:
+        report.integrity_time += cmd.duration;
+        break;
     }
   }
   for (const TaggedCommand& cmd : tagged) {
@@ -926,6 +1114,36 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
         report.sink_results.emplace(sink, it->second);
       } else if (sources->count(sink) != 0) {
         report.sink_results.emplace(sink, sources->at(sink));
+      }
+    }
+
+    // Undetected corruption becomes real wrong answers: flip a deterministic
+    // bit in every sink table downstream-reachable from a silently-corrupted
+    // cluster. Only the returned copies are touched, never `computed` — the
+    // ground truth stays available to callers that re-run with verification.
+    for (std::size_t c : silent_clusters) {
+      std::set<NodeId> reached;
+      std::vector<NodeId> frontier(plan.clusters[c].outputs.begin(),
+                                   plan.clusters[c].outputs.end());
+      while (!frontier.empty()) {
+        const NodeId n = frontier.back();
+        frontier.pop_back();
+        if (!reached.insert(n).second) continue;
+        for (NodeId consumer : graph.Consumers(n)) frontier.push_back(consumer);
+      }
+      const std::uint64_t base_seed =
+          options.fault_injector != nullptr
+              ? options.fault_injector->config().seed
+              : 0;
+      for (NodeId sink : sinks) {
+        if (reached.count(sink) == 0) continue;
+        auto it = report.sink_results.find(sink);
+        if (it == report.sink_results.end()) continue;
+        std::uint64_t state =
+            base_seed ^ (c * 0x9e3779b97f4a7c15ULL) ^
+            (static_cast<std::uint64_t>(sink) * 0xbf58476d1ce4e5b9ULL) ^
+            0x626974ULL;  // "bit"
+        FlipRandomBit(it->second, SplitMix64(state));
       }
     }
   }
@@ -985,6 +1203,33 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     if (report.ran_on_host) {
       metrics.GetCounter("resilience.host_runs", by_strategy).Increment();
     }
+  }
+  if (integ.Enabled() || report.corrupted_commands > 0) {
+    if (checksummed_bytes > 0) {
+      metrics.GetCounter("integrity.checksummed_bytes", by_strategy)
+          .Increment(checksummed_bytes);
+    }
+    if (report.audited_clusters > 0) {
+      metrics.GetCounter("integrity.audited_clusters", by_strategy)
+          .Increment(report.audited_clusters);
+    }
+    if (report.corrupted_commands > 0) {
+      metrics.GetCounter("integrity.corrupted_commands", by_strategy)
+          .Increment(report.corrupted_commands);
+    }
+    if (report.corruption_detected > 0) {
+      metrics.GetCounter("integrity.detected", by_strategy)
+          .Increment(report.corruption_detected);
+    }
+    if (report.corruption_undetected > 0) {
+      metrics.GetCounter("integrity.undetected", by_strategy)
+          .Increment(report.corruption_undetected);
+    }
+    if (report.corruption_reexecutions > 0) {
+      metrics.GetCounter("integrity.reexecutions", by_strategy)
+          .Increment(report.corruption_reexecutions);
+    }
+    if (integ.Enabled()) record_stage("integrity", report.integrity_time);
   }
   // Snapshot of the host-substrate counters (arena reuse, typed/fallback
   // predicate mix) — updated cold, here, never from the kernel hot paths.

@@ -35,6 +35,7 @@
 #include "core/calibration.h"
 #include "core/fused_pipeline.h"
 #include "core/fusion_planner.h"
+#include "core/integrity.h"
 #include "core/op_graph.h"
 #include "core/operator_cost.h"
 #include "sim/device_simulator.h"
@@ -137,6 +138,11 @@ struct ExecutorOptions {
   // calibrator must outlive the executor call and may be shared across
   // threads (it locks internally).
   CostModelCalibrator* calibration = nullptr;
+
+  // Data-integrity verification (core/integrity.h): checksummed transfers
+  // and sampled host audits, with detected mismatches healed through the
+  // retry-unit machinery. Disabled by default — the legacy trusting path.
+  IntegrityOptions integrity;
 };
 
 // The fusion options Run() plans with: `fusion` from the options, with
@@ -183,6 +189,22 @@ struct ExecutionReport {
   // Device bytes still reserved when the run finished — must be zero; a
   // nonzero value means a fault path leaked a reservation.
   std::uint64_t leaked_device_bytes = 0;
+
+  // Data-integrity outcomes (all zero/false unless corruption was injected
+  // or IntegrityOptions enabled something).
+  std::size_t corrupted_commands = 0;     // injected corruptions, all attempts
+  std::size_t corruption_detected = 0;    // caught by checksum/audit
+  // Corruptions that reached accepted results unnoticed. Corruption on an
+  // attempt that was discarded for another reason counts in
+  // `corrupted_commands` only, so detected + undetected <= corrupted.
+  std::size_t corruption_undetected = 0;
+  std::size_t corruption_reexecutions = 0; // retry attempts owed to detection
+  std::size_t audited_clusters = 0;        // clusters host-audited this run
+  bool silent_corruption = false;  // some sink bytes are silently wrong
+  SimTime integrity_time = 0.0;    // checksum + audit host-engine seconds
+  // Host-audit digests for every output of an audited cluster, computed by
+  // the functional layer (FusedPipeline fills them for fused clusters).
+  std::map<NodeId, std::uint64_t> audit_checksums;
 
   // Per-cluster kernel-time breakdown (execution order): where the compute
   // time goes — e.g. Q1's SORT share, or the fused block's contribution.

@@ -38,6 +38,10 @@ std::string ExecOptionsKey(const core::ExecutorOptions& options) {
      << options.resilience.degrade_to_host << '|'
      << options.resilience.deadline << '|'
      << static_cast<const void*>(options.calibration) << '|'
+     << options.integrity.verify_transfers << '|'
+     << options.integrity.audit_fraction << '|'
+     << options.integrity.audit_seed << '|'
+     << options.integrity.max_reexecutions << '|'
      << FusionOptionsKey(core::EffectiveFusionOptions(options));
   return os.str();
 }
@@ -178,6 +182,18 @@ bool QueryScheduler::breaker_open(int device) const {
   return device_states_[static_cast<std::size_t>(device)].breaker_open;
 }
 
+bool QueryScheduler::quarantined(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (device < 0 || device >= static_cast<int>(device_states_.size())) return false;
+  return device_states_[static_cast<std::size_t>(device)].quarantined;
+}
+
+std::size_t QueryScheduler::corruption_score(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (device < 0 || device >= static_cast<int>(device_states_.size())) return 0;
+  return device_states_[static_cast<std::size_t>(device)].corruption_score;
+}
+
 void QueryScheduler::RecordDeviceFault() {
   bool opened = false;
   {
@@ -244,6 +260,56 @@ void QueryScheduler::RecordDeviceSuccess(int device) {
         options_.device_group->device(device).instance_label();
     metrics().GetCounter("resilience.breaker_closed").Increment();
     metrics().GetCounter("server.device.breaker_closed", {{"device", label}})
+        .Increment();
+  }
+}
+
+void QueryScheduler::RecordDeviceCorruption(int device, std::size_t detected) {
+  bool opened = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DeviceState& state = device_states_.at(static_cast<std::size_t>(device));
+    ++state.corruption_score;
+    if (!state.quarantined && options_.quarantine_threshold > 0 &&
+        state.corruption_score >= options_.quarantine_threshold) {
+      state.quarantined = true;
+      state.quarantine_batches = 0;
+      opened = true;
+    }
+  }
+  const std::string& label =
+      options_.device_group->device(device).instance_label();
+  metrics().GetCounter("server.device.corrupt_batches", {{"device", label}})
+      .Increment();
+  metrics()
+      .GetCounter("integrity.corruption_detected", {{"device", label}})
+      .Increment(detected);
+  if (opened) {
+    metrics().GetCounter("integrity.quarantine_opened").Increment();
+    metrics().GetCounter("server.device.quarantined", {{"device", label}})
+        .Increment();
+  }
+}
+
+void QueryScheduler::RecordDeviceClean(int device) {
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DeviceState& state = device_states_.at(static_cast<std::size_t>(device));
+    state.corruption_score /= 2;
+    if (state.quarantined) {
+      // A clean batch while quarantined is necessarily a probe (nothing else
+      // lands here) — the device is delivering honest bytes again.
+      state.quarantined = false;
+      state.corruption_score = 0;
+      closed = true;
+    }
+  }
+  if (closed) {
+    const std::string& label =
+        options_.device_group->device(device).instance_label();
+    metrics().GetCounter("integrity.quarantine_closed").Increment();
+    metrics().GetCounter("server.device.unquarantined", {{"device", label}})
         .Increment();
   }
 }
@@ -415,6 +481,11 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
     if (options.calibration == nullptr) {
       options.calibration = options_.calibration;
     }
+    if (!options.integrity.Enabled()) {
+      // A request that configured nothing inherits the scheduler's
+      // fleet-wide verification policy (per-query settings always win).
+      options.integrity = options_.integrity;
+    }
     // Cached plans are versioned by the calibration epoch of every calibrator
     // this run could consult (scheduler-level + per-device). A plan cached
     // before the cost model drifted simply misses — it is re-planned against
@@ -475,13 +546,15 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
           break;
         }
 
-        // Placement: healthy devices (breaker closed) plus any open device
-        // whose probe is due; least-loaded device for whole queries, every
-        // available device for sharding opt-ins. No device available routes
-        // the batch host-side (accounted on the least-loaded device).
+        // Placement: healthy devices (breaker closed, not quarantined) plus
+        // any unhealthy device whose probe is due; least-loaded device for
+        // whole queries, every available device for sharding opt-ins. No
+        // device available routes the batch host-side (accounted on the
+        // least-loaded device).
         placement.clear();
         host_route = false;
         std::vector<int> probes;
+        std::vector<int> quarantine_probes;
         {
           std::lock_guard<std::mutex> lock(mutex_);
           std::vector<int> available;
@@ -492,16 +565,31 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
                 device_states_[static_cast<std::size_t>(least_loaded_any)].clock) {
               least_loaded_any = d;
             }
-            if (!state.breaker_open) {
-              available.push_back(d);
-              continue;
+            bool usable = true;
+            if (state.breaker_open) {
+              usable = false;
+              ++state.breaker_batches;
+              if (options_.breaker_probe_interval > 0 &&
+                  state.breaker_batches % options_.breaker_probe_interval == 0) {
+                usable = true;  // probe: one batch tries the device
+                probes.push_back(d);
+              }
             }
-            ++state.breaker_batches;
-            if (options_.breaker_probe_interval > 0 &&
-                state.breaker_batches % options_.breaker_probe_interval == 0) {
-              available.push_back(d);  // probe: one batch tries the device
-              probes.push_back(d);
+            if (state.quarantined) {
+              // A persistent corrupter drains to its siblings; every
+              // `quarantine_probe_interval`-th batch sends it one probe whose
+              // verified result decides re-admission.
+              bool probe_due = false;
+              ++state.quarantine_batches;
+              if (options_.quarantine_probe_interval > 0 &&
+                  state.quarantine_batches %
+                          options_.quarantine_probe_interval == 0) {
+                probe_due = true;
+                quarantine_probes.push_back(d);
+              }
+              usable = usable && probe_due;
             }
+            if (usable) available.push_back(d);
           }
           if (available.empty()) {
             host_route = true;
@@ -525,6 +613,13 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
           metrics()
               .GetCounter(
                   "server.device.breaker_probes",
+                  {{"device", options_.device_group->device(d).instance_label()}})
+              .Increment();
+        }
+        for (int d : quarantine_probes) {
+          metrics()
+              .GetCounter(
+                  "server.device.quarantine_probes",
                   {{"device", options_.device_group->device(d).instance_label()}})
               .Increment();
         }
@@ -569,13 +664,21 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
     } else if (!host_route && !options.force_host &&
                !group_report.host_fallback) {
       // Per-shard breaker feed: only the device whose shard degraded takes
-      // the fault; its siblings' clean shards close their breakers.
+      // the fault; its siblings' clean shards close their breakers. The same
+      // shard reports feed the corruption scores: a shard whose verification
+      // caught wrong bytes marks its device as a corrupter, a clean shard
+      // decays the score (and re-admits a quarantined device it probed).
       for (const core::ShardReport& shard : group_report.shards) {
         if (shard.report.ran_on_host) continue;
         if (shard.report.degraded) {
           RecordDeviceFault(shard.device);
         } else {
           RecordDeviceSuccess(shard.device);
+        }
+        if (shard.report.corruption_detected > 0) {
+          RecordDeviceCorruption(shard.device, shard.report.corruption_detected);
+        } else {
+          RecordDeviceClean(shard.device);
         }
       }
     }

@@ -153,6 +153,20 @@ struct SchedulerOptions {
   std::size_t breaker_threshold = 4;
   std::size_t breaker_probe_interval = 4;
 
+  // Integrity verification applied to every execution whose request left
+  // integrity fully off (per-query `ExecutorOptions::integrity` wins).
+  core::IntegrityOptions integrity;
+
+  // Device quarantine (group mode): every batch with detected corruption on
+  // a device adds 1 to that device's corruption score, every clean batch
+  // halves it; at `quarantine_threshold` the device is quarantined — new
+  // batches drain to its siblings (or host when none are left) — and every
+  // `quarantine_probe_interval`-th batch while quarantined probes it, a
+  // clean probe re-admitting it. 0 disables quarantine. Mirrors the circuit
+  // breaker, but keyed on *corruption* (wrong bytes) instead of loud faults.
+  std::size_t quarantine_threshold = 3;
+  std::size_t quarantine_probe_interval = 4;
+
   // Shutdown(): fail still-queued queries with kf::Cancelled instead of
   // draining them (in-flight batches always complete).
   bool cancel_pending_on_shutdown = false;
@@ -237,6 +251,12 @@ class QueryScheduler {
   // Per-device breaker state (group mode; false for single-device use).
   bool breaker_open(int device) const;
 
+  // Per-device quarantine state (group mode; false for single-device use).
+  bool quarantined(int device) const;
+
+  // Per-device corruption score (group mode; 0 for single-device use).
+  std::size_t corruption_score(int device) const;
+
  private:
   struct Job {
     QueryRequest request;
@@ -266,6 +286,10 @@ class QueryScheduler {
   // Per-device breakers (group mode).
   void RecordDeviceFault(int device);
   void RecordDeviceSuccess(int device);
+  // Per-device corruption scores / quarantine (group mode). A batch with
+  // detected corruption on `device` feeds Corruption, a clean one Clean.
+  void RecordDeviceCorruption(int device, std::size_t detected);
+  void RecordDeviceClean(int device);
 
   obs::MetricsRegistry& metrics() const {
     return options_.metrics != nullptr ? *options_.metrics
@@ -303,6 +327,11 @@ class QueryScheduler {
     std::size_t consecutive_faults = 0;
     bool breaker_open = false;
     std::size_t breaker_batches = 0;     // batches seen while open
+    // Quarantine (corruption) state: score +1 per corrupt batch, halved per
+    // clean batch; quarantined at quarantine_threshold.
+    std::size_t corruption_score = 0;
+    bool quarantined = false;
+    std::size_t quarantine_batches = 0;  // batches seen while quarantined
   };
   std::vector<DeviceState> device_states_;
 

@@ -10,9 +10,18 @@ namespace kf::sim {
 namespace {
 
 // Distinct salts so the fail and stall draws for one command are independent.
-constexpr std::uint64_t kSaltFail = 0x6661756c74ULL;   // "fault"
-constexpr std::uint64_t kSaltStall = 0x7374616c6cULL;  // "stall"
-constexpr std::uint64_t kSaltOom = 0x6f6f6dULL;        // "oom"
+constexpr std::uint64_t kSaltFail = 0x6661756c74ULL;     // "fault"
+constexpr std::uint64_t kSaltStall = 0x7374616c6cULL;    // "stall"
+constexpr std::uint64_t kSaltOom = 0x6f6f6dULL;          // "oom"
+constexpr std::uint64_t kSaltCorrupt = 0x666c6970ULL;    // "flip"
+
+const char* CorruptLabel(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kCopyH2D: return "corrupt_h2d";
+    case CommandKind::kCopyD2H: return "corrupt_d2h";
+    default: return "corrupt_kernel";
+  }
+}
 
 double EnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
@@ -36,6 +45,16 @@ FaultConfig FaultConfig::FromEnv() {
   config.stall_rate = EnvDouble("KF_FAULT_STALL_RATE", config.stall_rate);
   config.stall_multiplier =
       EnvDouble("KF_FAULT_STALL_MULT", config.stall_multiplier);
+  const double corrupt_all = EnvDouble("KF_FAULT_CORRUPT_RATE", 0.0);
+  config.corrupt_h2d_rate = corrupt_all;
+  config.corrupt_d2h_rate = corrupt_all;
+  config.corrupt_kernel_rate = corrupt_all;
+  config.corrupt_h2d_rate =
+      EnvDouble("KF_FAULT_CORRUPT_H2D_RATE", config.corrupt_h2d_rate);
+  config.corrupt_d2h_rate =
+      EnvDouble("KF_FAULT_CORRUPT_D2H_RATE", config.corrupt_d2h_rate);
+  config.corrupt_kernel_rate =
+      EnvDouble("KF_FAULT_CORRUPT_KERNEL_RATE", config.corrupt_kernel_rate);
   return config;
 }
 
@@ -81,6 +100,21 @@ FaultDecision FaultInjector::Decide(std::uint64_t epoch,
     decision.fault =
         is_copy ? FaultKind::kCopyTransient : FaultKind::kKernelFault;
     Count(decision.fault);
+  }
+
+  // Silent corruption: only a command that otherwise succeeds can deliver
+  // wrong bytes — a loudly-failed command delivers no bytes at all.
+  const double corrupt_rate =
+      kind == CommandKind::kCopyH2D   ? config_.corrupt_h2d_rate
+      : kind == CommandKind::kCopyD2H ? config_.corrupt_d2h_rate
+                                      : config_.corrupt_kernel_rate;
+  if (corrupt_rate > 0 && decision.fault != FaultKind::kCopyTransient &&
+      decision.fault != FaultKind::kKernelFault &&
+      Draw(epoch, command_id, kSaltCorrupt) < corrupt_rate) {
+    decision.corrupt = true;
+    metrics()
+        .GetCounter("fault.injected", {{"kind", CorruptLabel(kind)}})
+        .Increment();
   }
   return decision;
 }

@@ -34,9 +34,22 @@ struct FaultConfig {
   double stall_rate = 0.0;        // KF_FAULT_STALL_RATE: per device command
   double stall_multiplier = 8.0;  // KF_FAULT_STALL_MULT: latency spike factor
 
+  // Silent-corruption rates: the command *succeeds* (ok, normal duration)
+  // but its bytes are wrong. Only the integrity layer's checksums/audits can
+  // notice. KF_FAULT_CORRUPT_RATE sets all three at once; the per-kind
+  // variables override it.
+  double corrupt_h2d_rate = 0.0;     // KF_FAULT_CORRUPT_H2D_RATE
+  double corrupt_d2h_rate = 0.0;     // KF_FAULT_CORRUPT_D2H_RATE
+  double corrupt_kernel_rate = 0.0;  // KF_FAULT_CORRUPT_KERNEL_RATE
+
+  bool CorruptionEnabled() const {
+    return corrupt_h2d_rate > 0 || corrupt_d2h_rate > 0 ||
+           corrupt_kernel_rate > 0;
+  }
+
   bool AnyEnabled() const {
     return copy_fault_rate > 0 || kernel_fault_rate > 0 || oom_rate > 0 ||
-           stall_rate > 0;
+           stall_rate > 0 || CorruptionEnabled();
   }
 
   // Reads the KF_FAULT_* environment variables (unset fields keep their
@@ -48,6 +61,10 @@ struct FaultConfig {
 struct FaultDecision {
   FaultKind fault = FaultKind::kNone;
   double duration_multiplier = 1.0;  // > 1 when the command is stalled
+  // The command completes "successfully" but delivers wrong bytes. Mutually
+  // exclusive with a loud fault: a failed command delivers no bytes at all,
+  // so the corrupt flag is cleared when a fail draw also hits.
+  bool corrupt = false;
 };
 
 class FaultInjector {
@@ -65,6 +82,11 @@ class FaultInjector {
   std::uint64_t NextEpoch() const {
     return epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
+
+  // Current epoch without advancing it. The executor folds this into its
+  // audit-sampling draw so which clusters get audited varies between runs
+  // (deterministically) without perturbing the fault stream itself.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
   // Fault decision for command `command_id` of `epoch`. Pure function of
   // (seed, epoch, command_id, kind); host-side work never faults.

@@ -266,6 +266,8 @@ TimelineStats Timeline::Run() const {
                             decisions[id].fault == FaultKind::kStreamStall;
     if (!stats.commands[id].ok) ++stats.fault_count;
     if (decisions[id].duration_multiplier > 1.0) ++stats.stall_count;
+    stats.commands[id].corrupted = decisions[id].corrupt && stats.commands[id].ok;
+    if (stats.commands[id].corrupted) ++stats.corrupted_count;
   }
   return stats;
 }

@@ -76,6 +76,9 @@ struct CommandTiming {
   SimTime end = 0.0;
   bool ok = true;                       // false: command failed (transient fault)
   FaultKind fault = FaultKind::kNone;   // kStreamStall keeps ok == true
+  // Command succeeded (ok == true) but delivered wrong bytes. Invisible to
+  // the schedule — only the integrity layer's checksums/audits can react.
+  bool corrupted = false;
 };
 
 struct TimelineStats {
@@ -85,8 +88,9 @@ struct TimelineStats {
   SimTime d2h_busy = 0.0;
   SimTime compute_busy = 0.0;
   SimTime host_busy = 0.0;
-  std::size_t fault_count = 0;  // commands that failed (ok == false)
-  std::size_t stall_count = 0;  // commands that hit a latency spike
+  std::size_t fault_count = 0;      // commands that failed (ok == false)
+  std::size_t stall_count = 0;      // commands that hit a latency spike
+  std::size_t corrupted_count = 0;  // ok commands with silently-wrong bytes
   std::vector<CommandTiming> commands;
 
   bool AllOk() const { return fault_count == 0; }

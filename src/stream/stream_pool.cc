@@ -115,6 +115,10 @@ void StreamPool::StartStreams() {
     m.GetCounter("stream_pool.stalled_commands", device_labels)
         .Increment(stats_->stall_count);
   }
+  if (stats_->corrupted_count > 0) {
+    m.GetCounter("stream_pool.corrupted_commands", device_labels)
+        .Increment(stats_->corrupted_count);
+  }
 }
 
 const sim::TimelineStats& StreamPool::WaitAll() const {
@@ -129,6 +133,15 @@ std::vector<sim::CommandId> StreamPool::FailedCommands() const {
     if (!stats_->commands[id].ok) failed.push_back(id);
   }
   return failed;
+}
+
+std::vector<sim::CommandId> StreamPool::CorruptedCommands() const {
+  std::vector<sim::CommandId> corrupted;
+  if (!stats_.has_value()) return corrupted;
+  for (sim::CommandId id = 0; id < stats_->commands.size(); ++id) {
+    if (stats_->commands[id].corrupted) corrupted.push_back(id);
+  }
+  return corrupted;
 }
 
 void StreamPool::Terminate() {

@@ -79,6 +79,11 @@ class StreamPool {
   // run. Empty before StartStreams and on fault-free runs.
   std::vector<sim::CommandId> FailedCommands() const;
 
+  // Command ids that completed "successfully" but delivered wrong bytes in
+  // the last run (silent corruption). Ground truth from the injector — the
+  // integrity layer must *detect* these via checksums/audits on its own.
+  std::vector<sim::CommandId> CorruptedCommands() const;
+
   // Ends execution immediately: drops all queued commands and results.
   void Terminate();
 

@@ -1,0 +1,64 @@
+// The ErrorCode <-> string table is API: codes are logged, matched by retry
+// policies, and used as metric labels (server.failed{code=...}), so every
+// value and its stable name is pinned here. A new code extends this table;
+// an existing name never changes.
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kf {
+namespace {
+
+TEST(ErrorCode, StableStringTable) {
+  EXPECT_STREQ(ToString(ErrorCode::kGeneric), "generic");
+  EXPECT_STREQ(ToString(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(ToString(ErrorCode::kDeviceFault), "device_fault");
+  EXPECT_STREQ(ToString(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(ToString(ErrorCode::kCapacityExceeded), "capacity_exceeded");
+  EXPECT_STREQ(ToString(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(ToString(ErrorCode::kDataCorruption), "data_corruption");
+}
+
+TEST(ErrorCode, StableNumericValues) {
+  // Codes are appended, never reordered: the numeric values are part of the
+  // logged contract.
+  EXPECT_EQ(static_cast<int>(ErrorCode::kGeneric), 0);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kInvalidArgument), 1);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kDeviceFault), 2);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kTimeout), 3);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kCapacityExceeded), 4);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kCancelled), 5);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kDataCorruption), 6);
+}
+
+TEST(Error, SubclassesCarryTheirCode) {
+  EXPECT_EQ(Error("e").code(), ErrorCode::kGeneric);
+  EXPECT_EQ(InvalidArgument("e").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(DeviceFault("e").code(), ErrorCode::kDeviceFault);
+  EXPECT_EQ(Timeout("e").code(), ErrorCode::kTimeout);
+  EXPECT_EQ(CapacityExceeded("e").code(), ErrorCode::kCapacityExceeded);
+  EXPECT_EQ(Cancelled("e").code(), ErrorCode::kCancelled);
+  EXPECT_EQ(DataCorruption("e").code(), ErrorCode::kDataCorruption);
+}
+
+TEST(Error, DataCorruptionCatchableAsBaseError) {
+  try {
+    KF_FAIL_AS(::kf::DataCorruption) << "cluster 'join' wrong bytes";
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDataCorruption);
+    EXPECT_NE(std::string(e.what()).find("cluster 'join' wrong bytes"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, RequireAsThrowsTypedOnlyOnFailure) {
+  EXPECT_NO_THROW(KF_REQUIRE_AS(::kf::DataCorruption, true) << "unused");
+  EXPECT_THROW(KF_REQUIRE_AS(::kf::DataCorruption, false) << "boom",
+               DataCorruption);
+}
+
+}  // namespace
+}  // namespace kf

@@ -218,6 +218,125 @@ TEST(Timeline, StallDelaysCompletion) {
   EXPECT_NEAR(stats.makespan, 8.0, 1e-9);
 }
 
+TEST(FaultInjector, CorruptionDrawsAreDeterministicAndSilent) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 21;
+  config.corrupt_h2d_rate = 0.3;
+  config.corrupt_d2h_rate = 0.3;
+  config.corrupt_kernel_rate = 0.3;
+  EXPECT_TRUE(config.CorruptionEnabled());
+  EXPECT_TRUE(config.AnyEnabled());
+  FaultInjector a(config, &registry);
+  FaultInjector b(config, &registry);
+  int corrupted = 0;
+  for (std::uint64_t id = 0; id < 300; ++id) {
+    const FaultDecision da = a.Decide(1, id, CommandKind::kKernel);
+    const FaultDecision db = b.Decide(1, id, CommandKind::kKernel);
+    EXPECT_EQ(da.corrupt, db.corrupt);
+    // Corruption is SILENT: the command still reports success and normal
+    // timing — only the bytes are wrong.
+    EXPECT_EQ(da.fault, FaultKind::kNone);
+    EXPECT_EQ(da.duration_multiplier, 1.0);
+    if (da.corrupt) ++corrupted;
+  }
+  EXPECT_NEAR(static_cast<double>(corrupted) / 300.0, 0.3, 0.07);
+}
+
+TEST(FaultInjector, CorruptionRatesArePerKind) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 13;
+  config.corrupt_h2d_rate = 1.0;  // uploads always corrupt...
+  FaultInjector injector(config, &registry);
+  EXPECT_TRUE(injector.Decide(1, 0, CommandKind::kCopyH2D).corrupt);
+  // ...downloads and kernels never do.
+  EXPECT_FALSE(injector.Decide(1, 0, CommandKind::kCopyD2H).corrupt);
+  EXPECT_FALSE(injector.Decide(1, 0, CommandKind::kKernel).corrupt);
+  EXPECT_EQ(
+      registry.GetCounter("fault.injected", {{"kind", "corrupt_h2d"}}).value(),
+      1u);
+}
+
+TEST(FaultInjector, HostCommandsNeverCorrupt) {
+  // Host executions are the trusted reference (the audit re-executes against
+  // them), so corruption only ever targets device-side commands.
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 5;
+  config.corrupt_h2d_rate = 1.0;
+  config.corrupt_d2h_rate = 1.0;
+  config.corrupt_kernel_rate = 1.0;
+  FaultInjector injector(config, &registry);
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    EXPECT_FALSE(injector.Decide(1, id, CommandKind::kHostCompute).corrupt);
+  }
+}
+
+TEST(FaultInjector, LoudFaultExcludesCorruption) {
+  // A command that fails loudly delivers no bytes, so it cannot also deliver
+  // corrupted ones: fault and corrupt are mutually exclusive per decision.
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 17;
+  config.copy_fault_rate = 0.5;
+  config.kernel_fault_rate = 0.5;
+  config.corrupt_h2d_rate = 0.5;
+  config.corrupt_d2h_rate = 0.5;
+  config.corrupt_kernel_rate = 0.5;
+  FaultInjector injector(config, &registry);
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    for (CommandKind kind : {CommandKind::kCopyH2D, CommandKind::kCopyD2H,
+                             CommandKind::kKernel}) {
+      const FaultDecision d = injector.Decide(1, id, kind);
+      const bool loud = d.fault == FaultKind::kCopyTransient ||
+                        d.fault == FaultKind::kKernelFault;
+      EXPECT_FALSE(loud && d.corrupt) << "id " << id;
+    }
+  }
+}
+
+TEST(FaultConfig, FromEnvReadsCorruptionVariables) {
+  ::setenv("KF_FAULT_CORRUPT_RATE", "0.25", 1);
+  ::setenv("KF_FAULT_CORRUPT_D2H_RATE", "0.5", 1);
+  const FaultConfig config = FaultConfig::FromEnv();
+  ::unsetenv("KF_FAULT_CORRUPT_RATE");
+  ::unsetenv("KF_FAULT_CORRUPT_D2H_RATE");
+  // The blanket rate seeds all three kinds; the per-kind variable overrides.
+  EXPECT_EQ(config.corrupt_h2d_rate, 0.25);
+  EXPECT_EQ(config.corrupt_d2h_rate, 0.5);
+  EXPECT_EQ(config.corrupt_kernel_rate, 0.25);
+  EXPECT_TRUE(config.CorruptionEnabled());
+}
+
+TEST(Timeline, CorruptedCommandsSurfaceInStats) {
+  obs::MetricsRegistry registry;
+  FaultConfig config;
+  config.seed = 1;
+  config.corrupt_kernel_rate = 1.0;
+  FaultInjector injector(config, &registry);
+
+  Timeline timeline(DeviceSpec::TeslaC2070());
+  timeline.set_fault_injector(&injector);
+  CommandSpec kernel;
+  kernel.kind = CommandKind::kKernel;
+  kernel.solo_duration = 1.0;
+  kernel.demand = 1.0;
+  timeline.AddCommand(0, kernel);
+  CommandSpec host;
+  host.kind = CommandKind::kHostCompute;
+  host.duration = 0.5;
+  timeline.AddCommand(0, host);
+
+  const TimelineStats stats = timeline.Run();
+  // Corruption is silent: every command succeeds and timing is unchanged.
+  EXPECT_TRUE(stats.AllOk());
+  EXPECT_EQ(stats.fault_count, 0u);
+  EXPECT_EQ(stats.corrupted_count, 1u);
+  EXPECT_TRUE(stats.commands[0].corrupted);
+  EXPECT_FALSE(stats.commands[1].corrupted);
+}
+
 TEST(Timeline, NoInjectorMeansEveryCommandOk) {
   Timeline timeline(DeviceSpec::TeslaC2070());
   CommandSpec copy;

@@ -22,8 +22,13 @@
 // Usage:
 //   graph_fuzz [--seed=N] [--iters=N] [--profile=NAME]
 //
-// Profiles: none | default | copy-heavy | oom-heavy | stall-heavy | all
-// ("all" cycles every profile across iterations; the default). CI runs a
+// Profiles: none | default | copy-heavy | oom-heavy | stall-heavy |
+// corrupt | corrupt-mixed | corrupt-blind | all ("all" cycles every profile
+// across iterations; the default). The corrupt profiles inject silent
+// bit-flips: the verified ones run with checksummed transfers plus a full
+// audit (any surviving mismatch is a detection hole), corrupt-blind runs
+// unverified and accepts wrong bytes only when the report itself counts
+// them as undetected corruption. CI runs a
 // small --iters smoke per PR and a 10k-iteration nightly sweep
 // (.github/workflows/{ci,nightly}.yml); confirmed findings get pinned as
 // regression tests in tests/core/fuzz_regressions_test.cc.
@@ -52,28 +57,55 @@ using relational::Table;
 
 struct FaultProfile {
   std::string name;
-  sim::FaultConfig config;  // seed filled in per run
+  sim::FaultConfig config;          // seed filled in per run
+  core::IntegrityOptions integrity;  // verification arms for corruption runs
 };
 
 std::vector<FaultProfile> AllProfiles() {
   std::vector<FaultProfile> profiles;
-  profiles.push_back({"none", {}});
+  profiles.push_back({"none", {}, {}});
   sim::FaultConfig def;
   def.copy_fault_rate = 0.05;
   def.kernel_fault_rate = 0.05;
   def.oom_rate = 0.01;
   def.stall_rate = 0.05;
-  profiles.push_back({"default", def});
+  profiles.push_back({"default", def, {}});
   sim::FaultConfig copy_heavy;
   copy_heavy.copy_fault_rate = 0.25;
-  profiles.push_back({"copy-heavy", copy_heavy});
+  profiles.push_back({"copy-heavy", copy_heavy, {}});
   sim::FaultConfig oom_heavy;
   oom_heavy.oom_rate = 0.20;
-  profiles.push_back({"oom-heavy", oom_heavy});
+  profiles.push_back({"oom-heavy", oom_heavy, {}});
   sim::FaultConfig stall_heavy;
   stall_heavy.stall_rate = 0.30;
   stall_heavy.stall_multiplier = 8.0;
-  profiles.push_back({"stall-heavy", stall_heavy});
+  profiles.push_back({"stall-heavy", stall_heavy, {}});
+  // Silent bit-flips with full verification: checksummed transfers plus a
+  // 100% audit, so every corrupted run must either heal to byte-identical
+  // bytes or fail typed — a mismatch here is a detection hole.
+  core::IntegrityOptions verified;
+  verified.verify_transfers = true;
+  verified.audit_fraction = 1.0;
+  sim::FaultConfig corrupt;
+  corrupt.corrupt_h2d_rate = 0.05;
+  corrupt.corrupt_d2h_rate = 0.05;
+  corrupt.corrupt_kernel_rate = 0.05;
+  profiles.push_back({"corrupt", corrupt, verified});
+  // Corruption layered over loud faults: retries, degrades, and
+  // re-executions interleave; the oracle is unchanged.
+  sim::FaultConfig corrupt_mixed = def;
+  corrupt_mixed.corrupt_h2d_rate = 0.03;
+  corrupt_mixed.corrupt_d2h_rate = 0.03;
+  corrupt_mixed.corrupt_kernel_rate = 0.03;
+  profiles.push_back({"corrupt-mixed", corrupt_mixed, verified});
+  // Corruption with verification OFF: wrong sink bytes are expected, but
+  // only when the run itself admits it (corruption_undetected > 0) — a
+  // mismatch the report cannot explain is a finding.
+  sim::FaultConfig corrupt_blind;
+  corrupt_blind.corrupt_h2d_rate = 0.03;
+  corrupt_blind.corrupt_d2h_rate = 0.03;
+  corrupt_blind.corrupt_kernel_rate = 0.03;
+  profiles.push_back({"corrupt-blind", corrupt_blind, {}});
   return profiles;
 }
 
@@ -116,6 +148,10 @@ struct FuzzStats {
   std::uint64_t typed_errors = 0;
   std::uint64_t sharded_runs = 0;
   std::uint64_t host_placed = 0;
+  std::uint64_t corrupted_commands = 0;
+  std::uint64_t corruption_detected = 0;
+  std::uint64_t corruption_reexecutions = 0;
+  std::uint64_t blind_mismatches = 0;  // wrong bytes admitted by the report
 };
 
 // Checks one ExecutionReport (or typed failure) against the reference.
@@ -146,6 +182,10 @@ bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
   const core::RandomQuery q = core::MakeRandomQuery(seed);
   const std::map<core::NodeId, Table> truth = core::ReferenceResults(q);
   const bool faults = profile.config.AnyEnabled();
+  // Unverified corruption runs are allowed to return wrong bytes — but only
+  // when the report itself admits corruption escaped (undetected > 0).
+  const bool blind_corruption =
+      profile.config.CorruptionEnabled() && !profile.integrity.Enabled();
 
   obs::MetricsRegistry metrics;  // keep fuzz traffic out of the default
   sim::FaultConfig fault_config = profile.config;
@@ -169,16 +209,24 @@ bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
     if (use_arena) options.arena = &arena;
     if (calibrated) options.calibration = &calibrator;
     if (faults) options.fault_injector = &injector;
+    options.integrity = profile.integrity;
     try {
       const core::ExecutionReport report = executor.Execute(q.graph, q.sources,
                                                             options);
       ++stats->runs;
       stats->host_placed += report.host_placed_clusters;
+      stats->corrupted_commands += report.corrupted_commands;
+      stats->corruption_detected += report.corruption_detected;
+      stats->corruption_reexecutions += report.corruption_reexecutions;
       std::string detail;
       if (!CheckSinks(report, q, truth, &detail)) {
-        *why = std::string(label) + " " + core::ToString(strategy) + ": " +
-               detail;
-        return false;
+        if (blind_corruption && report.corruption_undetected > 0) {
+          ++stats->blind_mismatches;  // the report owns up to the wrong bytes
+        } else {
+          *why = std::string(label) + " " + core::ToString(strategy) + ": " +
+                 detail;
+          return false;
+        }
       }
     } catch (const kf::Error& e) {
       ++stats->runs;
@@ -224,15 +272,23 @@ bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
     options.base.metrics = &metrics;
     options.base.calibration = &calibrator;
     if (faults) options.base.fault_injector = &injector;
+    options.base.integrity = profile.integrity;
     try {
       const core::MultiDeviceReport report = multi.Execute(q.graph, q.sources,
                                                            options);
       ++stats->runs;
       if (report.sharded) ++stats->sharded_runs;
+      stats->corrupted_commands += report.combined.corrupted_commands;
+      stats->corruption_detected += report.combined.corruption_detected;
+      stats->corruption_reexecutions += report.combined.corruption_reexecutions;
       std::string detail;
       if (!CheckSinks(report.combined, q, truth, &detail)) {
-        *why = "multi-device: " + detail;
-        return false;
+        if (blind_corruption && report.combined.corruption_undetected > 0) {
+          ++stats->blind_mismatches;
+        } else {
+          *why = "multi-device: " + detail;
+          return false;
+        }
       }
     } catch (const kf::Error& e) {
       ++stats->runs;
@@ -256,7 +312,8 @@ void PrintUsage() {
       "graph_fuzz: property-based differential fuzzer (see file header)\n"
       "  --seed=N      base seed; iteration i fuzzes graph seed N+i (default 1)\n"
       "  --iters=N     iterations (default 200)\n"
-      "  --profile=P   none|default|copy-heavy|oom-heavy|stall-heavy|all\n"
+      "  --profile=P   none|default|copy-heavy|oom-heavy|stall-heavy|\n"
+      "                corrupt|corrupt-mixed|corrupt-blind|all\n"
       "                (default all: cycle profiles across iterations)\n";
 }
 
@@ -320,6 +377,10 @@ int main(int argc, char** argv) {
   std::cout << "OK: " << iters << " graphs, " << stats.runs << " runs ("
             << stats.sharded_runs << " sharded, " << stats.typed_errors
             << " typed errors under faults, " << stats.host_placed
-            << " host-placed clusters), 0 findings\n";
+            << " host-placed clusters, " << stats.corrupted_commands
+            << " corrupted commands / " << stats.corruption_detected
+            << " detected / " << stats.corruption_reexecutions
+            << " re-executions, " << stats.blind_mismatches
+            << " admitted blind mismatches), 0 findings\n";
   return 0;
 }
