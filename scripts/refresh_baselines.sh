@@ -28,5 +28,6 @@ run bench_resilience 0.1
 run bench_multi_device 0.1
 run bench_adaptive 0.1
 run bench_integrity 0.1
+run bench_tracing 0.1
 
 echo "baselines written to $OUT_DIR"

@@ -197,6 +197,7 @@ MultiDeviceReport MultiDeviceExecutor::Run(
     ExecutorOptions opts = options.base;
     opts.fault_injector = InjectorFor(idx, options);
     opts.calibration = CalibrationFor(idx, options);
+    opts.trace.device = idx;
     if (force_host) {
       opts.force_host = true;
       opts.fault_injector = nullptr;  // the host engine has no device faults
@@ -212,6 +213,11 @@ MultiDeviceReport MultiDeviceExecutor::Run(
     } catch (const kf::CapacityExceeded&) {
       if (force_host || !options.allow_host_fallback) throw;
       gm.GetCounter("sim.group.host_fallbacks").Increment();
+      if (options.base.tracer != nullptr) {
+        options.base.tracer->Annotate(
+            options.base.trace, 0, obs::SpanAnnotationKind::kDegraded,
+            "group host fallback: device capacity exceeded", 0.0);
+      }
       MultiDeviceReport fallback = run_single(idx, /*force_host=*/true);
       fallback.host_fallback = true;
       return fallback;
@@ -268,6 +274,11 @@ MultiDeviceReport MultiDeviceExecutor::Run(
       ExecutorOptions opts = options.base;
       opts.fault_injector = InjectorFor(slot.device, options);
       opts.calibration = CalibrationFor(slot.device, options);
+      // Shard tracing: each shard's execute span carries its device and
+      // shard index, so the session exporter links them back to the query
+      // with flow events.
+      opts.trace.device = slot.device;
+      opts.trace.shard = static_cast<int>(shards.size());
 
       ShardReport shard;
       shard.device = slot.device;
@@ -311,6 +322,11 @@ MultiDeviceReport MultiDeviceExecutor::Run(
     // the host engine rather than failing it.
     if (!options.allow_host_fallback) throw;
     gm.GetCounter("sim.group.host_fallbacks").Increment();
+    if (options.base.tracer != nullptr) {
+      options.base.tracer->Annotate(
+          options.base.trace, 0, obs::SpanAnnotationKind::kDegraded,
+          "group host fallback: a shard exceeded device capacity", 0.0);
+    }
     MultiDeviceReport fallback = run_single(active.front(), /*force_host=*/true);
     fallback.host_fallback = true;
     return fallback;
@@ -422,6 +438,16 @@ MultiDeviceReport MultiDeviceExecutor::Run(
   }
   combined.makespan = max_makespan + out.gather_time;
   combined.host_gather_time += out.gather_time;
+
+  // Cross-device gather span: the host-side concatenation (and optional
+  // verification) that serializes after the slowest shard.
+  if (options.base.tracer != nullptr) {
+    obs::TraceContext gather_ctx = options.base.trace;
+    gather_ctx.device = active.front();
+    options.base.tracer->AddSpan(gather_ctx, options.base.trace_parent,
+                                 "multi-device gather", "host", max_makespan,
+                                 combined.makespan, "host_gather");
+  }
 
   gm.GetCounter("sim.group.sharded_runs").Increment();
   gm.GetGauge("sim.group.devices_used").Set(static_cast<double>(devices_used));

@@ -40,6 +40,17 @@ enum class Category : std::uint8_t {
   kIntegrity,  // checksum passes + host audits on the host engine
 };
 
+const char* CategoryName(Category category) {
+  switch (category) {
+    case Category::kInputOutput: return "input_output";
+    case Category::kRoundTrip: return "round_trip";
+    case Category::kCompute: return "compute";
+    case Category::kHostGather: return "host_gather";
+    case Category::kIntegrity: return "integrity";
+  }
+  return "?";
+}
+
 // Where a node's data currently lives during timeline construction.
 struct Residency {
   bool on_device = false;
@@ -120,6 +131,23 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   obs::MetricsRegistry& metrics =
       options.metrics != nullptr ? *options.metrics : obs::MetricsRegistry::Default();
 
+  // --- Tracing. The root "execute" span covers the whole simulated run;
+  // every structural span below (plan, functional, clusters, segments,
+  // retries) and every stream-command leaf nests under it. All sim times in
+  // this function are run-local; trace.sim_offset re-bases them onto the
+  // session clock inside the tracer.
+  obs::Tracer* const tracer = options.tracer;
+  obs::TraceContext trace_ctx = options.trace;
+  obs::SpanId root_span = 0;
+  obs::SpanId plan_span = 0;
+  if (tracer != nullptr) {
+    if (trace_ctx.query_id == 0) trace_ctx.query_id = tracer->NextQueryId();
+    root_span = tracer->BeginSpan(
+        trace_ctx, options.trace_parent,
+        std::string("execute/") + ToString(options.strategy), "executor", 0.0);
+    plan_span = tracer->BeginSpan(trace_ctx, root_span, "plan", "executor", 0.0);
+  }
+
   FusionOptions fusion_options = EffectiveFusionOptions(options);
   if (fusion_options.metrics == nullptr) fusion_options.metrics = &metrics;
   if (options.plan != nullptr) {
@@ -130,6 +158,16 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   }
   const FusionPlan plan =
       options.plan != nullptr ? *options.plan : PlanFusion(graph, fusion_options);
+  if (tracer != nullptr) {
+    tracer->EndSpan(trace_ctx, plan_span, 0.0);
+    tracer->Annotate(trace_ctx, plan_span,
+                     options.plan != nullptr
+                         ? obs::SpanAnnotationKind::kCacheHit
+                         : obs::SpanAnnotationKind::kCacheMiss,
+                     options.plan != nullptr ? "precomputed fusion plan"
+                                             : "planned fresh",
+                     0.0);
+  }
 
   ExecutionReport report;
   report.cluster_count = plan.clusters.size();
@@ -164,6 +202,13 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     KF_REQUIRE(it != computed.end()) << "node #" << id << " not materialized";
     return it->second;
   };
+
+  // Wall-time-only span: the functional pass happens before the simulated
+  // clock starts, so its sim interval is a zero-width marker at t=0.
+  const obs::SpanId functional_span =
+      tracer != nullptr && sources != nullptr
+          ? tracer->BeginSpan(trace_ctx, root_span, "functional", "executor", 0.0)
+          : 0;
 
   if (sources != nullptr) {
     for (NodeId src : graph.Sources()) {
@@ -223,6 +268,7 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       }
     }
   }
+  if (functional_span != 0) tracer->EndSpan(trace_ctx, functional_span, 0.0);
 
   auto row_bytes = [&](NodeId id) -> std::uint64_t {
     return graph.node(id).schema.row_width_bytes();
@@ -270,6 +316,22 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   // on a fresh stream. Parallel to `tagged`.
   std::vector<CommandSpec> specs;
 
+  // Tracing state, parallel to `tagged`: the enclosing structural span and
+  // stage category of every issued command (leaf spans attach through the
+  // pool's trace sink after the timeline runs).
+  std::vector<obs::SpanId> cmd_parents;
+  std::vector<std::string> cmd_categories;
+  obs::SpanId trace_cmd_parent = root_span;
+  // Structural spans whose sim interval is only known once the timeline ran:
+  // resolved to the min-start/max-end of their tagged command range.
+  struct PendingIntervalSpan {
+    obs::SpanId span;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<PendingIntervalSpan> pending_interval_spans;
+  std::vector<obs::SpanId> cluster_spans(plan.clusters.size(), 0);
+
   // Retry units (see ResilienceOptions): unit -> owning cluster index.
   std::vector<int> unit_cluster;
   int active_unit = -1;
@@ -305,6 +367,10 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     const CommandId id = streams.SetStreamCommand(stream, stream::PoolCommand{spec, {}});
     tagged.push_back(TaggedCommand{id, category, kind, duration, bytes, launches,
                                    track_units ? active_unit : -1});
+    if (tracer != nullptr) {
+      cmd_parents.push_back(trace_cmd_parent);
+      cmd_categories.push_back(CategoryName(category));
+    }
     if (calib != nullptr &&
         (kind == sim::CommandKind::kCopyH2D || kind == sim::CommandKind::kCopyD2H)) {
       pending_copy_obs.push_back(
@@ -460,6 +526,13 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   for (std::size_t c = 0; c < plan.clusters.size(); ++c) {
     const FusionCluster& cluster = plan.clusters[c];
     const std::size_t tagged_before = tagged.size();
+    if (tracer != nullptr) {
+      cluster_spans[c] = tracer->BeginSpan(
+          trace_ctx, root_span,
+          "cluster " + std::to_string(c) + ": " + cluster_label(cluster),
+          "executor", 0.0);
+      trace_cmd_parent = cluster_spans[c];
+    }
     const NodeId primary = cluster.primary_input;
     const OpNode& head = graph.node(cluster.nodes.front());
     const bool barrier_cluster =
@@ -503,6 +576,11 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       if (inputs_on_host) {
         run_on_host = true;
         ++report.host_placed_clusters;
+        if (tracer != nullptr) {
+          tracer->Annotate(trace_ctx, cluster_spans[c],
+                           obs::SpanAnnotationKind::kPlacement,
+                           "calibrated host placement", 0.0);
+        }
         metrics
             .GetCounter("calib.host_placements",
                         obs::Labels{{"strategy", ToString(options.strategy)}})
@@ -544,6 +622,11 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       timing.fused = fuse && cluster.fused();
       report.cluster_timings.push_back(std::move(timing));
 
+      if (tracer != nullptr) {
+        pending_interval_spans.push_back(
+            {cluster_spans[c], tagged_before, tagged.size()});
+        trace_cmd_parent = root_span;
+      }
       release_use(primary);
       for (NodeId build : cluster.build_inputs) release_use(build);
       continue;
@@ -731,6 +814,15 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       std::vector<CommandId> last_kernels;
       for (int s = 0; s < segments; ++s) {
         begin_unit(static_cast<int>(c));  // each segment retries independently
+        const std::size_t segment_tagged_before = tagged.size();
+        if (tracer != nullptr) {
+          const obs::SpanId segment_span = tracer->BeginSpan(
+              trace_ctx, cluster_spans[c], "segment " + std::to_string(s),
+              "executor", 0.0);
+          trace_cmd_parent = segment_span;
+          pending_interval_spans.push_back(
+              {segment_span, segment_tagged_before, 0});  // end patched below
+        }
         const stream::StreamHandle stream =
             fission ? handles[static_cast<std::size_t>(s) % handles.size()]
                     : main_stream;
@@ -795,6 +887,10 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
                   segment_bytes);
           }
         }
+        if (tracer != nullptr) {
+          pending_interval_spans.back().end = tagged.size();
+          trace_cmd_parent = cluster_spans[c];
+        }
       }
 
       for (NodeId out : cluster.outputs) {
@@ -841,6 +937,12 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     }
     report.cluster_timings.push_back(std::move(timing));
 
+    if (tracer != nullptr) {
+      pending_interval_spans.push_back(
+          {cluster_spans[c], tagged_before, tagged.size()});
+      trace_cmd_parent = root_span;
+    }
+
     // Inputs consumed.
     release_use(primary);
     for (NodeId build : cluster.build_inputs) release_use(build);
@@ -857,10 +959,41 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   }
 
   // --- Simulate. --------------------------------------------------------------
+  if (tracer != nullptr) {
+    // Leaf spans: one per stream command, parented to its cluster/segment
+    // span. cmd_parents/cmd_categories are indexed in issue order, which is
+    // exactly the pool's command-id order.
+    stream::PoolTraceSink sink;
+    sink.tracer = tracer;
+    sink.context = trace_ctx;
+    sink.parent = root_span;
+    sink.parents = cmd_parents;
+    sink.categories = cmd_categories;
+    streams.set_trace(std::move(sink));
+  }
   streams.StartStreams();
   report.timeline = streams.WaitAll();
   SimTime total_makespan = report.timeline.makespan;
   report.fault_count = report.timeline.fault_count;
+
+  // Resolve structural span intervals now that command times are known.
+  if (tracer != nullptr) {
+    for (const PendingIntervalSpan& pending : pending_interval_spans) {
+      double lo = 0.0, hi = 0.0;
+      bool any = false;
+      for (std::size_t i = pending.begin; i < pending.end; ++i) {
+        const sim::CommandTiming& timing = report.timeline.commands[tagged[i].id];
+        lo = any ? std::min(lo, timing.start) : timing.start;
+        hi = any ? std::max(hi, timing.end) : timing.end;
+        any = true;
+      }
+      if (any) {
+        tracer->SetSpanInterval(trace_ctx, pending.span, lo, hi);
+      } else {
+        tracer->EndSpan(trace_ctx, pending.span, 0.0);
+      }
+    }
+  }
 
   // --- Feed per-command outcomes back into the calibrator (main run only;
   // retries below re-execute under fault pressure and would bias the model).
@@ -880,6 +1013,12 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
     calib->ObserveStalls(report.timeline.commands.size(),
                          report.timeline.stall_count);
     calib->EndRun();
+    if (tracer != nullptr) {
+      tracer->Annotate(trace_ctx, root_span,
+                       obs::SpanAnnotationKind::kCalibrationEpoch,
+                       "epoch " + std::to_string(calib->epoch()),
+                       total_makespan);
+    }
     const obs::Labels calib_labels{{"strategy", ToString(options.strategy)}};
     metrics.GetGauge("calib.epoch", calib_labels)
         .Set(static_cast<double>(calib->epoch()));
@@ -974,11 +1113,37 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       bool last_loud = issue_state.loud;
       bool last_detected = issue_state.detected;
       for (int attempt = 1; attempt <= budget; ++attempt) {
+        const SimTime retry_span_start = total_makespan;
         const SimTime backoff =
             res.backoff_base * std::pow(res.backoff_factor, attempt - 1);
         total_makespan += backoff;
         report.backoff_time += backoff;
         check_deadline();
+
+        obs::SpanId retry_span = 0;
+        if (tracer != nullptr) {
+          retry_span = tracer->BeginSpan(
+              trace_ctx, root_span,
+              "retry unit " + std::to_string(unit) + " attempt " +
+                  std::to_string(attempt),
+              "executor", retry_span_start);
+          const std::string where =
+              "cluster '" +
+              cluster_label(
+                  plan.clusters[static_cast<std::size_t>(
+                      unit_cluster[static_cast<std::size_t>(unit)])]) +
+              "'";
+          tracer->Annotate(trace_ctx, retry_span,
+                           obs::SpanAnnotationKind::kReExecution,
+                           (last_loud ? "fault in " : "re-execution of ") + where,
+                           retry_span_start);
+          if (last_detected) {
+            tracer->Annotate(trace_ctx, retry_span,
+                             obs::SpanAnnotationKind::kCorruptionDetected,
+                             "corrupted bytes detected in " + where,
+                             retry_span_start);
+          }
+        }
 
         // Rebuild the unit's commands on a fresh stream. Dependencies inside
         // the unit are remapped; dependencies on other units are dropped —
@@ -1002,12 +1167,26 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
                             retry_stream,
                             stream::PoolCommand{std::move(spec), {}}));
         }
+        if (tracer != nullptr) {
+          stream::PoolTraceSink sink;
+          sink.tracer = tracer;
+          sink.context = trace_ctx;
+          sink.parent = retry_span;
+          sink.sim_base = total_makespan;  // retries start after the backoff
+          for (std::size_t i : members) {
+            sink.categories.push_back(CategoryName(tagged[i].category));
+          }
+          retry_pool.set_trace(std::move(sink));
+        }
         retry_pool.StartStreams();
         const sim::TimelineStats& retry_stats = retry_pool.WaitAll();
         ++report.retry_attempts;
         if (last_detected) ++report.corruption_reexecutions;
         total_makespan += retry_stats.makespan;
         report.fault_count += retry_stats.fault_count;
+        if (tracer != nullptr) {
+          tracer->EndSpan(trace_ctx, retry_span, total_makespan);
+        }
         check_deadline();
 
         // Classify this attempt. Retry-pool command k re-ran members[k], so
@@ -1067,10 +1246,21 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
       // byte-identical; only the simulated clock pays the host cost. The host
       // rerun replaces the cluster's outputs wholesale, washing out any
       // silent corruption previously recorded for it.
+      const SimTime degrade_start = total_makespan;
       total_makespan += cluster_host_time[static_cast<std::size_t>(failed_cluster)];
       ++report.degraded_clusters;
       report.degraded = true;
       silent_clusters.erase(static_cast<std::size_t>(failed_cluster));
+      if (tracer != nullptr) {
+        const obs::SpanId cluster_span =
+            cluster_spans[static_cast<std::size_t>(failed_cluster)];
+        tracer->Annotate(trace_ctx, cluster_span,
+                         obs::SpanAnnotationKind::kDegraded,
+                         "degraded to host engine after exhausted retries",
+                         degrade_start);
+        tracer->AddSpan(trace_ctx, cluster_span, "degraded host rerun: " + label,
+                        "host", degrade_start, total_makespan, "compute");
+      }
       check_deadline();
     }
   }
@@ -1081,6 +1271,33 @@ ExecutionReport QueryExecutor::Run(const OpGraph& graph,
   report.timeline.makespan = total_makespan;
   report.peak_device_bytes = memory.high_water_mark();
   report.leaked_device_bytes = memory.used();
+
+  if (tracer != nullptr) {
+    if (options.force_host) {
+      tracer->Annotate(trace_ctx, root_span, obs::SpanAnnotationKind::kPlacement,
+                       "force_host: all clusters on the host engine", 0.0);
+    }
+    if (report.corruption_undetected > 0) {
+      tracer->Annotate(trace_ctx, root_span, obs::SpanAnnotationKind::kCorruption,
+                       std::to_string(report.corruption_undetected) +
+                           " corruption(s) escaped detection",
+                       total_makespan);
+    }
+    tracer->EndSpan(trace_ctx, root_span, total_makespan);
+    // Span-derived totals for the report: root coverage plus main-run leaf
+    // occupancy per stage category (cross-checkable against the stage sums
+    // below — exact on fault-free serial runs, where commands never share
+    // an engine or stretch under stalls).
+    report.trace_covered = total_makespan;
+    for (std::size_t i = 0; i < tagged.size(); ++i) {
+      const sim::CommandTiming& timing = report.timeline.commands[tagged[i].id];
+      report.trace_stage_seconds[CategoryName(tagged[i].category)] +=
+          timing.end - timing.start;
+    }
+    report.trace_spans =
+        tracer->Snapshot(trace_ctx.query_id).spans.size() -
+        (static_cast<std::size_t>(root_span) - 1);
+  }
 
   for (const TaggedCommand& cmd : tagged) {
     switch (cmd.category) {

@@ -32,6 +32,7 @@
 #include "common/buffer_arena.h"
 #include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "core/calibration.h"
 #include "core/fused_pipeline.h"
 #include "core/fusion_planner.h"
@@ -143,6 +144,17 @@ struct ExecutorOptions {
   // and sampled host audits, with detected mismatches healed through the
   // retry-unit machinery. Disabled by default — the legacy trusting path.
   IntegrityOptions integrity;
+
+  // End-to-end tracing (obs/tracer.h). When set, the run records a span tree
+  // for `trace.query_id` (allocated from the tracer when 0): a root execute
+  // span covering the whole simulated makespan, plan/functional spans,
+  // per-cluster + per-segment + per-retry spans, and one leaf span per
+  // stream command, all annotated with faults, stalls, corruption, and
+  // re-executions. `trace_parent` nests the run under an enclosing span
+  // (scheduler batch, multi-device shard). nullptr records nothing.
+  obs::Tracer* tracer = nullptr;
+  obs::TraceContext trace;
+  obs::SpanId trace_parent = 0;
 };
 
 // The fusion options Run() plans with: `fusion` from the options, with
@@ -205,6 +217,15 @@ struct ExecutionReport {
   // Host-audit digests for every output of an audited cluster, computed by
   // the functional layer (FusedPipeline fills them for fused clusters).
   std::map<NodeId, std::uint64_t> audit_checksums;
+
+  // Span-derived totals (tracer-attached runs only). `trace_spans` counts
+  // the spans this run recorded; `trace_covered` is the root execute span's
+  // simulated duration (always the full makespan); `trace_stage_seconds`
+  // sums the main run's leaf command occupancy per stage category — on a
+  // fault-free serial run these match the stage sums above exactly.
+  std::size_t trace_spans = 0;
+  SimTime trace_covered = 0.0;
+  std::map<std::string, SimTime> trace_stage_seconds;
 
   // Per-cluster kernel-time breakdown (execution order): where the compute
   // time goes — e.g. Q1's SORT share, or the fused block's contribution.

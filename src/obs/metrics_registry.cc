@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/random.h"
 
 namespace kf::obs {
 
@@ -20,13 +21,27 @@ std::string FlattenKey(const std::string& name, const Labels& labels) {
 
 void DurationHistogram::Record(double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
-  samples_.push_back(seconds);
+  ++count_;
   sum_ += seconds;
+  if (count_ == 1) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  if (samples_.size() < kReservoirCap) {
+    samples_.push_back(seconds);
+    return;
+  }
+  // Vitter's algorithm R with a fixed-seed deterministic stream: sample i
+  // replaces a uniformly random reservoir slot with probability cap/i.
+  const std::uint64_t slot = SplitMix64(rng_state_) % count_;
+  if (slot < kReservoirCap) samples_[static_cast<std::size_t>(slot)] = seconds;
 }
 
 std::size_t DurationHistogram::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return samples_.size();
+  return count_;
 }
 
 double DurationHistogram::sum() const {
@@ -36,12 +51,12 @@ double DurationHistogram::sum() const {
 
 double DurationHistogram::min() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  return min_;
 }
 
 double DurationHistogram::max() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  return max_;
 }
 
 double DurationHistogram::Percentile(double p) const {

@@ -73,24 +73,37 @@ class Gauge {
   double value_ = 0.0;
 };
 
-// Duration distribution. Stores every sample (benchmark-scale cardinality);
-// percentiles are computed on demand from a sorted copy.
+// Duration distribution. Keeps every sample exactly up to kReservoirCap;
+// past that it switches to a deterministic bounded reservoir (algorithm R
+// driven by a fixed-seed SplitMix64 stream), so soak-length runs stay at
+// O(cap) memory while percentiles remain an unbiased estimate. count/sum/
+// min/max are always exact running values regardless of eviction.
 class DurationHistogram {
  public:
+  // Exact below the cap; reservoir-sampled above it. Large enough that every
+  // benchmark/CI-scale stream stays exact (committed baselines unchanged).
+  static constexpr std::size_t kReservoirCap = 8192;
+
   void Record(double seconds);
 
-  std::size_t count() const;
+  std::size_t count() const;  // total recorded, not reservoir size
   double sum() const;
   double min() const;
   double max() const;
   // Linear-interpolated percentile, `p` in [0, 100]. Returns 0 when empty.
+  // Exact below kReservoirCap; estimated from the reservoir above it.
   double Percentile(double p) const;
+  // The retained samples (all of them below the cap, the reservoir above).
   std::vector<double> Samples() const;
 
  private:
   mutable std::mutex mutex_;
   std::vector<double> samples_;
+  std::size_t count_ = 0;
   double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;  // fixed: deterministic
 };
 
 // Times a scope (wall clock) into a histogram on destruction.

@@ -1,0 +1,187 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace kf::obs {
+
+namespace {
+
+bool ValidNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+// Splits a flattened registry key (`name{k=v,...}` or bare `name`) back into
+// its name and ordered label list. Label values may not contain ',' or '}'
+// (the registry never produces them), which keeps this split unambiguous.
+void SplitKey(const std::string& key, std::string& name, Labels& labels) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    name = key;
+    return;
+  }
+  name = key.substr(0, brace);
+  KF_REQUIRE(key.back() == '}') << "malformed metric key: " << key;
+  std::string body = key.substr(brace + 1, key.size() - brace - 2);
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string pair = body.substr(pos, comma - pos);
+    const std::size_t eq = pair.find('=');
+    KF_REQUIRE(eq != std::string::npos) << "malformed label in key: " << key;
+    labels.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    pos = comma + 1;
+  }
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += SanitizeMetricName(labels[i].first) + "=\"" +
+           EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string RenderNumber(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+struct Series {
+  std::string name;      // sanitized metric family name
+  std::string type;      // counter | gauge | summary
+  // Rendered sample lines belonging to the family, in emit order.
+  std::vector<std::string> lines;
+};
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    out += '_';
+  }
+  for (char c : name) out += ValidNameChar(c) ? c : '_';
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  const Json snapshot = registry.ToJson();
+  // Family name -> series; std::map keeps the output deterministically
+  // sorted. The registry's own maps are sorted too, so lines within a
+  // family keep a stable label order.
+  std::map<std::string, Series> families;
+
+  auto family_for = [&](const std::string& key, const std::string& type,
+                        std::string& rendered_labels) -> Series& {
+    std::string raw_name;
+    Labels labels;
+    SplitKey(key, raw_name, labels);
+    const std::string name = SanitizeMetricName(raw_name);
+    rendered_labels = RenderLabels(labels);
+    Series& series = families[name + "\x01" + type];
+    series.name = name;
+    series.type = type;
+    return series;
+  };
+
+  if (const Json* counters = snapshot.Find("counters")) {
+    for (const auto& [key, value] : counters->object()) {
+      std::string labels;
+      Series& series = family_for(key, "counter", labels);
+      series.lines.push_back(series.name + labels + " " +
+                             RenderNumber(value.number()));
+    }
+  }
+  if (const Json* gauges = snapshot.Find("gauges")) {
+    for (const auto& [key, value] : gauges->object()) {
+      std::string labels;
+      Series& series = family_for(key, "gauge", labels);
+      series.lines.push_back(series.name + labels + " " +
+                             RenderNumber(value.number()));
+    }
+  }
+  if (const Json* histograms = snapshot.Find("histograms")) {
+    for (const auto& [key, value] : histograms->object()) {
+      std::string raw_name;
+      Labels labels;
+      SplitKey(key, raw_name, labels);
+      const std::string name = SanitizeMetricName(raw_name);
+      Series& series = families[name + "\x01summary"];
+      series.name = name;
+      series.type = "summary";
+      const std::pair<const char*, const char*> quantiles[] = {
+          {"p50", "0.5"}, {"p90", "0.9"}, {"p99", "0.99"}};
+      for (const auto& [field, quantile] : quantiles) {
+        Labels with_quantile = labels;
+        with_quantile.emplace_back("quantile", quantile);
+        series.lines.push_back(name + RenderLabels(with_quantile) + " " +
+                               RenderNumber(value.at(field).number()));
+      }
+      const std::string rendered = RenderLabels(labels);
+      series.lines.push_back(name + "_sum" + rendered + " " +
+                             RenderNumber(value.at("sum").number()));
+      series.lines.push_back(name + "_count" + rendered + " " +
+                             RenderNumber(value.at("count").number()));
+    }
+  }
+
+  std::string out;
+  for (const auto& [key, series] : families) {
+    (void)key;
+    out += "# TYPE " + series.name + " " + series.type + "\n";
+    for (const std::string& line : series.lines) out += line + "\n";
+  }
+  return out;
+}
+
+std::map<std::string, double> ParsePrometheusText(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Sample lines are `name{labels} value` or `name value`; the value is
+    // the last space-separated token (label values never contain spaces in
+    // our output, and we do not emit timestamps).
+    const std::size_t space = line.rfind(' ');
+    KF_REQUIRE(space != std::string::npos && space + 1 < line.size())
+        << "malformed exposition line: " << line;
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    KF_REQUIRE(consumed == value.size())
+        << "malformed sample value in line: " << line;
+    samples[key] = parsed;
+  }
+  return samples;
+}
+
+}  // namespace kf::obs

@@ -1,0 +1,38 @@
+// Prometheus text-format exposition for the metrics registry.
+//
+// The registry's native serialization is the bespoke kf-bench JSON document;
+// this header renders the same metrics in the Prometheus exposition format
+// (text/plain; version 0.0.4) so a scrape endpoint or a push job can consume
+// them without the JSON path. Flattened keys (`name{k=v,...}`) are parsed
+// back into name + labels; metric and label names are sanitized to the
+// Prometheus charset ([a-zA-Z0-9_:], leading digit escaped), label values
+// are escaped per the spec. Histograms are exported as summaries (quantile
+// series plus _sum and _count).
+#ifndef KF_OBS_PROMETHEUS_H_
+#define KF_OBS_PROMETHEUS_H_
+
+#include <map>
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace kf::obs {
+
+// Sanitizes a metric or label name to the Prometheus charset: every invalid
+// character becomes '_', and a leading digit gains a '_' prefix.
+std::string SanitizeMetricName(const std::string& name);
+
+// Renders every counter, gauge, and histogram in the registry. Output is
+// deterministic (series sorted by name, then label set) so tests and diffs
+// are stable.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+// Minimal parser for the exposition format emitted above: returns a map of
+// `name{labels}` -> value covering every sample line (comments skipped).
+// Used by the round-trip tests and by tooling that wants to assert on a
+// scrape without a real Prometheus. Throws kf::Error on malformed lines.
+std::map<std::string, double> ParsePrometheusText(const std::string& text);
+
+}  // namespace kf::obs
+
+#endif  // KF_OBS_PROMETHEUS_H_

@@ -83,6 +83,16 @@ QueryScheduler::QueryScheduler(const sim::DeviceGroup& group,
 
 QueryScheduler::~QueryScheduler() { Shutdown(); }
 
+void QueryScheduler::BeginJobTrace(Job& job) {
+  if (options_.tracer == nullptr) return;
+  job.trace.query_id = options_.tracer->NextQueryId();
+  job.root_span =
+      options_.tracer->BeginSpan(job.trace, 0, "query", "scheduler", job.sim_submit);
+  job.queue_span = options_.tracer->BeginSpan(job.trace, job.root_span,
+                                              "queue wait", "scheduler",
+                                              job.sim_submit);
+}
+
 std::future<QueryResult> QueryScheduler::Submit(QueryRequest request) {
   auto job = std::make_unique<Job>();
   job->request = std::move(request);
@@ -95,6 +105,7 @@ std::future<QueryResult> QueryScheduler::Submit(QueryRequest request) {
     KF_REQUIRE_AS(::kf::Cancelled, !stopping_) << "QueryScheduler is shut down";
     job->sim_submit = sim_clock_;
     job->wall_submit = std::chrono::steady_clock::now();
+    BeginJobTrace(*job);
     queue_.push_back(std::move(job));
     metrics().GetCounter("server.submitted").Increment();
     metrics().GetGauge("server.queue_depth").Set(static_cast<double>(queue_.size()));
@@ -116,6 +127,7 @@ std::optional<std::future<QueryResult>> QueryScheduler::TrySubmit(
     }
     job->sim_submit = sim_clock_;
     job->wall_submit = std::chrono::steady_clock::now();
+    BeginJobTrace(*job);
     queue_.push_back(std::move(job));
     metrics().GetCounter("server.submitted").Increment();
     metrics().GetGauge("server.queue_depth").Set(static_cast<double>(queue_.size()));
@@ -149,6 +161,16 @@ void QueryScheduler::Shutdown() {
   }
   for (JobPtr& job : cancelled) {
     metrics().GetCounter("server.cancelled").Increment();
+    if (options_.tracer != nullptr && job->root_span != 0) {
+      job->trace.sim_offset = 0.0;
+      options_.tracer->Annotate(job->trace, job->root_span,
+                                obs::SpanAnnotationKind::kFailure,
+                                "cancelled by scheduler shutdown",
+                                job->sim_submit);
+      options_.tracer->EndSpan(job->trace, job->queue_span, job->sim_submit);
+      options_.tracer->EndSpan(job->trace, job->root_span, job->sim_submit);
+      options_.tracer->FinishQuery(job->trace, true, "cancelled");
+    }
     job->promise.set_exception(std::make_exception_ptr(
         ::kf::Cancelled("query cancelled by scheduler shutdown")));
   }
@@ -194,7 +216,7 @@ std::size_t QueryScheduler::corruption_score(int device) const {
   return device_states_[static_cast<std::size_t>(device)].corruption_score;
 }
 
-void QueryScheduler::RecordDeviceFault() {
+bool QueryScheduler::RecordDeviceFault() {
   bool opened = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -207,9 +229,10 @@ void QueryScheduler::RecordDeviceFault() {
     }
   }
   if (opened) metrics().GetCounter("resilience.breaker_opened").Increment();
+  return opened;
 }
 
-void QueryScheduler::RecordDeviceSuccess() {
+bool QueryScheduler::RecordDeviceSuccess() {
   bool closed = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -220,9 +243,10 @@ void QueryScheduler::RecordDeviceSuccess() {
     }
   }
   if (closed) metrics().GetCounter("resilience.breaker_closed").Increment();
+  return closed;
 }
 
-void QueryScheduler::RecordDeviceFault(int device) {
+bool QueryScheduler::RecordDeviceFault(int device) {
   bool opened = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -242,9 +266,10 @@ void QueryScheduler::RecordDeviceFault(int device) {
     metrics().GetCounter("server.device.breaker_opened", {{"device", label}})
         .Increment();
   }
+  return opened;
 }
 
-void QueryScheduler::RecordDeviceSuccess(int device) {
+bool QueryScheduler::RecordDeviceSuccess(int device) {
   bool closed = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -262,9 +287,10 @@ void QueryScheduler::RecordDeviceSuccess(int device) {
     metrics().GetCounter("server.device.breaker_closed", {{"device", label}})
         .Increment();
   }
+  return closed;
 }
 
-void QueryScheduler::RecordDeviceCorruption(int device, std::size_t detected) {
+bool QueryScheduler::RecordDeviceCorruption(int device, std::size_t detected) {
   bool opened = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -289,9 +315,10 @@ void QueryScheduler::RecordDeviceCorruption(int device, std::size_t detected) {
     metrics().GetCounter("server.device.quarantined", {{"device", label}})
         .Increment();
   }
+  return opened;
 }
 
-void QueryScheduler::RecordDeviceClean(int device) {
+bool QueryScheduler::RecordDeviceClean(int device) {
   bool closed = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -312,6 +339,7 @@ void QueryScheduler::RecordDeviceClean(int device) {
     metrics().GetCounter("server.device.unquarantined", {{"device", label}})
         .Increment();
   }
+  return closed;
 }
 
 bool QueryScheduler::Compatible(const QueryRequest& leader,
@@ -437,6 +465,24 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
     metrics().GetHistogram("server.queue_wait_seconds").Record(wait);
   }
 
+  obs::Tracer* const tracer = options_.tracer;
+  const double pickup_sim = sim_clock();
+  if (tracer != nullptr) {
+    for (const JobPtr& job : batch) {
+      if (job->queue_span != 0) {
+        tracer->EndSpan(job->trace, job->queue_span, pickup_sim);
+        job->queue_span = 0;  // merge-fallback solo reruns must not re-end it
+      }
+    }
+  }
+  Job& leader = *batch.front();
+  // The scheduler only wires executor tracing when the request left
+  // ExecutorOptions::tracer unset (per-query settings always win).
+  const bool sched_trace = tracer != nullptr && leader.root_span != 0 &&
+                           leader.request.options.tracer == nullptr;
+  obs::SpanId attempt_span = 0;
+  double attempt_start = pickup_sim;
+
   const bool merged = batch.size() > 1;
   try {
     // Splice the batch into one graph, remembering each query's node
@@ -540,8 +586,34 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
     bool host_route = false;
     std::size_t device_retries = 0;
     for (;;) {
+      attempt_start = pickup_sim;
+      if (sched_trace) {
+        leader.trace.attempt = static_cast<int>(device_retries);
+        attempt_span = tracer->BeginSpan(leader.trace, leader.root_span,
+                                         "execute attempt", "worker",
+                                         attempt_start);
+        tracer->Annotate(leader.trace, attempt_span,
+                         cache_hit ? obs::SpanAnnotationKind::kCacheHit
+                                   : obs::SpanAnnotationKind::kCacheMiss,
+                         cache_hit ? "fusion plan cache hit"
+                                   : "fusion plan cache miss",
+                         attempt_start);
+        if (merged) {
+          tracer->Annotate(leader.trace, attempt_span,
+                           obs::SpanAnnotationKind::kBatchMerge,
+                           "leads merged batch of " +
+                               std::to_string(batch.size()) + " queries",
+                           attempt_start);
+        }
+      }
       try {
         if (!group_mode) {
+          if (sched_trace) {
+            options.tracer = tracer;
+            options.trace = leader.trace;
+            options.trace.sim_offset = attempt_start;
+            options.trace_parent = attempt_span;
+          }
           report = executor_.Execute(*exec_graph, *exec_sources, options);
           break;
         }
@@ -555,6 +627,13 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
         host_route = false;
         std::vector<int> probes;
         std::vector<int> quarantine_probes;
+        // Predicted batch start on the group's virtual clocks: no earlier
+        // than any member's submit nor any placed device's busy-until time.
+        // Exact with one worker; an estimate when workers race.
+        double group_start = 0.0;
+        for (const JobPtr& job : batch) {
+          group_start = std::max(group_start, job->sim_submit);
+        }
         {
           std::lock_guard<std::mutex> lock(mutex_);
           std::vector<int> available;
@@ -608,6 +687,10 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
             }
             placement.push_back(best);
           }
+          for (int d : placement) {
+            group_start = std::max(
+                group_start, device_states_[static_cast<std::size_t>(d)].clock);
+          }
         }
         for (int d : probes) {
           metrics()
@@ -627,6 +710,21 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
           metrics().GetCounter("resilience.breaker_rerouted").Increment();
         }
 
+        if (sched_trace) {
+          attempt_start = group_start;
+          std::ostringstream os;
+          os << (host_route ? "host route, accounted on device"
+                            : "placed on device");
+          for (int d : placement) os << ' ' << d;
+          tracer->Annotate(leader.trace, attempt_span,
+                           obs::SpanAnnotationKind::kPlacement, os.str(),
+                           group_start);
+          options.tracer = tracer;
+          options.trace = leader.trace;
+          options.trace.sim_offset = group_start;
+          options.trace_parent = attempt_span;
+        }
+
         core::MultiDeviceOptions group_options;
         group_options.base = options;
         group_options.base.force_host = options.force_host || host_route;
@@ -640,25 +738,59 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
         break;
       } catch (const ::kf::Error& e) {
         if (e.code() != ::kf::ErrorCode::kDeviceFault) throw;
+        if (sched_trace && attempt_span != 0) {
+          tracer->Annotate(leader.trace, attempt_span,
+                           obs::SpanAnnotationKind::kFault, e.what(),
+                           attempt_start);
+          tracer->EndSpan(leader.trace, attempt_span, attempt_start);
+          attempt_span = 0;
+        }
+        bool opened = false;
         if (!group_mode) {
-          RecordDeviceFault();
+          opened = RecordDeviceFault();
         } else {
-          for (int d : placement) RecordDeviceFault(d);
+          for (int d : placement) opened = RecordDeviceFault(d) || opened;
+        }
+        if (sched_trace && opened) {
+          tracer->Annotate(leader.trace, leader.root_span,
+                           obs::SpanAnnotationKind::kBreakerOpen,
+                           "circuit breaker opened", attempt_start);
         }
         if (device_retries >= options_.query_retry_limit) throw;
         ++device_retries;
         metrics().GetCounter("resilience.query_retries").Increment();
+        if (sched_trace) {
+          tracer->Annotate(
+              leader.trace, leader.root_span,
+              obs::SpanAnnotationKind::kReExecution,
+              "whole-query retry " + std::to_string(device_retries) +
+                  " after device fault",
+              attempt_start);
+        }
       }
     }
+    // Trace annotations for breaker/quarantine transitions triggered by this
+    // batch land on the leading query's root span.
+    auto annotate_root = [&](obs::SpanAnnotationKind kind,
+                             const std::string& detail) {
+      if (sched_trace) {
+        tracer->Annotate(leader.trace, leader.root_span, kind, detail,
+                         attempt_start);
+      }
+    };
     if (!group_mode) {
       if (!options.force_host) {
         // A degraded run means the device kept failing (the executor gave up
         // and reran clusters on the host) — that feeds the breaker; a clean
         // or internally-recovered run closes it.
         if (report.degraded) {
-          RecordDeviceFault();
-        } else {
-          RecordDeviceSuccess();
+          if (RecordDeviceFault()) {
+            annotate_root(obs::SpanAnnotationKind::kBreakerOpen,
+                          "circuit breaker opened");
+          }
+        } else if (RecordDeviceSuccess()) {
+          annotate_root(obs::SpanAnnotationKind::kBreakerClose,
+                        "circuit breaker closed");
         }
       }
     } else if (!host_route && !options.force_host &&
@@ -670,15 +802,25 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
       // decays the score (and re-admits a quarantined device it probed).
       for (const core::ShardReport& shard : group_report.shards) {
         if (shard.report.ran_on_host) continue;
+        const std::string dev = std::to_string(shard.device);
         if (shard.report.degraded) {
-          RecordDeviceFault(shard.device);
-        } else {
-          RecordDeviceSuccess(shard.device);
+          if (RecordDeviceFault(shard.device)) {
+            annotate_root(obs::SpanAnnotationKind::kBreakerOpen,
+                          "circuit breaker opened on device " + dev);
+          }
+        } else if (RecordDeviceSuccess(shard.device)) {
+          annotate_root(obs::SpanAnnotationKind::kBreakerClose,
+                        "circuit breaker closed on device " + dev);
         }
         if (shard.report.corruption_detected > 0) {
-          RecordDeviceCorruption(shard.device, shard.report.corruption_detected);
-        } else {
-          RecordDeviceClean(shard.device);
+          if (RecordDeviceCorruption(shard.device,
+                                     shard.report.corruption_detected)) {
+            annotate_root(obs::SpanAnnotationKind::kQuarantine,
+                          "device " + dev + " quarantined for corruption");
+          }
+        } else if (RecordDeviceClean(shard.device)) {
+          annotate_root(obs::SpanAnnotationKind::kUnquarantine,
+                        "device " + dev + " re-admitted from quarantine");
         }
       }
     }
@@ -722,6 +864,15 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
         .Record(static_cast<double>(batch.size()));
     metrics().GetHistogram("server.batch_makespan_seconds").Record(report.makespan);
 
+    // Now that the batch's position on the virtual clock is known, pin the
+    // attempt span to the executed interval (the executor's subtree was
+    // recorded against `sim_offset`, i.e. the predicted start).
+    if (sched_trace && attempt_span != 0) {
+      tracer->SetSpanInterval(leader.trace, attempt_span,
+                              complete - report.makespan, complete);
+      attempt_span = 0;
+    }
+
     core::ExecutionReport shared = report;
     shared.sink_results.clear();
     for (std::size_t j = 0; j < batch.size(); ++j) {
@@ -756,14 +907,31 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
         }
       }
       result.wall_latency_seconds = SecondsSince(job->wall_submit);
+      result.trace_query_id = job->trace.query_id;
       metrics().GetHistogram("server.query_latency_seconds")
           .Record(result.wall_latency_seconds);
       metrics().GetHistogram("server.sim_latency_seconds")
           .Record(result.sim_latency());
       metrics().GetCounter("server.completed").Increment();
+      if (tracer != nullptr && job->root_span != 0) {
+        if (merged && j > 0) {
+          tracer->Annotate(
+              job->trace, job->root_span, obs::SpanAnnotationKind::kBatchMerge,
+              "co-executed in batch of " + std::to_string(batch.size()) +
+                  " led by query " + std::to_string(leader.trace.query_id),
+              complete);
+        }
+        tracer->EndSpan(job->trace, job->root_span, complete);
+        tracer->FinishQuery(job->trace, false, "");
+        job->root_span = 0;
+      }
       job->promise.set_value(std::move(result));
     }
   } catch (...) {
+    if (sched_trace && attempt_span != 0) {
+      tracer->EndSpan(leader.trace, attempt_span, attempt_start);
+      attempt_span = 0;
+    }
     if (!merged) {
       // Label the failure with its stable error code so dashboards can tell
       // device faults from timeouts from caller mistakes.
@@ -775,6 +943,16 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
       } catch (...) {
       }
       metrics().GetCounter("server.failed", {{"code", code}}).Increment();
+      if (tracer != nullptr && leader.root_span != 0) {
+        leader.trace.sim_offset = 0.0;
+        tracer->Annotate(leader.trace, leader.root_span,
+                         obs::SpanAnnotationKind::kFailure, code, pickup_sim);
+        tracer->EndSpan(leader.trace, leader.root_span, pickup_sim);
+        // A failed query's full span tree is dumped by the flight recorder
+        // (when KF_TRACE_DIR / TracerOptions::trace_dir is configured).
+        tracer->FinishQuery(leader.trace, true, code);
+        leader.root_span = 0;
+      }
       batch.front()->promise.set_exception(std::current_exception());
       return;
     }
@@ -782,6 +960,11 @@ void QueryScheduler::ExecuteBatch(std::vector<JobPtr> batch,
     // fall back to solo runs so one bad query cannot poison the batch.
     metrics().GetCounter("server.merge_fallbacks").Increment();
     for (JobPtr& job : batch) {
+      if (tracer != nullptr && job->root_span != 0) {
+        tracer->Annotate(job->trace, job->root_span,
+                         obs::SpanAnnotationKind::kSoloRetry,
+                         "merged batch failed; re-running solo", pickup_sim);
+      }
       std::vector<JobPtr> solo;
       solo.push_back(std::move(job));
       ExecuteBatch(std::move(solo), arena);

@@ -44,6 +44,7 @@
 #include "core/multi_device.h"
 #include "core/query_executor.h"
 #include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "server/plan_cache.h"
 #include "sim/device_group.h"
 #include "sim/device_simulator.h"
@@ -103,6 +104,10 @@ struct QueryResult {
   // Host wall-clock observability.
   double queue_wait_seconds = 0.0;  // submit -> batch pickup
   double wall_latency_seconds = 0.0;  // submit -> future fulfilled
+
+  // Tracer query id assigned at submission (0 when no tracer is configured).
+  // Look the query's span tree up via Tracer::FlightRecorder()/Snapshot().
+  std::uint64_t trace_query_id = 0;
 };
 
 struct SchedulerOptions {
@@ -130,6 +135,16 @@ struct SchedulerOptions {
 
   // Registry for scheduler metrics (`server.*`); nullptr = process default.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // End-to-end tracer. When set, every submitted query gets a span tree
+  // (root + queue-wait at Submit, one execution-attempt span per whole-query
+  // retry, the executor's plan/cluster/segment/command subtree underneath,
+  // and breaker/quarantine/cache/batch annotations), finished into the
+  // tracer's flight recorder when the future is fulfilled. Requests that
+  // attach their own `ExecutorOptions::tracer` keep it — the scheduler only
+  // wires the executor when the request left tracing unset. The tracer must
+  // outlive the scheduler.
+  obs::Tracer* tracer = nullptr;
 
   // Thread pool for intra-query functional execution (fused pipelines);
   // nullptr = none (single-threaded cluster execution).
@@ -264,10 +279,17 @@ class QueryScheduler {
     double sim_submit = 0.0;
     double queue_wait = 0.0;
     std::chrono::steady_clock::time_point wall_submit;
+    // Tracing state (only used when SchedulerOptions::tracer is set).
+    obs::TraceContext trace;
+    obs::SpanId root_span = 0;   // "query" span, open submit -> fulfilled
+    obs::SpanId queue_span = 0;  // "queue wait" span, open submit -> pickup
   };
   using JobPtr = std::unique_ptr<Job>;
 
   void WorkerLoop();
+  // Assigns a tracer query id and opens the root + queue-wait spans for a
+  // freshly admitted job (no-op when no tracer is configured).
+  void BeginJobTrace(Job& job);
   // True when `candidate` can join a batch led by `leader`.
   static bool Compatible(const QueryRequest& leader, const QueryRequest& candidate);
   // Executes `batch` as one (possibly merged) run and fulfills its promises.
@@ -281,15 +303,17 @@ class QueryScheduler {
 
   // Circuit-breaker bookkeeping: every device-facing outcome feeds the
   // consecutive-fault counter (global breaker; legacy single-device mode).
-  void RecordDeviceFault();
-  void RecordDeviceSuccess();
+  // Each returns true when the call transitioned the breaker/quarantine
+  // state, so the caller can annotate the triggering query's trace.
+  bool RecordDeviceFault();
+  bool RecordDeviceSuccess();
   // Per-device breakers (group mode).
-  void RecordDeviceFault(int device);
-  void RecordDeviceSuccess(int device);
+  bool RecordDeviceFault(int device);
+  bool RecordDeviceSuccess(int device);
   // Per-device corruption scores / quarantine (group mode). A batch with
   // detected corruption on `device` feeds Corruption, a clean one Clean.
-  void RecordDeviceCorruption(int device, std::size_t detected);
-  void RecordDeviceClean(int device);
+  bool RecordDeviceCorruption(int device, std::size_t detected);
+  bool RecordDeviceClean(int device);
 
   obs::MetricsRegistry& metrics() const {
     return options_.metrics != nullptr ? *options_.metrics

@@ -62,7 +62,17 @@ std::string ToChromeTrace(const TimelineStats& stats,
     os << ",{\"name\":\"" << EscapeJson(label) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
        << TrackOf(commands[i].kind) << ",\"ts\":" << timing.start * 1e6
        << ",\"dur\":" << (timing.end - timing.start) * 1e6 << ",\"args\":{\"ready\":"
-       << timing.ready * 1e6 << "}}";
+       << timing.ready * 1e6;
+    // Failure visibility: faulted, stalled, and corrupted commands carry
+    // their outcome in args so they are distinguishable in Perfetto.
+    if (timing.fault != FaultKind::kNone) {
+      os << ",\"fault\":\"" << ToString(timing.fault) << "\"";
+    }
+    os << ",\"ok\":" << (timing.ok ? "true" : "false");
+    os << ",\"stalled\":"
+       << (timing.fault == FaultKind::kStreamStall ? "true" : "false");
+    os << ",\"corrupted\":" << (timing.corrupted ? "true" : "false");
+    os << "}}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();

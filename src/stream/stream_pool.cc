@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "common/error.h"
 
@@ -118,6 +120,44 @@ void StreamPool::StartStreams() {
   if (stats_->corrupted_count > 0) {
     m.GetCounter("stream_pool.corrupted_commands", device_labels)
         .Increment(stats_->corrupted_count);
+  }
+
+  // Per-command leaf spans from the issue-order command list: every stream
+  // command becomes a traced leaf carrying its simulated interval and any
+  // fault/stall/corruption outcome.
+  if (trace_.tracer != nullptr) {
+    for (std::size_t i = 0; i < commands_.size(); ++i) {
+      const sim::CommandSpec& spec = commands_[i].spec;
+      const sim::CommandTiming& timing = stats_->commands[i];
+      const obs::SpanId parent =
+          i < trace_.parents.size() && trace_.parents[i] != 0
+              ? trace_.parents[i]
+              : trace_.parent;
+      std::string category =
+          i < trace_.categories.size() ? trace_.categories[i] : std::string();
+      const std::string label =
+          spec.label.empty() ? sim::ToString(spec.kind) : spec.label;
+      const std::string lane =
+          "stream " + std::to_string(command_stream_[i]);
+      const obs::SpanId leaf = trace_.tracer->AddSpan(
+          trace_.context, parent, label, lane,
+          trace_.sim_base + timing.start, trace_.sim_base + timing.end,
+          std::move(category));
+      if (timing.fault != sim::FaultKind::kNone) {
+        const bool stall = timing.fault == sim::FaultKind::kStreamStall;
+        trace_.tracer->Annotate(trace_.context, leaf,
+                                stall ? obs::SpanAnnotationKind::kStall
+                                      : obs::SpanAnnotationKind::kFault,
+                                sim::ToString(timing.fault),
+                                trace_.sim_base + timing.end);
+      }
+      if (timing.corrupted) {
+        trace_.tracer->Annotate(trace_.context, leaf,
+                                obs::SpanAnnotationKind::kCorruption,
+                                "silent corruption",
+                                trace_.sim_base + timing.end);
+      }
+    }
   }
 }
 

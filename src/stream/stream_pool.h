@@ -24,8 +24,11 @@
 
 #include <functional>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "sim/device_simulator.h"
 #include "sim/timeline.h"
 
@@ -38,6 +41,22 @@ struct PoolCommand {
   // Optional functional work performed on the host when the pool starts
   // (simulated kernels do their data work host-side; see DESIGN.md §6).
   std::function<void()> action;
+};
+
+// Optional tracing attachment. When `tracer` is set, StartStreams() records
+// one leaf span per command from the pool's issue-order command list
+// (lane "stream <s>"), annotated with faults, stalls, and silent
+// corruption from the simulated run. `sim_base` re-bases the run's local
+// timeline (retry pools start after the primary run's makespan);
+// `parents`/`categories`, when non-empty, are parallel to issue order and
+// attach each leaf to its enclosing cluster span / stage category.
+struct PoolTraceSink {
+  obs::Tracer* tracer = nullptr;
+  obs::TraceContext context;
+  obs::SpanId parent = 0;
+  double sim_base = 0.0;
+  std::vector<obs::SpanId> parents;
+  std::vector<std::string> categories;
 };
 
 class StreamPool {
@@ -89,6 +108,9 @@ class StreamPool {
 
   bool started() const { return stats_.has_value(); }
 
+  // Attaches a tracing sink for the next StartStreams() (see PoolTraceSink).
+  void set_trace(PoolTraceSink sink) { trace_ = std::move(sink); }
+
  private:
   struct StreamState {
     std::vector<sim::CommandId> issued;           // global ids, issue order
@@ -103,6 +125,7 @@ class StreamPool {
   std::vector<PoolCommand> commands_;             // issue order
   std::vector<sim::StreamId> command_stream_;     // parallel to commands_
   std::optional<sim::TimelineStats> stats_;
+  PoolTraceSink trace_;
 };
 
 }  // namespace kf::stream

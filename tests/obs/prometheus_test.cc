@@ -1,0 +1,89 @@
+// Prometheus exposition: charset sanitization, escaping, summary rendering,
+// and the scrape round trip back through ParsePrometheusText.
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "obs/metrics_registry.h"
+
+namespace kf::obs {
+namespace {
+
+TEST(SanitizeMetricName, MapsInvalidCharsAndLeadingDigits) {
+  EXPECT_EQ(SanitizeMetricName("server.queue_depth"), "server_queue_depth");
+  EXPECT_EQ(SanitizeMetricName("stream_pool.makespan_seconds"),
+            "stream_pool_makespan_seconds");
+  EXPECT_EQ(SanitizeMetricName("2fast"), "_2fast");
+  EXPECT_EQ(SanitizeMetricName("ok:name_1"), "ok:name_1");
+  EXPECT_EQ(SanitizeMetricName("a-b c"), "a_b_c");
+}
+
+TEST(ToPrometheusText, RendersCountersGaugesAndLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("server.completed").Increment(7);
+  registry.GetCounter("stream_pool.commands", {{"kind", "kernel"}}).Increment(3);
+  registry.GetGauge("server.queue_depth").Set(2.5);
+
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE server_completed counter\n"), std::string::npos);
+  EXPECT_NE(text.find("server_completed 7\n"), std::string::npos);
+  EXPECT_NE(text.find("stream_pool_commands{kind=\"kernel\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE server_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("server_queue_depth 2.5\n"), std::string::npos);
+}
+
+TEST(ToPrometheusText, RendersHistogramsAsSummaries) {
+  MetricsRegistry registry;
+  DurationHistogram& h = registry.GetHistogram("batch.seconds");
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE batch_seconds summary\n"), std::string::npos);
+  EXPECT_NE(text.find("batch_seconds{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("batch_seconds{quantile=\"0.9\"}"), std::string::npos);
+  EXPECT_NE(text.find("batch_seconds{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("batch_seconds_sum 5050\n"), std::string::npos);
+  EXPECT_NE(text.find("batch_seconds_count 100\n"), std::string::npos);
+}
+
+TEST(ToPrometheusText, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("events", {{"device", "gpu \"a\"\\0"}}).Increment();
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("events{device=\"gpu \\\"a\\\"\\\\0\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(ParsePrometheusText, RoundTripsEverySample) {
+  MetricsRegistry registry;
+  registry.GetCounter("server.completed").Increment(11);
+  registry.GetCounter("server.device.batches", {{"device", "gpu0"}})
+      .Increment(4);
+  registry.GetGauge("inflight").Set(1.25);
+  DurationHistogram& h =
+      registry.GetHistogram("latency.seconds", {{"mode", "traced"}});
+  for (int i = 1; i <= 10; ++i) h.Record(static_cast<double>(i));
+
+  const auto samples = ParsePrometheusText(ToPrometheusText(registry));
+  EXPECT_DOUBLE_EQ(samples.at("server_completed"), 11.0);
+  EXPECT_DOUBLE_EQ(samples.at("server_device_batches{device=\"gpu0\"}"), 4.0);
+  EXPECT_DOUBLE_EQ(samples.at("inflight"), 1.25);
+  EXPECT_DOUBLE_EQ(samples.at("latency_seconds_count{mode=\"traced\"}"), 10.0);
+  EXPECT_DOUBLE_EQ(samples.at("latency_seconds_sum{mode=\"traced\"}"), 55.0);
+  EXPECT_DOUBLE_EQ(
+      samples.at("latency_seconds{mode=\"traced\",quantile=\"0.5\"}"),
+      registry.FindHistogram("latency.seconds{mode=traced}")->Percentile(50.0));
+}
+
+TEST(ParsePrometheusText, RejectsMalformedLines) {
+  EXPECT_THROW(ParsePrometheusText("lonely_token\n"), kf::Error);
+  // A trailing non-numeric suffix means the value token did not fully parse.
+  EXPECT_THROW(ParsePrometheusText("metric 1.5x\n"), kf::Error);
+}
+
+}  // namespace
+}  // namespace kf::obs

@@ -15,6 +15,7 @@
 
 #include "common/error.h"
 #include "common/random.h"
+#include "obs/tracer.h"
 #include "relational/csv.h"
 #include "server/query_scheduler.h"
 #include "sim/device_group.h"
@@ -62,6 +63,9 @@ TEST(IntegritySoak, CorruptedServingStaysByteIdenticalOrFailsTyped) {
   sim::DeviceSimulator device;
   obs::MetricsRegistry registry;
   sim::FaultInjector injector(FivePercentCorruption(2026), &registry);
+  // With KF_TRACE_DIR set (the CI soak jobs do), any query failing with a
+  // typed error dumps its full span tree there for post-mortem triage.
+  obs::Tracer tracer;
 
   SchedulerOptions options;
   options.worker_count = 1;  // deterministic batch order
@@ -69,6 +73,7 @@ TEST(IntegritySoak, CorruptedServingStaysByteIdenticalOrFailsTyped) {
   options.max_queue_depth = n;
   options.max_batch = 1;  // solo execution: per-query outcomes stay pinned
   options.metrics = &registry;
+  options.tracer = &tracer;
   options.fault_injector = &injector;
   options.integrity = FullVerification();
   QueryScheduler scheduler(device, options);
@@ -143,6 +148,7 @@ TEST(IntegritySoak, ShardedServingUnderCorruptionStaysClean) {
   obs::MetricsRegistry registry;
   sim::FaultInjector injector(FivePercentCorruption(4049), &registry);
   sim::DeviceGroup group = sim::DeviceGroup::Homogeneous(2);
+  obs::Tracer tracer;
 
   SchedulerOptions options;
   options.worker_count = 1;
@@ -150,6 +156,7 @@ TEST(IntegritySoak, ShardedServingUnderCorruptionStaysClean) {
   options.max_queue_depth = n;
   options.max_batch = 1;
   options.metrics = &registry;
+  options.tracer = &tracer;
   options.fault_injector = &injector;
   options.integrity = FullVerification();
   options.quarantine_threshold = 0;  // both devices corrupt: keep serving

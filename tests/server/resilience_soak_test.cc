@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "obs/tracer.h"
 #include "relational/csv.h"
 #include "server/query_scheduler.h"
 #include "sim/fault_injector.h"
@@ -47,12 +48,17 @@ TEST(ResilienceSoak, RandomGraphsSucceedDegradeOrFailTyped) {
   }
   sim::FaultInjector injector(config, &registry);
 
+  // With KF_TRACE_DIR set (the CI soak jobs do), any query failing with a
+  // typed error dumps its full span tree there for post-mortem triage.
+  obs::Tracer tracer;
+
   SchedulerOptions options;
   options.worker_count = 1;  // deterministic batch order
   options.start_paused = true;
   options.max_queue_depth = n;
   options.max_batch = 1;  // solo execution: per-query outcomes stay pinned
   options.metrics = &registry;
+  options.tracer = &tracer;
   options.fault_injector = &injector;
   options.query_retry_limit = 3;
   QueryScheduler scheduler(device, options);

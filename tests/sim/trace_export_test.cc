@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "sim/fault_injector.h"
 
 namespace kf::sim {
 namespace {
@@ -57,6 +58,57 @@ TEST(TraceExport, EmptyTimeline) {
   Timeline t(DeviceSpec::TeslaC2070());
   const std::string json = ToChromeTrace(t.Run(), {});
   EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceExport, CleanCommandsCarryOutcomeArgs) {
+  Timeline t(DeviceSpec::TeslaC2070());
+  CommandSpec cmd;
+  cmd.kind = CommandKind::kKernel;
+  cmd.solo_duration = 0.001;
+  t.AddCommand(0, cmd);
+  const std::string json = ToChromeTrace(t.Run(), {{CommandKind::kKernel, "k"}});
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"stalled\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"corrupted\":false"), std::string::npos);
+  // A clean command carries no fault kind at all.
+  EXPECT_EQ(json.find("\"fault\":"), std::string::npos);
+}
+
+TEST(TraceExport, StalledCommandsCarryFaultKind) {
+  Timeline t(DeviceSpec::TeslaC2070());
+  FaultConfig config;
+  config.stall_rate = 1.0;
+  config.seed = 7;
+  const FaultInjector injector(config);
+  t.set_fault_injector(&injector);
+  CommandSpec cmd;
+  cmd.kind = CommandKind::kCopyH2D;
+  cmd.duration = 0.001;
+  t.AddCommand(0, cmd);
+  const std::string json =
+      ToChromeTrace(t.Run(), {{CommandKind::kCopyH2D, "upload"}});
+  // A stall slows the command but it still completes: ok stays true.
+  EXPECT_NE(json.find("\"fault\":\"stall\""), std::string::npos);
+  EXPECT_NE(json.find("\"stalled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(TraceExport, CorruptedCommandsAreFlagged) {
+  Timeline t(DeviceSpec::TeslaC2070());
+  FaultConfig config;
+  config.corrupt_h2d_rate = 1.0;
+  config.seed = 11;
+  const FaultInjector injector(config);
+  t.set_fault_injector(&injector);
+  CommandSpec cmd;
+  cmd.kind = CommandKind::kCopyH2D;
+  cmd.duration = 0.001;
+  t.AddCommand(0, cmd);
+  const std::string json =
+      ToChromeTrace(t.Run(), {{CommandKind::kCopyH2D, "upload"}});
+  EXPECT_NE(json.find("\"corrupted\":true"), std::string::npos);
+  // Silent corruption: the command itself still reports success.
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
 }
 
 }  // namespace

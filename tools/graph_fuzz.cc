@@ -36,6 +36,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,6 +47,7 @@
 #include "core/multi_device.h"
 #include "core/query_executor.h"
 #include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "sim/device_group.h"
 #include "sim/fault_injector.h"
 #include "tests/core/random_graph.h"
@@ -176,9 +178,12 @@ bool CheckSinks(const core::ExecutionReport& report,
 }
 
 // One fuzz iteration: the full configuration sweep over one random graph.
-// Returns false and fills `why` on the first oracle violation.
+// Returns false and fills `why` on the first oracle violation. When `tracer`
+// is set (KF_TRACE_DIR configured) every run is traced; the violating run's
+// span tree is dumped and its path returned in `trace_path`.
 bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
-                  FuzzStats* stats, std::string* why) {
+                  obs::Tracer* tracer, FuzzStats* stats, std::string* why,
+                  std::string* trace_path) {
   const core::RandomQuery q = core::MakeRandomQuery(seed);
   const std::map<core::NodeId, Table> truth = core::ReferenceResults(q);
   const bool faults = profile.config.AnyEnabled();
@@ -210,6 +215,19 @@ bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
     if (calibrated) options.calibration = &calibrator;
     if (faults) options.fault_injector = &injector;
     options.integrity = profile.integrity;
+    obs::TraceContext trace_ctx;
+    if (tracer != nullptr) {
+      trace_ctx.query_id = tracer->NextQueryId();
+      options.tracer = tracer;
+      options.trace = trace_ctx;
+    }
+    const auto finding = [&](const std::string& reason) {
+      *why = reason;
+      if (tracer != nullptr) {
+        *trace_path = tracer->FinishQuery(trace_ctx, /*failed=*/true, reason);
+      }
+      return false;
+    };
     try {
       const core::ExecutionReport report = executor.Execute(q.graph, q.sources,
                                                             options);
@@ -223,26 +241,24 @@ bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
         if (blind_corruption && report.corruption_undetected > 0) {
           ++stats->blind_mismatches;  // the report owns up to the wrong bytes
         } else {
-          *why = std::string(label) + " " + core::ToString(strategy) + ": " +
-                 detail;
-          return false;
+          return finding(std::string(label) + " " + core::ToString(strategy) +
+                         ": " + detail);
         }
       }
     } catch (const kf::Error& e) {
       ++stats->runs;
       if (!faults) {
-        *why = std::string(label) + " " + core::ToString(strategy) +
-               ": typed error without faults: " + e.what();
-        return false;
+        return finding(std::string(label) + " " + core::ToString(strategy) +
+                       ": typed error without faults: " + e.what());
       }
       ++stats->typed_errors;  // typed failure under faults: acceptable
     } catch (const std::exception& e) {
       // Untyped exceptions are never acceptable, faults or not.
       ++stats->runs;
-      *why = std::string(label) + " " + core::ToString(strategy) +
-             ": untyped exception: " + e.what();
-      return false;
+      return finding(std::string(label) + " " + core::ToString(strategy) +
+                     ": untyped exception: " + e.what());
     }
+    if (tracer != nullptr) tracer->FinishQuery(trace_ctx, /*failed=*/false, "");
     return true;
   };
 
@@ -273,6 +289,19 @@ bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
     options.base.calibration = &calibrator;
     if (faults) options.base.fault_injector = &injector;
     options.base.integrity = profile.integrity;
+    obs::TraceContext trace_ctx;
+    if (tracer != nullptr) {
+      trace_ctx.query_id = tracer->NextQueryId();
+      options.base.tracer = tracer;
+      options.base.trace = trace_ctx;
+    }
+    const auto finding = [&](const std::string& reason) {
+      *why = reason;
+      if (tracer != nullptr) {
+        *trace_path = tracer->FinishQuery(trace_ctx, /*failed=*/true, reason);
+      }
+      return false;
+    };
     try {
       const core::MultiDeviceReport report = multi.Execute(q.graph, q.sources,
                                                            options);
@@ -286,23 +315,21 @@ bool RunIteration(std::uint64_t seed, const FaultProfile& profile,
         if (blind_corruption && report.combined.corruption_undetected > 0) {
           ++stats->blind_mismatches;
         } else {
-          *why = "multi-device: " + detail;
-          return false;
+          return finding("multi-device: " + detail);
         }
       }
     } catch (const kf::Error& e) {
       ++stats->runs;
       if (!faults) {
-        *why = std::string("multi-device: typed error without faults: ") +
-               e.what();
-        return false;
+        return finding(std::string("multi-device: typed error without faults: ") +
+                       e.what());
       }
       ++stats->typed_errors;
     } catch (const std::exception& e) {
       ++stats->runs;
-      *why = std::string("multi-device: untyped exception: ") + e.what();
-      return false;
+      return finding(std::string("multi-device: untyped exception: ") + e.what());
     }
+    if (tracer != nullptr) tracer->FinishQuery(trace_ctx, /*failed=*/false, "");
   }
   return true;
 }
@@ -356,16 +383,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // With KF_TRACE_DIR set every run is traced and a finding dumps the
+  // violating run's full span tree next to the REPRO line.
+  std::unique_ptr<obs::Tracer> tracer;
+  const char* trace_dir = std::getenv("KF_TRACE_DIR");
+  if (trace_dir != nullptr && trace_dir[0] != '\0') {
+    tracer = std::make_unique<obs::Tracer>();
+  }
+
   FuzzStats stats;
   for (std::uint64_t i = 0; i < iters; ++i) {
     const std::uint64_t seed = base_seed + i;
     const FaultProfile& profile = profiles[i % profiles.size()];
     std::string why;
-    if (!RunIteration(seed, profile, &stats, &why)) {
+    std::string trace_path;
+    if (!RunIteration(seed, profile, tracer.get(), &stats, &why, &trace_path)) {
       std::cerr << "FINDING: " << why << "\n"
                 << "graph:\n" << core::MakeRandomQuery(seed).graph.ToString()
                 << "REPRO: graph_fuzz --seed=" << seed
                 << " --iters=1 --profile=" << profile.name << "\n";
+      if (!trace_path.empty()) std::cerr << "TRACE: " << trace_path << "\n";
       return 1;
     }
     if ((i + 1) % 100 == 0) {

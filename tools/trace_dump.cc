@@ -1,0 +1,303 @@
+// Renders tracer output as human-readable per-query text profiles.
+//
+// Accepts both trace formats the tracer emits:
+//   - flight-recorder dumps (`trace_query_<id>.json`, one span tree), and
+//   - session traces (Chrome trace-event JSON from obs::ToSessionTrace).
+//
+// Usage:
+//   trace_dump <file.json>...          render each file as a text profile
+//   trace_dump --check <file.json>...  validate well-formedness only
+//
+// `--check` validates that a flight dump's span ids are dense with resolvable
+// parents and that a session trace obeys the Chrome trace-event schema (used
+// by CI to gate the traces uploaded from fuzz and soak jobs). Exit status is
+// 0 when every file passes, 1 otherwise.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/tracer.h"
+
+namespace {
+
+using kf::obs::Json;
+
+std::string ReadFile(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return "";
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string FormatSeconds(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << seconds;
+  return os.str();
+}
+
+// --- Flight-recorder dumps (QueryTrace::ToJson). ---------------------------
+
+bool CheckFlightDump(const Json& doc, std::string* error) {
+  for (const char* key : {"query_id", "finished", "failed", "spans"}) {
+    if (!doc.Has(key)) {
+      *error = std::string("missing key '") + key + "'";
+      return false;
+    }
+  }
+  const Json& spans = doc.at("spans");
+  if (!spans.is_array()) {
+    *error = "'spans' is not an array";
+    return false;
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Json& span = spans.at(i);
+    for (const char* key :
+         {"id", "parent", "name", "lane", "sim_start", "sim_end"}) {
+      if (!span.Has(key)) {
+        *error = "span " + std::to_string(i) + " missing key '" + key + "'";
+        return false;
+      }
+    }
+    const auto id = static_cast<std::uint64_t>(span.at("id").number());
+    const auto parent = static_cast<std::uint64_t>(span.at("parent").number());
+    if (id != i + 1) {
+      *error = "span ids not dense: span " + std::to_string(i) + " has id " +
+               std::to_string(id);
+      return false;
+    }
+    if (parent == id || parent > spans.size()) {
+      *error = "span " + std::to_string(id) + " has unresolvable parent " +
+               std::to_string(parent);
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintSpanTree(const Json& spans, std::size_t index,
+                   const std::vector<std::vector<std::size_t>>& children,
+                   int depth) {
+  const Json& span = spans.at(index);
+  const double start = span.at("sim_start").number();
+  const double end = span.at("sim_end").number();
+  std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+            << span.at("name").str() << "  [" << FormatSeconds(start) << "s .. "
+            << FormatSeconds(end) << "s]  dur=" << FormatSeconds(end - start)
+            << "s  lane=" << span.at("lane").str();
+  if (const Json* category = span.Find("category")) {
+    std::cout << "  cat=" << category->str();
+  }
+  if (const Json* device = span.Find("device")) {
+    std::cout << "  dev=" << static_cast<int>(device->number());
+  }
+  if (const Json* attempt = span.Find("attempt")) {
+    const int value = static_cast<int>(attempt->number());
+    if (value > 0) std::cout << "  attempt=" << value;
+  }
+  if (const Json* shard = span.Find("shard")) {
+    const int value = static_cast<int>(shard->number());
+    if (value >= 0) std::cout << "  shard=" << value;
+  }
+  std::cout << "\n";
+  if (const Json* annotations = span.Find("annotations")) {
+    for (std::size_t a = 0; a < annotations->size(); ++a) {
+      const Json& note = annotations->at(a);
+      std::cout << std::string(static_cast<std::size_t>(depth) * 2 + 2, ' ')
+                << "! " << note.at("kind").str();
+      const std::string& detail = note.at("detail").str();
+      if (!detail.empty()) std::cout << ": " << detail;
+      std::cout << "  @" << FormatSeconds(note.at("sim_time").number()) << "s\n";
+    }
+  }
+  for (std::size_t child : children[index]) {
+    PrintSpanTree(spans, child, children, depth + 1);
+  }
+}
+
+void RenderFlightDump(const Json& doc) {
+  const auto query_id = static_cast<std::uint64_t>(doc.at("query_id").number());
+  std::cout << "query " << query_id;
+  if (doc.at("failed").bool_value()) {
+    std::cout << "  FAILED";
+    if (const Json* failure = doc.Find("failure")) {
+      if (!failure->str().empty()) std::cout << " (" << failure->str() << ")";
+    }
+  }
+  std::cout << "\n";
+  const Json& spans = doc.at("spans");
+  std::vector<std::vector<std::size_t>> children(spans.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto parent =
+        static_cast<std::uint64_t>(spans.at(i).at("parent").number());
+    if (parent == 0) {
+      roots.push_back(i);
+    } else {
+      children[parent - 1].push_back(i);
+    }
+  }
+  for (std::size_t root : roots) PrintSpanTree(spans, root, children, 1);
+}
+
+// --- Session traces (Chrome trace-event JSON). -----------------------------
+
+bool CheckSessionTrace(const Json& doc, std::string* error) {
+  const Json& events = doc.at("traceEvents");
+  if (!events.is_array()) {
+    *error = "'traceEvents' is not an array";
+    return false;
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& event = events.at(i);
+    const Json* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      *error = "event " + std::to_string(i) + " has no phase";
+      return false;
+    }
+    const std::string& phase = ph->str();
+    std::vector<const char*> required;
+    if (phase == "X") {
+      required = {"name", "pid", "tid", "ts", "dur", "args"};
+    } else if (phase == "M") {
+      required = {"name", "pid", "tid", "args"};
+    } else if (phase == "s" || phase == "f") {
+      required = {"name", "id", "pid", "tid", "ts"};
+    } else {
+      *error = "event " + std::to_string(i) + " has unexpected phase '" +
+               phase + "'";
+      return false;
+    }
+    for (const char* key : required) {
+      if (!event.Has(key)) {
+        *error = "event " + std::to_string(i) + " (ph=" + phase +
+                 ") missing key '" + key + "'";
+        return false;
+      }
+    }
+    if (phase == "X" && event.at("dur").number() < 0.0) {
+      *error = "event " + std::to_string(i) + " has negative duration";
+      return false;
+    }
+  }
+  return true;
+}
+
+void RenderSessionTrace(const Json& doc) {
+  const Json& events = doc.at("traceEvents");
+  // Group complete slices by query id, keep submission (ts) order per query.
+  std::map<std::uint64_t, std::vector<const Json*>> by_query;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& event = events.at(i);
+    if (event.at("ph").str() != "X") continue;
+    const Json* args = event.Find("args");
+    const Json* query = args != nullptr ? args->Find("query") : nullptr;
+    if (query == nullptr) continue;
+    by_query[static_cast<std::uint64_t>(query->number())].push_back(&event);
+  }
+  for (auto& [query_id, slices] : by_query) {
+    std::stable_sort(slices.begin(), slices.end(),
+                     [](const Json* a, const Json* b) {
+                       return a->at("ts").number() < b->at("ts").number();
+                     });
+    std::cout << "query " << query_id << "  (" << slices.size() << " spans)\n";
+    for (const Json* slice : slices) {
+      const double start = slice->at("ts").number() / 1e6;
+      const double dur = slice->at("dur").number() / 1e6;
+      std::cout << "  " << FormatSeconds(start) << "s +"
+                << FormatSeconds(dur) << "s  pid=" << slice->at("pid").number()
+                << " tid=" << slice->at("tid").number() << "  "
+                << slice->at("name").str();
+      const Json* args = slice->Find("args");
+      const Json* notes = args != nullptr ? args->Find("annotations") : nullptr;
+      if (notes != nullptr) {
+        for (std::size_t a = 0; a < notes->size(); ++a) {
+          std::cout << "  [" << notes->at(a).str() << "]";
+        }
+      }
+      std::cout << "\n";
+    }
+  }
+}
+
+bool ProcessFile(const std::string& path, bool check_only) {
+  std::string error;
+  const std::string text = ReadFile(path, &error);
+  if (!error.empty()) {
+    std::cerr << "trace_dump: " << error << "\n";
+    return false;
+  }
+  Json doc;
+  try {
+    doc = Json::Parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_dump: " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  const bool session = doc.is_object() && doc.Has("traceEvents");
+  const bool flight = doc.is_object() && doc.Has("spans");
+  if (!session && !flight) {
+    std::cerr << "trace_dump: " << path
+              << ": neither a session trace (traceEvents) nor a flight dump"
+                 " (spans)\n";
+    return false;
+  }
+  const bool ok = session ? CheckSessionTrace(doc, &error)
+                          : CheckFlightDump(doc, &error);
+  if (!ok) {
+    std::cerr << "trace_dump: " << path << ": " << error << "\n";
+    return false;
+  }
+  if (check_only) {
+    const std::size_t count =
+        session ? doc.at("traceEvents").size() : doc.at("spans").size();
+    std::cout << "OK " << path << " (" << count
+              << (session ? " events)" : " spans)") << "\n";
+    return true;
+  }
+  std::cout << "== " << path << " ==\n";
+  if (session) {
+    RenderSessionTrace(doc);
+  } else {
+    RenderFlightDump(doc);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: trace_dump [--check] <file.json>...\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: trace_dump [--check] <file.json>...\n";
+    return 1;
+  }
+  bool all_ok = true;
+  for (const std::string& path : paths) {
+    all_ok = ProcessFile(path, check_only) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}
